@@ -1,0 +1,84 @@
+// Experiment E2 (Theorem 2.3): the Fig-1 chain's expected max step count
+// under weak (location-oblivious) scheduling grows like log* k -- essentially
+// flat -- while using O(n) registers.
+//
+// Includes ablation D3: space of the truncated chain (live prefix
+// Theta(log n) + dummy tail) vs a fully live chain (Theta(n log n)).
+#include <cstdio>
+
+#include "algo/chain.hpp"
+#include "algo/registry.hpp"
+#include "bench_util.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+using namespace rts;
+using P = algo::SimPlatform;
+
+sim::LeBuilder full_live_builder() {
+  return [](sim::Kernel& kernel, int n) -> sim::BuiltLe {
+    P::Arena arena(kernel.memory());
+    auto le = std::make_shared<algo::GeChainLe<P>>(
+        arena, n, algo::fig1_truncated_factory<P>(n, /*live_prefix=*/n));
+    sim::BuiltLe built;
+    built.keepalive = le;
+    built.declared_registers = le->declared_registers();
+    built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    return built;
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2: O(log* k) leader election (Fig-1 chain)",
+                "expected step complexity O(log* k) vs location-oblivious "
+                "adversary, O(n) registers (Theorem 2.3)");
+
+  constexpr int kTrials = 120;
+  const auto builder = algo::sim_builder(algo::AlgorithmId::kLogStarChain);
+
+  support::Table steps("Chain step complexity vs contention k",
+                       {"k", "log*(k)", "E[max steps]", "p95", "max",
+                        "E[mean steps]", "violations"});
+  for (const int k : bench::contention_sweep()) {
+    const auto agg = sim::run_le_many(builder, k, k,
+                                      bench::random_adversary(), kTrials, 42);
+    steps.add_row({support::Table::num(static_cast<std::size_t>(k)),
+                   support::Table::num(
+                       static_cast<std::size_t>(support::log_star(k))),
+                   bench::fmt_mean_ci(agg.max_steps),
+                   support::Table::num(agg.max_steps.quantile(0.95), 1),
+                   support::Table::num(agg.max_steps.max(), 0),
+                   support::Table::num(agg.mean_steps.mean(), 2),
+                   support::Table::num(
+                       static_cast<std::size_t>(agg.violation_runs))});
+  }
+  steps.print();
+
+  support::Table space("D3 ablation: registers, truncated vs fully live chain",
+                       {"n", "truncated (Thm 2.3)", "fully live",
+                        "n (linear ref)", "n log2 n"});
+  for (const int n : {64, 256, 1024, 4096}) {
+    sim::Kernel k1;
+    const auto truncated =
+        algo::sim_builder(algo::AlgorithmId::kLogStarChain)(k1, n);
+    sim::Kernel k2;
+    const auto live = full_live_builder()(k2, n);
+    space.add_row(
+        {support::Table::num(static_cast<std::size_t>(n)),
+         support::Table::num(truncated.declared_registers),
+         support::Table::num(live.declared_registers),
+         support::Table::num(static_cast<std::size_t>(n)),
+         support::Table::num(static_cast<std::size_t>(
+             n * support::log2_ceil(static_cast<std::uint64_t>(n))))});
+  }
+  space.print();
+
+  std::printf(
+      "\nReading: E[max steps] is nearly flat across three decades of k "
+      "(log* shape);\ntruncated space tracks the linear reference, the "
+      "fully live chain tracks n log n.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Experiment E4 + E8 (Section 3): RatRace space and time.
+//  * Space: original RatRace declares Theta(n^3) registers; the paper's
+//    elimination-path variant declares Theta(n); both touch little at
+//    runtime.
+//  * Time: both variants stay O(log k) expected steps under adversarial
+//    (adaptive random) scheduling.
+//  * Claim 3.2: a group of log n leaves receives more than 4 log n
+//    processes with probability <= 1/n^2 (ball-in-bins measurement).
+//  * Ablation D4: elimination-path length factor (2/4/8 x log n) vs overflow
+//    rate into the backup path.
+#include <cstdio>
+#include <memory>
+
+#include "algo/elim_path.hpp"
+#include "algo/registry.hpp"
+#include "bench_util.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+using namespace rts;
+using P = algo::SimPlatform;
+
+/// Fraction of trials in which > `limit` of n processes land in a fixed
+/// group of log n uniformly random leaves (the Claim 3.2 ball-in-bins
+/// model).
+double leaf_overload_rate(int n, int limit, int trials, std::uint64_t seed) {
+  int overloaded = 0;
+  const int log_n = support::log2_ceil(static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < trials; ++trial) {
+    support::PrngSource rng(support::derive_seed(seed, trial));
+    int in_group = 0;
+    for (int p = 0; p < n; ++p) {
+      if (rng.draw(static_cast<std::uint64_t>(n)) <
+          static_cast<std::uint64_t>(log_n)) {
+        ++in_group;
+      }
+    }
+    if (in_group > limit) ++overloaded;
+  }
+  return static_cast<double>(overloaded) / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E4/E8: RatRace original vs elimination-path variant",
+                "Theta(n^3) -> Theta(n) registers at equal O(log k) steps "
+                "(Section 3); leaf groups hold <= 4 log n processes w.p. "
+                "1 - 1/n^2 (Claim 3.2)");
+
+  {
+    support::Table space("Declared registers (structure size)",
+                         {"n", "original (n^3)", "path variant (n)",
+                          "ratio", "touched orig", "touched path"});
+    for (const int n : {16, 32, 64, 128, 256, 512}) {
+      sim::Kernel k1;
+      const auto orig =
+          algo::sim_builder(algo::AlgorithmId::kRatRace)(k1, n);
+      sim::Kernel k2;
+      const auto path =
+          algo::sim_builder(algo::AlgorithmId::kRatRacePath)(k2, n);
+      // Touched registers after one full contention-n run.
+      sim::UniformRandomAdversary a1(1);
+      const auto r1 = sim::run_le_once(
+          algo::sim_builder(algo::AlgorithmId::kRatRace), n, n, a1, 1);
+      sim::UniformRandomAdversary a2(1);
+      const auto r2 = sim::run_le_once(
+          algo::sim_builder(algo::AlgorithmId::kRatRacePath), n, n, a2, 1);
+      space.add_row(
+          {support::Table::num(static_cast<std::size_t>(n)),
+           support::Table::num(orig.declared_registers),
+           support::Table::num(path.declared_registers),
+           support::Table::num(static_cast<double>(orig.declared_registers) /
+                                   static_cast<double>(path.declared_registers),
+                               1),
+           support::Table::num(r1.regs_allocated),
+           support::Table::num(r2.regs_allocated)});
+    }
+    space.print();
+  }
+
+  {
+    constexpr int kTrials = 100;
+    support::Table steps("Step complexity vs k (adaptive-safe algorithms)",
+                         {"k", "log2 k", "orig E[max steps]",
+                          "path E[max steps]", "path p95"});
+    for (const int k : bench::contention_sweep()) {
+      const auto orig = sim::run_le_many(
+          algo::sim_builder(algo::AlgorithmId::kRatRace), k, k,
+          bench::random_adversary(), kTrials, 21);
+      const auto path = sim::run_le_many(
+          algo::sim_builder(algo::AlgorithmId::kRatRacePath), k, k,
+          bench::random_adversary(), kTrials, 21);
+      steps.add_row(
+          {support::Table::num(static_cast<std::size_t>(k)),
+           support::Table::num(
+               static_cast<std::size_t>(support::log2_ceil(
+                   static_cast<std::uint64_t>(std::max(2, k))))),
+           bench::fmt_mean_ci(orig.max_steps),
+           bench::fmt_mean_ci(path.max_steps),
+           support::Table::num(path.max_steps.quantile(0.95), 1)});
+    }
+    steps.print();
+  }
+
+  {
+    support::Table claim("Claim 3.2: P(> c log n processes in log n leaves)",
+                         {"n", "limit 2 log n", "limit 4 log n",
+                          "paper bound 1/n^2"});
+    for (const int n : {64, 256, 1024}) {
+      const int log_n = support::log2_ceil(static_cast<std::uint64_t>(n));
+      claim.add_row(
+          {support::Table::num(static_cast<std::size_t>(n)),
+           support::Table::num(leaf_overload_rate(n, 2 * log_n, 4000, 5), 4),
+           support::Table::num(leaf_overload_rate(n, 4 * log_n, 4000, 5), 4),
+           support::Table::num(1.0 / (static_cast<double>(n) * n), 6)});
+    }
+    claim.print();
+  }
+
+  {
+    // D4: elimination-path length vs overflow.  Push exactly `entrants`
+    // processes into one path of length f * log2(n) and count forwards.
+    support::Table ablation(
+        "D4 ablation: path length factor vs overflow into backup",
+        {"entrants", "len = 2 log n", "len = 4 log n", "len = 8 log n"});
+    constexpr int n = 256;
+    const int log_n = support::log2_ceil(n);
+    for (const int entrants : {log_n, 2 * log_n, 4 * log_n}) {
+      std::vector<std::string> row = {
+          support::Table::num(static_cast<std::size_t>(entrants))};
+      for (const int factor : {2, 4, 8}) {
+        int forwards = 0;
+        constexpr int kTrials = 400;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          sim::Kernel kernel;
+          P::Arena arena(kernel.memory());
+          auto path = std::make_shared<algo::ElimPath<P>>(
+              arena, factor * log_n);
+          auto fwd = std::make_shared<int>(0);
+          for (int pid = 0; pid < entrants; ++pid) {
+            kernel.add_process(
+                [path, fwd](sim::Context& ctx) {
+                  if (path->run(ctx) == algo::ChainOutcome::kForward) ++*fwd;
+                },
+                std::make_unique<support::PrngSource>(
+                    support::derive_seed(trial, pid)));
+          }
+          sim::UniformRandomAdversary adversary(
+              support::derive_seed(trial, 888));
+          kernel.run(adversary);
+          forwards += *fwd;
+        }
+        row.push_back(support::Table::num(
+            static_cast<double>(forwards) / kTrials, 3));
+      }
+      ablation.add_row(row);
+    }
+    ablation.print();
+  }
+
+  std::printf(
+      "\nReading: the ratio column is the paper's n^3 -> n improvement; "
+      "step columns grow with log k for both variants;\nclaim-3.2 rates sit "
+      "at/below 1/n^2; 4 log n paths see no overflow at the loads Claim 3.2 "
+      "guarantees.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment E3 (Section 2.3 / Theorem 2.4): sifting-based election.
+//  * Survivor decay: after round i of sifting, ~n^((1-eps)^i) processes
+//    survive (the Alistarh-Aspnes claim behind the O(log log n) bound).
+//  * The non-adaptive sift chain's steps grow like log log n.
+//  * The cascade is adaptive: its steps track log log k even when the object
+//    is built for much larger n.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "algo/chain.hpp"
+#include "algo/group_elect.hpp"
+#include "algo/registry.hpp"
+#include "bench_util.hpp"
+#include "sim/kernel.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+using namespace rts;
+using P = algo::SimPlatform;
+
+/// Measures survivors after each sift round for contention k.
+std::vector<double> survivor_decay(int k, int trials, std::uint64_t seed0) {
+  const auto schedule = algo::sift_schedule(k);
+  std::vector<support::Accumulator> per_round(schedule.size());
+  for (int trial = 0; trial < trials; ++trial) {
+    sim::Kernel kernel;
+    P::Arena arena(kernel.memory());
+    std::vector<std::shared_ptr<algo::SiftGroupElect<P>>> rounds;
+    rounds.reserve(schedule.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      rounds.push_back(
+          std::make_shared<algo::SiftGroupElect<P>>(arena, schedule[i]));
+    }
+    auto survivors =
+        std::make_shared<std::vector<int>>(schedule.size(), 0);
+    for (int pid = 0; pid < k; ++pid) {
+      kernel.add_process(
+          [&rounds, survivors](sim::Context& ctx) {
+            for (std::size_t i = 0; i < rounds.size(); ++i) {
+              if (!rounds[i]->elect(ctx)) return;
+              ++(*survivors)[i];
+            }
+          },
+          std::make_unique<support::PrngSource>(support::derive_seed(
+              support::derive_seed(seed0, trial), pid)));
+    }
+    sim::UniformRandomAdversary adversary(
+        support::derive_seed(seed0, 5000 + trial));
+    kernel.run(adversary);
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      per_round[i].add((*survivors)[i]);
+    }
+  }
+  std::vector<double> means;
+  means.reserve(per_round.size());
+  for (const auto& acc : per_round) means.push_back(acc.mean());
+  return means;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3: sifting elections (AA chain + Thm 2.4 cascade)",
+                "survivors ~ n^((1-eps)^i) per round; O(log log n) steps "
+                "non-adaptive; O(log log k) adaptive (Theorem 2.4)");
+
+  {
+    support::Table decay("Survivors after each sift round (k = 1024)",
+                         {"round", "p_i", "E[survivors]",
+                          "bound 2*sqrt(prev)"});
+    const int k = 1024;
+    const auto schedule = algo::sift_schedule(k);
+    const auto means = survivor_decay(k, 150, 7);
+    double prev = k;
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      decay.add_row({support::Table::num(i + 1),
+                     support::Table::num(schedule[i], 4),
+                     support::Table::num(means[i], 1),
+                     support::Table::num(2.0 * std::sqrt(prev) + 1.0, 1)});
+      prev = means[i];
+    }
+    decay.print();
+  }
+
+  constexpr int kTrials = 120;
+  {
+    support::Table steps("Sift chain (built for n = k): steps vs k",
+                         {"k", "loglog k", "E[max steps]", "p95",
+                          "violations"});
+    const auto builder = algo::sim_builder(algo::AlgorithmId::kSiftChain);
+    for (const int k : bench::contention_sweep()) {
+      const auto agg = sim::run_le_many(
+          builder, k, k, bench::random_adversary(), kTrials, 11);
+      steps.add_row({support::Table::num(static_cast<std::size_t>(k)),
+                     support::Table::num(support::log_log2(k), 2),
+                     bench::fmt_mean_ci(agg.max_steps),
+                     support::Table::num(agg.max_steps.quantile(0.95), 1),
+                     support::Table::num(
+                         static_cast<std::size_t>(agg.violation_runs))});
+    }
+    steps.print();
+  }
+
+  {
+    // Adaptivity: object built for n = 4096, contention swept.  The cascade
+    // must track k, the plain chain pays its n-sized schedule regardless.
+    support::Table adaptive(
+        "Adaptivity at fixed n = 4096: cascade (Thm 2.4) vs plain sift chain",
+        {"k", "cascade E[max steps]", "chain E[max steps]", "loglog k"});
+    constexpr int n = 4096;
+    const auto cascade = algo::sim_builder(algo::AlgorithmId::kSiftCascade);
+    const auto chain = algo::sim_builder(algo::AlgorithmId::kSiftChain);
+    for (const int k : {2, 4, 8, 16, 64, 256, 1024, 4096}) {
+      const auto agg_cascade = sim::run_le_many(
+          cascade, n, k, bench::random_adversary(), kTrials, 13);
+      const auto agg_chain = sim::run_le_many(
+          chain, n, k, bench::random_adversary(), kTrials, 13);
+      adaptive.add_row({support::Table::num(static_cast<std::size_t>(k)),
+                        bench::fmt_mean_ci(agg_cascade.max_steps),
+                        bench::fmt_mean_ci(agg_chain.max_steps),
+                        support::Table::num(support::log_log2(k), 2)});
+    }
+    adaptive.print();
+  }
+
+  std::printf(
+      "\nReading: survivors collapse doubly-exponentially; chain steps grow "
+      "with n, cascade steps track k\n(the gap at small k is Theorem 2.4's "
+      "point).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment E6 (Theorem 5.1): executing the covering-argument lower bound.
+//
+// For each n, the driver runs Lemma 5.4's construction against real
+// algorithms from this library (coins fixed) and reports the number of
+// registers simultaneously covered at round n-4.  The theorem guarantees at
+// least log2(n) - 1; the table witnesses it per algorithm and seed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "lowerbound/covering.hpp"
+#include "support/math.hpp"
+
+int main() {
+  using namespace rts;
+  bench::banner("E6: Omega(log n) space lower bound, executed",
+                "any nondeterministic solo-terminating leader election "
+                "covers >= log2(n) - 1 registers at round n-4 (Theorem 5.1)");
+
+  const algo::AlgorithmId algorithms[] = {
+      algo::AlgorithmId::kLogStarChain,
+      algo::AlgorithmId::kRatRacePath,
+      algo::AlgorithmId::kTournament,
+  };
+
+  support::Table table("Covering construction results",
+                       {"algorithm", "n", "bound log2(n)-1",
+                        "covered registers", "groups m_{n-4}",
+                        "4(log n -1)", "steps", "ok"});
+  for (const auto id : algorithms) {
+    for (const int n : {8, 16, 32, 64, 128}) {
+      const lb::CoveringResult r = lb::run_covering_argument(id, n, 1);
+      table.add_row(
+          {algo::info(id).name, support::Table::num(static_cast<std::size_t>(n)),
+           support::Table::num(static_cast<std::size_t>(r.paper_bound)),
+           support::Table::num(static_cast<std::size_t>(r.covered_registers)),
+           support::Table::num(static_cast<std::size_t>(r.final_groups)),
+           support::Table::num(static_cast<std::size_t>(
+               4 * (support::log2_ceil(static_cast<std::uint64_t>(n)) - 1))),
+           support::Table::num(static_cast<std::size_t>(r.total_steps)),
+           r.ok ? "yes" : ("NO: " + r.error)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: 'covered registers' >= the bound column in every row -- "
+      "the constructive lower bound realized\nagainst this library's own "
+      "algorithms.  m_{n-4} matches Claim 5.5's 4(log n - 1) prediction.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared scaffolding for the experiment binaries: standard contention
+// sweeps, adversary factories, and headline printing.  Each bench binary
+// regenerates one table of EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/adversaries.hpp"
+#include "sim/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace rts::bench {
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n######################################################\n");
+  std::printf("# %s\n", experiment);
+  std::printf("# Paper claim: %s\n", claim);
+  std::printf("######################################################\n");
+}
+
+/// Weak-adversary factory used throughout: uniformly random scheduling,
+/// which is oblivious (hence also location-oblivious and R/W-oblivious).
+inline sim::AdversaryFactory random_adversary() {
+  return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
+    return std::make_unique<sim::UniformRandomAdversary>(seed);
+  };
+}
+
+inline sim::AdversaryFactory round_robin_adversary() {
+  return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
+    return std::make_unique<sim::RoundRobinAdversary>();
+  };
+}
+
+/// The default contention sweep: powers of two through the simulator's
+/// comfortable range.
+inline std::vector<int> contention_sweep() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+inline std::string fmt_mean_ci(const support::Accumulator& acc) {
+  return support::Table::num(acc.mean(), 2) + " +-" +
+         support::Table::num(acc.ci95_half_width(), 2);
+}
+
+}  // namespace rts::bench

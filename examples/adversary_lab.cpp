@@ -1,0 +1,163 @@
+// Adversary lab: run any algorithm from the registry under a chosen
+// scheduler in the simulator and inspect what happens -- step counts per
+// process, space touched, and the safety checks.  This is the library's
+// research-facing entry point.
+//
+//   ./build/examples/adversary_lab [algorithm] [k] [adversary] [seed]
+//   ./build/examples/adversary_lab --list
+//   ./build/examples/adversary_lab --trace [algorithm] [k] [seed]
+//
+//   algorithm: logstar | sift | cascade | ratrace | ratrace-path |
+//              combined-logstar | combined-sift | tournament | aa
+//   adversary: random | roundrobin | sequential | attack
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "algo/attacks.hpp"
+#include "algo/registry.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rts;
+
+void list_algorithms() {
+  support::Table table("algorithms",
+                       {"name", "expected steps", "adversary model",
+                        "description"});
+  for (const algo::AlgoInfo& info : algo::all_algorithms()) {
+    table.add_row({info.name, info.complexity, info.adversary,
+                   info.description});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int trace_run(int argc, char** argv) {
+  const std::string algo_name = argc > 2 ? argv[2] : "logstar";
+  const int k = argc > 3 ? std::atoi(argv[3]) : 3;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const auto id = algo::parse_algorithm(algo_name);
+  if (!id.has_value() || k < 1 || k > 64) {
+    std::fprintf(stderr, "usage: %s --trace [algorithm] [k 1..64] [seed]\n",
+                 argv[0]);
+    return 1;
+  }
+  sim::Kernel::Options options;
+  options.track_events = true;
+  sim::Kernel kernel(options);
+  const auto built = algo::sim_builder(*id)(kernel, k);
+  for (int pid = 0; pid < k; ++pid) {
+    kernel.add_process([&built](sim::Context& ctx) { built.elect(ctx); },
+                       std::make_unique<support::PrngSource>(
+                           support::derive_seed(seed, pid)));
+  }
+  sim::UniformRandomAdversary adversary(seed);
+  kernel.run(adversary);
+  std::printf("%s", sim::format_trace(kernel, 120).c_str());
+  std::printf("total steps: %llu\n",
+              static_cast<unsigned long long>(kernel.total_steps()));
+
+  support::Table usage("space and traffic by component",
+                       {"component", "registers", "reads", "writes"});
+  for (const auto& row : kernel.memory().usage_by_prefix()) {
+    usage.add_row({row.prefix, support::Table::num(row.registers),
+                   support::Table::num(static_cast<std::size_t>(row.reads)),
+                   support::Table::num(static_cast<std::size_t>(row.writes))});
+  }
+  usage.print();
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    list_algorithms();
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) {
+    return trace_run(argc, argv);
+  }
+
+  const std::string algo_name = argc > 1 ? argv[1] : "combined-logstar";
+  const int k = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::string sched = argc > 3 ? argv[3] : "random";
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  const auto id = algo::parse_algorithm(algo_name);
+  if (!id.has_value() || k < 1 || k > 4096) {
+    std::fprintf(stderr,
+                 "usage: %s [algorithm] [k 1..4096] "
+                 "[random|roundrobin|sequential|attack] [seed]\n"
+                 "       %s --list\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  std::printf("algorithm : %s (%s, vs %s adversary)\n",
+              algo::info(*id).name, algo::info(*id).complexity,
+              algo::info(*id).adversary);
+  std::printf("contention: k = %d, scheduler = %s, seed = %llu\n", k,
+              sched.c_str(), static_cast<unsigned long long>(seed));
+
+  if (sched == "attack") {
+    const algo::AttackResult r = algo::run_attack(
+        *id, algo::AttackKind::kGroupElectionNeutralizer, k, seed);
+    std::printf("\nadaptive attack (group-election neutralizer):\n");
+    std::printf("  max individual steps : %llu\n",
+                static_cast<unsigned long long>(r.max_steps));
+    std::printf("  total steps          : %llu\n",
+                static_cast<unsigned long long>(r.total_steps));
+    std::printf("  winners              : %d\n", r.winners);
+    for (const auto& v : r.violations) std::printf("  VIOLATION: %s\n", v.c_str());
+    return r.violations.empty() ? 0 : 1;
+  }
+
+  std::unique_ptr<sim::Adversary> adversary;
+  if (sched == "roundrobin") {
+    adversary = std::make_unique<sim::RoundRobinAdversary>();
+  } else if (sched == "sequential") {
+    adversary = std::make_unique<sim::SequentialAdversary>();
+  } else {
+    adversary = std::make_unique<sim::UniformRandomAdversary>(seed);
+  }
+
+  const sim::LeRunResult r =
+      sim::run_le_once(algo::sim_builder(*id), k, k, *adversary, seed);
+
+  std::printf("\nresults:\n");
+  std::printf("  winner pid           : ");
+  for (int pid = 0; pid < k; ++pid) {
+    if (r.outcomes[static_cast<std::size_t>(pid)] == sim::Outcome::kWin) {
+      std::printf("%d", pid);
+    }
+  }
+  std::printf("\n  max individual steps : %llu\n",
+              static_cast<unsigned long long>(r.max_steps));
+  std::printf("  total steps          : %llu\n",
+              static_cast<unsigned long long>(r.total_steps));
+  std::printf("  registers declared   : %zu\n", r.declared_registers);
+  std::printf("  registers touched    : %zu\n", r.regs_touched);
+
+  support::Table per_proc("per-process", {"pid", "steps", "outcome"});
+  for (int pid = 0; pid < std::min(k, 32); ++pid) {
+    const auto outcome = r.outcomes[static_cast<std::size_t>(pid)];
+    per_proc.add_row(
+        {support::Table::num(static_cast<std::size_t>(pid)),
+         support::Table::num(
+             static_cast<std::size_t>(r.steps[static_cast<std::size_t>(pid)])),
+         outcome == sim::Outcome::kWin
+             ? "WIN"
+             : (outcome == sim::Outcome::kLose ? "lose" : "-")});
+  }
+  per_proc.print();
+  if (k > 32) std::printf("(first 32 processes shown)\n");
+
+  for (const auto& v : r.violations) std::printf("VIOLATION: %s\n", v.c_str());
+  return r.violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Adaptive-adversary attack drivers (the executions behind the paper's
+// Section-4 motivation: "an adaptive adversary can find a schedule where
+// processes need Omega(k) steps to complete" the weak-adversary algorithms).
+//
+// An adaptive adversary knows the entire past execution including coin
+// flips, so it can reconstruct every process's exact program position.  The
+// drivers below do that reconstruction through the published stage tags
+// (Kernel::stage) and drive the kernel through its single-step API.
+//
+// Attack on the Figure-1 chain (and on anything embedding such chains):
+// force every group election to elect *everyone*, so only the splitters
+// shrink the cohort -- by exactly one process per stage:
+//   1. flush pending GE slot-reads immediately (the elected check happens
+//      before anything can write R[x+1]);
+//   2. grant GE flag-reads eagerly (everyone reads flag = 0);
+//   3. hold a GE flag-write of stage j until no live process is still
+//      "behind" stage j (it might still need to read that flag);
+//   4. hold GE slot-writes similarly and release them in ascending slot
+//      order, each immediately followed by its slot-read (rule 1) -- so a
+//      process writing R[x] reads R[x+1] before anyone can write it;
+//   5. everything else (splitters, 2-process elections) is granted
+//      round-robin -- which, pleasantly, drives the deterministic splitter
+//      into its worst case too: all k processes write X, then all read
+//      Y = 0, so *nobody* leaves via L and exactly one stops.
+// Result: the cohort shrinks by one per stage; the last survivor climbs
+// Theta(k) 2-process elections; individual step complexity Theta(k).
+//
+// Attack on sifting objects: grant all pending sift-reads before any
+// pending sift-write of the same stage (readers see 0 and are elected;
+// writers are elected by definition), with the same hold-until-arrived
+// discipline.  Again the sift eliminates nobody and the splitters do Theta(k)
+// rounds of work.
+//
+// Both attacks are *valid* adaptive adversaries against any algorithm; run
+// against the Section-4 combiner they are expected to degrade into O(log k)
+// executions, which is exactly Theorem 4.1's claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "sim/types.hpp"
+
+namespace rts::algo {
+
+struct AttackResult {
+  int k = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t total_steps = 0;
+  int winners = 0;
+  bool completed = true;               // false if the kernel limit was hit
+  std::vector<std::string> violations; // safety violations (must stay empty)
+};
+
+enum class AttackKind {
+  kGroupElectionNeutralizer,  // the combined rules 1-5 above
+  kRoundRobin,                // baseline for comparison (not an attack)
+};
+
+/// Runs the attack against `algorithm` built for n = k with k participants.
+AttackResult run_attack(AlgorithmId algorithm, AttackKind kind, int k,
+                        std::uint64_t seed);
+
+}  // namespace rts::algo

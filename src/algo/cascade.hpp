@@ -1,0 +1,137 @@
+// The adaptive O(log log k) leader election for the R/W-oblivious adversary
+// (Theorem 2.4).
+//
+// A single sifting chain sized for n gives O(log log n) -- adaptive in n,
+// not in k.  The paper's fix: a cascade of chain objects LE_0, LE_1, ...,
+// LE_m of doubly-exponentially increasing sizes n_i = 2^(2^(2^i)) (the last
+// one sized n).  In LE_i a process participates in only the first
+// Theta(log log n_i) = Theta(2^i) group elections; if it neither loses nor
+// stops at a splitter by then, it moves on to LE_{i+1}.  A process with
+// contention k resolves, in expectation, in the first object with
+// log log n_i = Theta(log log k), after O(sum_{j<=i} 2^j) = O(log log k)
+// steps.
+//
+// The winners of the cascade levels are funneled through a chain of
+// 2-process leader elections F_0..F_{m-1}: the winner of level i plays F_i
+// as side 0 (the level-m winner enters at F_{m-1} as side 1) and descends,
+// winning F_{i-1}, ..., F_0; the winner of F_0 wins the object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class SiftCascadeLe final : public ILeaderElect<P> {
+ public:
+  SiftCascadeLe(typename P::Arena arena, int n) {
+    RTS_REQUIRE(n >= 1, "cascade requires n >= 1");
+    // Level sizes 4, 16, 65536, ... capped at n; the last level is sized n.
+    std::vector<int> sizes;
+    for (int i = 0;; ++i) {
+      const int exponent = (i >= 3) ? 64 : (1 << (1 << i));  // 2^(2^i)
+      const std::int64_t size =
+          exponent >= 63 ? std::int64_t{1} << 62 : std::int64_t{1} << exponent;
+      if (size >= static_cast<std::int64_t>(n)) {
+        sizes.push_back(n);
+        break;
+      }
+      sizes.push_back(static_cast<int>(size));
+    }
+
+    levels_.reserve(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const int ni = std::max(2, sizes[i]);
+      const bool last = i + 1 == sizes.size();
+      // The level's chain: sifting stages from the schedule for n_i; the
+      // last level gets a full-length chain (dummy tail) so it can never
+      // forward.
+      const int schedule_len =
+          static_cast<int>(sift_schedule(ni).size());
+      const int chain_len = last ? std::max(n, schedule_len) : schedule_len;
+      // Stage bases keep each level's published positions globally ordered.
+      const auto stage_base = static_cast<std::uint32_t>(i) * 100000u;
+      auto chain = std::make_unique<GeChainLe<P>>(
+          arena, chain_len, sift_truncated_factory<P>(ni, stage_base),
+          stage_base);
+      levels_.push_back(Level{std::move(chain), last ? chain_len
+                                                     : schedule_len});
+    }
+
+    // Final 2-process chain F_0..F_{m-1} (empty when there is one level).
+    finals_.reserve(levels_.size() > 0 ? levels_.size() - 1 : 0);
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+      finals_.push_back(std::make_unique<Le2<P>>(
+          arena, static_cast<std::uint32_t>(0xf0000 + i)));
+    }
+  }
+
+  sim::Outcome elect(typename P::Context& ctx) override {
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      const ChainOutcome out =
+          levels_[i].chain->run(ctx, levels_[i].participation);
+      switch (out) {
+        case ChainOutcome::kLose:
+          return sim::Outcome::kLose;
+        case ChainOutcome::kWin:
+          return final_descent(ctx, i);
+        case ChainOutcome::kForward:
+          RTS_ASSERT_MSG(i + 1 < levels_.size(),
+                         "last cascade level must not forward");
+          continue;
+      }
+    }
+    RTS_ASSERT_MSG(false, "cascade fell through every level");
+    return sim::Outcome::kLose;
+  }
+
+  std::size_t declared_registers() const override {
+    std::size_t total = 0;
+    for (const auto& level : levels_) {
+      total += level.chain->declared_registers();
+    }
+    total += finals_.size() * Le2<P>::kRegisters;
+    return total;
+  }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+ private:
+  struct Level {
+    std::unique_ptr<GeChainLe<P>> chain;
+    int participation;  // stages a process may use before forwarding
+  };
+
+  sim::Outcome final_descent(typename P::Context& ctx, std::size_t level) {
+    if (finals_.empty()) return sim::Outcome::kWin;  // single level
+    std::size_t j;
+    int side;
+    if (level == levels_.size() - 1) {
+      j = finals_.size() - 1;  // last level's winner enters F_{m-1}, side 1
+      side = 1;
+    } else {
+      j = level;  // level-i winner plays F_i as side 0
+      side = 0;
+    }
+    for (;;) {
+      if (finals_[j]->elect(ctx, side) == sim::Outcome::kLose) {
+        return sim::Outcome::kLose;
+      }
+      if (j == 0) return sim::Outcome::kWin;
+      --j;
+      side = 1;
+    }
+  }
+
+  std::vector<Level> levels_;
+  std::vector<std::unique_ptr<Le2<P>>> finals_;
+};
+
+}  // namespace rts::algo

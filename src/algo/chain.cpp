@@ -1,0 +1,35 @@
+#include "algo/chain.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+#include "support/math.hpp"
+
+namespace rts::algo {
+
+int default_live_prefix(int n) {
+  const int log_n = support::log2_ceil(static_cast<std::uint64_t>(
+      n < 2 ? 2 : n));
+  const int prefix = 2 * log_n + 8;
+  return prefix < n ? prefix : n;
+}
+
+std::vector<double> sift_schedule(int n) {
+  std::vector<double> schedule;
+  double khat = static_cast<double>(n < 2 ? 2 : n);
+  // Survivor recurrence: with write probability p = khat^(-1/2) at most
+  // p*khat + 1/p = 2 sqrt(khat) processes survive in expectation; track a
+  // 2x-slack estimate and stop once the cohort is a small constant (the
+  // iteration's fixed point is at khat = 4, so stop above it).
+  while (khat > 8.0) {
+    schedule.push_back(1.0 / std::sqrt(khat));
+    khat = 2.0 * std::sqrt(khat);
+    RTS_ASSERT_MSG(schedule.size() <= 64, "sift schedule diverged");
+  }
+  // A final high-probability round so the last survivors resolve quickly.
+  schedule.push_back(0.5);
+  return schedule;
+}
+
+}  // namespace rts::algo

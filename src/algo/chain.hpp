@@ -1,0 +1,178 @@
+// Leader election from group elections (Section 2.1 of the paper).
+//
+// The chain consists of stages i = 0..length-1, each holding a GroupElect
+// GE_i, a deterministic splitter SP_i, and a 2-process leader election LE_i.
+// A participant p walks the chain:
+//   * if p is not elected in GE_i, p loses;
+//   * otherwise p plays SP_i: L -> lose, R -> continue to stage i+1,
+//     S -> p stops and climbs: it plays LE_i as the splitter winner (side 0)
+//     and then LE_{i-1}, ..., LE_0 as the descending winner (side 1), losing
+//     the election the first time it loses an LE, and winning the whole
+//     object if it wins LE_0.
+//
+// Invariant (from the paper's correctness sketch): if j > 0 processes enter
+// stage i, at most j-1 enter stage i+1 -- at least one elected process gets
+// S or L from the splitter -- so a chain of length n suffices for n
+// participants, and LE_i is entered only by the winner of SP_i (side 0) and
+// the winner of LE_{i+1} (side 1).
+//
+// run(ctx, max_stage) additionally supports *truncated participation*: a
+// process that passes `max_stage` stages without resolving returns kForward
+// instead of continuing.  Theorem 2.4's cascade uses this to bounce
+// unresolved processes to the next (bigger) object.
+//
+// Expected step complexity is O(Delta_{f-1}(k)) where f bounds the GE
+// performance parameter (Lemma 2.1): O(log* k) with Figure-1 GEs,
+// O(log log n) with the sifting schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/group_elect.hpp"
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "algo/splitter.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+enum class ChainOutcome : std::uint8_t { kWin, kLose, kForward };
+
+template <Platform P>
+class GeChainLe final : public ILeaderElect<P> {
+ public:
+  /// Builds GE_i for stage i (return DummyGroupElect for truncated tails).
+  using GeFactory = std::function<std::unique_ptr<IGroupElect<P>>(
+      typename P::Arena&, int index)>;
+
+  /// `stage_base` offsets all published stage indices, so that several
+  /// chains inside one object (the Theorem-2.4 cascade) remain
+  /// distinguishable to white-box adaptive drivers.
+  GeChainLe(typename P::Arena arena, int length, const GeFactory& factory,
+            std::uint32_t stage_base = 0) {
+    RTS_REQUIRE(length >= 1, "chain length must be positive");
+    stages_.reserve(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      auto ge = factory(arena, i);
+      ge_registers_ += ge->declared_registers();
+      const auto tag = stage_base + static_cast<std::uint32_t>(i);
+      stages_.push_back(Stage{
+          std::move(ge),
+          Splitter<P>(arena, tag),
+          Le2<P>(arena, tag),
+      });
+    }
+  }
+
+  sim::Outcome elect(typename P::Context& ctx) override {
+    const ChainOutcome out = run(ctx, static_cast<int>(stages_.size()));
+    RTS_ASSERT_MSG(out != ChainOutcome::kForward,
+                   "full-length chain cannot overflow: each stage resolves "
+                   "at least one process");
+    return out == ChainOutcome::kWin ? sim::Outcome::kWin
+                                     : sim::Outcome::kLose;
+  }
+
+  /// Walks at most `max_stage` stages; kForward if still unresolved after
+  /// passing them all.  max_stage must be <= length.
+  ChainOutcome run(typename P::Context& ctx, int max_stage) {
+    RTS_ASSERT(max_stage >= 1 &&
+               max_stage <= static_cast<int>(stages_.size()));
+    for (int i = 0; i < max_stage; ++i) {
+      Stage& stage = stages_[static_cast<std::size_t>(i)];
+      if (!stage.ge->elect(ctx)) return ChainOutcome::kLose;
+      switch (stage.sp.split(ctx)) {
+        case SplitResult::kLeft:
+          return ChainOutcome::kLose;
+        case SplitResult::kRight:
+          continue;
+        case SplitResult::kStop:
+          return climb(ctx, i);
+      }
+    }
+    return ChainOutcome::kForward;
+  }
+
+  std::size_t declared_registers() const override {
+    return ge_registers_ +
+           stages_.size() * (Splitter<P>::kRegisters + Le2<P>::kRegisters);
+  }
+
+  int length() const { return static_cast<int>(stages_.size()); }
+
+ private:
+  struct Stage {
+    std::unique_ptr<IGroupElect<P>> ge;
+    Splitter<P> sp;
+    Le2<P> le;
+  };
+
+  ChainOutcome climb(typename P::Context& ctx, int from) {
+    // As the winner of SP_from I am side 0 of LE_from; descending from a won
+    // LE_{j+1} I am side 1 of LE_j.
+    if (stages_[static_cast<std::size_t>(from)].le.elect(ctx, 0) ==
+        sim::Outcome::kLose) {
+      return ChainOutcome::kLose;
+    }
+    for (int j = from - 1; j >= 0; --j) {
+      if (stages_[static_cast<std::size_t>(j)].le.elect(ctx, 1) ==
+          sim::Outcome::kLose) {
+        return ChainOutcome::kLose;
+      }
+    }
+    return ChainOutcome::kWin;
+  }
+
+  std::vector<Stage> stages_;
+  std::size_t ge_registers_ = 0;
+};
+
+/// Stage factory for Theorem 2.3: the first `live_prefix` stages get Figure-1
+/// group elections, the rest are dummies (everyone elected).  With
+/// live_prefix = Theta(log n) the tail is reached with probability <= 1/n,
+/// and total chain space drops to O(n).
+template <Platform P>
+typename GeChainLe<P>::GeFactory fig1_truncated_factory(
+    int n, int live_prefix, std::uint32_t stage_base = 0) {
+  return [n, live_prefix, stage_base](
+             typename P::Arena& arena,
+             int index) -> std::unique_ptr<IGroupElect<P>> {
+    if (index < live_prefix) {
+      return std::make_unique<Fig1GroupElect<P>>(
+          arena, n, stage_base + static_cast<std::uint32_t>(index));
+    }
+    return std::make_unique<DummyGroupElect<P>>();
+  };
+}
+
+/// The default live prefix: 2*ceil(log2 n) + 8 Figure-1 stages.
+int default_live_prefix(int n);
+
+/// Sifting write-probability schedule sized for up to `n` participants:
+/// p_i = khat_i^{-1/2} with khat_1 = n and khat_{i+1} = 3 sqrt(khat_i),
+/// stopping once khat <= 4.  Length is Theta(log log n).
+std::vector<double> sift_schedule(int n);
+
+/// Stage factory for the Alistarh-Aspnes style chain: sifting stages for the
+/// schedule prefix, dummies afterwards.
+template <Platform P>
+typename GeChainLe<P>::GeFactory sift_truncated_factory(
+    int n, std::uint32_t stage_base = 0) {
+  auto schedule = std::make_shared<std::vector<double>>(sift_schedule(n));
+  return [schedule, stage_base](
+             typename P::Arena& arena,
+             int index) -> std::unique_ptr<IGroupElect<P>> {
+    if (index < static_cast<int>(schedule->size())) {
+      return std::make_unique<SiftGroupElect<P>>(
+          arena, (*schedule)[static_cast<std::size_t>(index)],
+          stage_base + static_cast<std::uint32_t>(index));
+    }
+    return std::make_unique<DummyGroupElect<P>>();
+  };
+}
+
+}  // namespace rts::algo

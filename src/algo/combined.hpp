@@ -1,0 +1,115 @@
+// Adversary-independent combination (Section 4, Theorem 4.1).
+//
+// Runs the space-efficient RatRace and a weak-adversary algorithm A in
+// parallel, round-robin per shared-memory step (odd steps RatRace, even
+// steps A), so the combination costs O(min(RatRace, A)) steps against each
+// adversary class: O(log k) vs the adaptive adversary and O(C_A(k)) vs the
+// weak adversary A was designed for.
+//
+// Combination rules (verbatim from the paper):
+//   1. Winning either execution stops the other; the winner plays LE_top
+//      (RatRace winner = side 0, A winner = side 1); winning LE_top wins.
+//   2. Losing RatRace stops A and loses.
+//   3. Losing A loses only if the process has not yet won any (deterministic
+//      or randomized) splitter in RatRace; otherwise it abandons A and
+//      continues RatRace alone.  (Without rule 3 two processes can eliminate
+//      each other across the two structures and nobody wins -- the
+//      regression test combined.Rule3 demonstrates this.)
+//
+// Step interleaving runs each sub-algorithm on its own child fiber: after a
+// child completes one shared-memory operation it yields back to the
+// coordinator, which resumes the other child.  From the kernel's (or
+// hardware's) perspective the process simply issues the two executions'
+// operations alternately.  Child fibers are abandoned (not unwound) when a
+// rule resolves the election; sub-algorithms therefore must not hold owning
+// heap state across operations, which holds for every algorithm in this
+// library that the combiner wraps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "algo/ratrace.hpp"
+#include "algo/stages.hpp"
+#include "fiber/fiber.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class CombinedLe final : public ILeaderElect<P> {
+ public:
+  CombinedLe(typename P::Arena arena, int n,
+             std::unique_ptr<ILeaderElect<P>> algo_a)
+      : ratrace_(arena, n),
+        algo_a_(std::move(algo_a)),
+        le_top_(arena, 0xffffu) {
+    RTS_REQUIRE(algo_a_ != nullptr, "combined: weak-adversary algorithm null");
+  }
+
+  sim::Outcome elect(typename P::Context& ctx) override {
+    using sim::Outcome;
+    Outcome rr_out = Outcome::kUnknown;
+    Outcome a_out = Outcome::kUnknown;
+
+    // Child contexts are created after the fibers (they reference them), but
+    // the fiber bodies run only on first resume, by which time the optionals
+    // are engaged.
+    std::optional<typename P::Context> rr_ctx;
+    std::optional<typename P::Context> a_ctx;
+    fiber::Fiber rr_fib([&] { rr_out = ratrace_.elect(*rr_ctx); });
+    fiber::Fiber a_fib([&] { a_out = algo_a_->elect(*a_ctx); });
+    rr_ctx.emplace(P::child_context(ctx, rr_fib));
+    a_ctx.emplace(P::child_context(ctx, a_fib));
+    rr_ctx->set_yield_after_op(&ctx.exec_slot());
+    a_ctx->set_yield_after_op(&ctx.exec_slot());
+    rr_fib.set_return_to(&ctx.exec_slot());
+    a_fib.set_return_to(&ctx.exec_slot());
+
+    bool rr_turn = true;  // odd steps RatRace, even steps A
+    bool a_abandoned = false;
+
+    for (;;) {
+      // Rule 1: a win in either execution goes to LE_top.
+      if (rr_out == Outcome::kWin) return play_top(ctx, 0);
+      if (a_out == Outcome::kWin) return play_top(ctx, 1);
+      // Rule 2: losing RatRace loses outright.
+      if (rr_out == Outcome::kLose) return Outcome::kLose;
+      // Rule 3: losing A loses only without a splitter win in RatRace.
+      if (a_out == Outcome::kLose && !a_abandoned) {
+        if (!ratrace_.won_splitter(ctx.pid())) return Outcome::kLose;
+        a_abandoned = true;
+      }
+
+      const bool a_available =
+          !a_abandoned && a_out == Outcome::kUnknown && !a_fib.finished();
+      const bool step_rr = rr_turn || !a_available;
+      rr_turn = !rr_turn;
+      fiber::Fiber& child = step_rr ? rr_fib : a_fib;
+      RTS_ASSERT_MSG(!child.finished(), "combined: resuming finished child");
+      fiber::switch_context(ctx.exec_slot(), child);
+      // The child either completed exactly one shared-memory op and yielded,
+      // or ran to completion and set its outcome.
+    }
+  }
+
+  std::size_t declared_registers() const override {
+    return ratrace_.declared_registers() + algo_a_->declared_registers() +
+           Le2<P>::kRegisters;
+  }
+
+ private:
+  sim::Outcome play_top(typename P::Context& ctx, int side) {
+    ctx.publish_stage(stage::make(stage::kTop, 1));
+    return le_top_.elect(ctx, side);
+  }
+
+  RatRacePath<P> ratrace_;
+  std::unique_ptr<ILeaderElect<P>> algo_a_;
+  Le2<P> le_top_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,58 @@
+// Randomized wait-free 2-process binary (actually multivalued) consensus
+// from the 2-process leader election -- the equivalence the paper's
+// introduction states ("in systems with two processes, a consensus protocol
+// can be implemented deterministically from a TAS object and vice versa"),
+// and the object to which Theorem 6.1's time lower bound transfers.
+//
+// Protocol: side s writes its proposal into its single-writer register, then
+// plays the leader election; the winner decides its own proposal, the loser
+// adopts the winner's.  Agreement is deterministic: losing implies having
+// observed the winner's election registers, which the winner wrote only
+// after publishing its proposal -- so the loser's read of the winner's
+// proposal register cannot return "absent".
+//
+// Cost: elect() + one write + (for the loser) one read; O(1) expected steps
+// against the adaptive adversary, 4 registers.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class TwoProcessConsensus {
+ public:
+  explicit TwoProcessConsensus(typename P::Arena arena) : le_(arena) {
+    proposal_[0] = arena.reg("cons.prop0");
+    proposal_[1] = arena.reg("cons.prop1");
+  }
+
+  /// `side` in {0, 1}, at most one caller per side, one call per process.
+  /// Returns the agreed value; all callers return the same value, and it is
+  /// one of the proposed values (validity).
+  std::uint64_t decide(typename P::Context& ctx, int side,
+                       std::uint64_t value) {
+    RTS_ASSERT(side == 0 || side == 1);
+    const auto s = static_cast<std::uint64_t>(side);
+    // +1 shifts the domain so 0 means "no proposal yet".
+    proposal_[s].write(ctx, value + 1);
+    if (le_.elect(ctx, side) == sim::Outcome::kWin) return value;
+    const std::uint64_t other = proposal_[1 - s].read(ctx);
+    RTS_ASSERT_MSG(other != 0,
+                   "loser must observe the winner's proposal: the winner "
+                   "wrote it before taking any election step");
+    return other - 1;
+  }
+
+  static constexpr std::size_t kRegisters = 2 + Le2<P>::kRegisters;
+
+ private:
+  typename P::Reg proposal_[2];
+  Le2<P> le_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,80 @@
+// Elimination path (Section 3.2 of the paper) -- the Theta(n)-space
+// replacement for RatRace's backup grid.
+//
+// An elimination path of length L is a row of nodes, each holding a
+// deterministic splitter SP_t and a 2-process leader election LE_t.  A
+// process enters at node 0 and plays SP_t: L -> it loses; R -> it moves
+// right; S -> it stops and climbs left, winning LE_t (as side 0), then
+// LE_{t-1}, ..., LE_0 (as side 1); the winner of LE_0 wins the path.
+//
+// Claim 3.1: if at most L processes enter a path of length L, none falls off
+// the right end (each splitter passes at most k-1 of k entrants right).  A
+// process that does fall off -- possible only when entrants exceed L --
+// returns kForward, and the caller routes it to the next (longer) structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "algo/splitter.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class ElimPath {
+ public:
+  ElimPath(typename P::Arena arena, int length, std::uint32_t stage_base = 0) {
+    RTS_REQUIRE(length >= 1, "elimination path length must be positive");
+    nodes_.reserve(static_cast<std::size_t>(length));
+    for (int t = 0; t < length; ++t) {
+      const auto tag = stage_base + static_cast<std::uint32_t>(t);
+      nodes_.push_back(Node{Splitter<P>(arena, tag), Le2<P>(arena, tag)});
+    }
+  }
+
+  ChainOutcome run(typename P::Context& ctx) {
+    for (std::size_t t = 0; t < nodes_.size(); ++t) {
+      switch (nodes_[t].sp.split(ctx)) {
+        case SplitResult::kLeft:
+          return ChainOutcome::kLose;
+        case SplitResult::kRight:
+          continue;
+        case SplitResult::kStop:
+          return climb(ctx, t);
+      }
+    }
+    return ChainOutcome::kForward;  // fell off the right end
+  }
+
+  int length() const { return static_cast<int>(nodes_.size()); }
+
+  std::size_t declared_registers() const {
+    return nodes_.size() * (Splitter<P>::kRegisters + Le2<P>::kRegisters);
+  }
+
+ private:
+  struct Node {
+    Splitter<P> sp;
+    Le2<P> le;
+  };
+
+  ChainOutcome climb(typename P::Context& ctx, std::size_t from) {
+    if (nodes_[from].le.elect(ctx, 0) == sim::Outcome::kLose) {
+      return ChainOutcome::kLose;
+    }
+    for (std::size_t t = from; t-- > 0;) {
+      if (nodes_[t].le.elect(ctx, 1) == sim::Outcome::kLose) {
+        return ChainOutcome::kLose;
+      }
+    }
+    return ChainOutcome::kWin;
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,130 @@
+// Group elections (Section 2 of the paper).
+//
+// Fig1GroupElect -- the paper's Figure 1, for the location-oblivious
+// adversary: O(1) steps, O(log n) registers, performance parameter
+// f(k) <= 2 log k + 6 (Lemma 2.2).  Each participant that finds the flag
+// clear writes it, picks a random level x with Pr(x=i) = 2^-i (truncated at
+// ell = ceil(log2 n)), writes R[x], and is elected iff R[x+1] is still clear.
+// The *location* of lines 4-5 is the random choice a location-oblivious
+// adversary cannot see; the ops carry OpTags{random_location = true}.
+//
+// SiftGroupElect -- the Alistarh-Aspnes sifting step, for the R/W-oblivious
+// adversary: each participant writes a register with probability p (and is
+// elected) or reads it (elected iff it reads 0, i.e. before any write).
+// E[elected] <= p*k + 1/p.  Whether the single op is a read or a write is
+// the random choice an R/W-oblivious adversary cannot see; the op carries
+// OpTags{random_kind = true}.
+//
+// DummyGroupElect -- elects everyone with zero shared steps.  Used to
+// truncate chains: with probability 1 - 1/n only the first O(log n) group
+// elections matter (Theorem 2.3), so the tail can be dummies, which is what
+// brings the chain's space to O(n).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/platform.hpp"
+#include "algo/stages.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class Fig1GroupElect final : public IGroupElect<P> {
+ public:
+  /// `n`: the maximum number of participants; ell = max(1, ceil(log2 n)).
+  Fig1GroupElect(typename P::Arena arena, int n, std::uint32_t stage_index = 0)
+      : ell_(std::max(1, support::log2_ceil(static_cast<std::uint64_t>(
+                             std::max(2, n))))),
+        flag_(arena.reg("ge.flag")),
+        stage_index_(stage_index) {
+    slots_.reserve(static_cast<std::size_t>(ell_) + 1);
+    for (int i = 1; i <= ell_ + 1; ++i) {
+      slots_.push_back(arena.reg("ge.R[" + std::to_string(i) + "]"));
+    }
+  }
+
+  bool elect(typename P::Context& ctx) override {
+    ctx.publish_stage(stage::make(stage::kGeFlagRead, stage_index_));
+    if (flag_.read(ctx) == 1) return false;
+    ctx.publish_stage(stage::make(stage::kGeFlagWrite, stage_index_));
+    flag_.write(ctx, 1);
+    // Line 3: Pr(x = i) = 2^-i for i < ell, Pr(x = ell) = 2^-(ell-1).
+    const auto x = static_cast<std::uint16_t>(
+        ctx.geometric_trunc(static_cast<std::uint64_t>(ell_)));
+    sim::OpTags random_loc;
+    random_loc.random_location = true;
+    ctx.publish_stage(stage::make(stage::kGeSlotWrite, stage_index_, x));
+    slots_[x - 1].write(ctx, 1, random_loc);
+    ctx.publish_stage(stage::make(stage::kGeSlotRead, stage_index_,
+                                  static_cast<std::uint16_t>(x + 1)));
+    const bool elected = slots_[x].read(ctx, random_loc) == 0;
+    return elected;
+  }
+
+  std::size_t declared_registers() const override {
+    return static_cast<std::size_t>(ell_) + 2;  // R[1..ell+1] plus flag
+  }
+
+  int ell() const { return ell_; }
+
+ private:
+  int ell_;
+  typename P::Reg flag_;
+  std::vector<typename P::Reg> slots_;
+  std::uint32_t stage_index_;
+};
+
+template <Platform P>
+class SiftGroupElect final : public IGroupElect<P> {
+ public:
+  /// `write_prob` is quantized to kResolution steps.
+  SiftGroupElect(typename P::Arena arena, double write_prob,
+                 std::uint32_t stage_index = 0)
+      : reg_(arena.reg("sift.W")), stage_index_(stage_index) {
+    RTS_REQUIRE(write_prob > 0.0 && write_prob <= 1.0,
+                "sift write probability must be in (0, 1]");
+    threshold_ = static_cast<std::uint64_t>(write_prob *
+                                            static_cast<double>(kResolution));
+    if (threshold_ == 0) threshold_ = 1;
+  }
+
+  bool elect(typename P::Context& ctx) override {
+    const bool do_write = ctx.uniform_below(kResolution) < threshold_;
+    sim::OpTags random_kind;
+    random_kind.random_kind = true;
+    ctx.publish_stage(
+        stage::make(stage::kSift, stage_index_, do_write ? 1 : 0));
+    if (do_write) {
+      reg_.write(ctx, 1, random_kind);
+      return true;
+    }
+    return reg_.read(ctx, random_kind) == 0;
+  }
+
+  std::size_t declared_registers() const override { return 1; }
+
+  double write_prob() const {
+    return static_cast<double>(threshold_) / static_cast<double>(kResolution);
+  }
+
+  static constexpr std::uint64_t kResolution = 1 << 20;
+
+ private:
+  typename P::Reg reg_;
+  std::uint64_t threshold_;
+  std::uint32_t stage_index_;
+};
+
+template <Platform P>
+class DummyGroupElect final : public IGroupElect<P> {
+ public:
+  bool elect(typename P::Context&) override { return true; }
+  std::size_t declared_registers() const override { return 0; }
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,160 @@
+// Randomized wait-free 2-process leader election from O(1) registers with
+// O(1) expected steps against the adaptive adversary.
+//
+// The paper uses the Tromp-Vitanyi (2002) 2-process test-and-set as a black
+// box with exactly these guarantees.  We implement an equivalent object as a
+// round-stamped commit-adopt (graded agreement, Gafni 1998) loop with local
+// coins -- the classic conciliator + commit-adopt recipe from Aspnes'
+// modular-consensus framework -- because it admits a short safety argument
+// and is small enough to *model-check exhaustively* (tests/le2 does so over
+// every schedule x coin outcome to a significant depth).
+//
+// Object interface: two static sides, 0 and 1; each side calls elect(ctx,
+// side) at most once.  At most one call returns kWin; in a crash-free
+// execution where every participant finishes, exactly one call wins; a solo
+// participant always wins (deterministically, in <= 8 steps).
+//
+// Protocol.  Each side s owns one single-writer register REG[s] holding a
+// packed tuple (round r >= 1, phase in {A, B}, value v in {0, 1}, agree bit).
+// `value` is the side this process currently believes should win.  Initially
+// each side proposes itself.  Round r of side s:
+//
+//   A:  write (r, A, v);  read o := REG[1-s]
+//       - o.round > r  -> adopt: v := o.value, r := o.round, restart round
+//       - agree := (o.round < r) || (o.value == v)
+//   B:  write (r, B, v, agree);  read o := REG[1-s]
+//       - o.round > r  -> adopt: v := o.value, r := o.round, continue
+//       - o.round < r  -> COMMIT v   (the laggard must pass through round r
+//                          and will then adopt v: our register already shows
+//                          (r, B, v, agree), and a same-round conflicting
+//                          value with the agree bit set forces adoption)
+//       - o.round == r, o.value == v -> COMMIT v   (values of a side are
+//                          fixed within a round, so the other side computed
+//                          agree = true as well and commits or adopts v)
+//       - o.round == r, o.value != v:
+//            * o is phase B with o.agree set -> the other side may commit its
+//              value, so adopt: v := o.value
+//            * otherwise -> conciliate: v := coin()
+//         advance r := r + 1.
+//
+// Safety sketch (two sides cannot commit different values): a side commits v
+// at round r only if, at its phase-B read, the other register showed round
+// < r, or round r with the same value.  Conflicting same-round commits would
+// require each register to show the other's value -- but a side's value is
+// fixed within a round, contradiction.  A commit-then-overtake conflict is
+// impossible because rounds advance one at a time (adoption jumps exactly to
+// the observed round): to pass round r the laggard reads the committer's
+// frozen register (r, B, v, agree=1); with a conflicting value it adopts v,
+// with value v it commits v.  The bounded exhaustive model checker verifies
+// precisely this invariant over every interleaving it can reach.
+//
+// Termination: once both sides' values agree -- which the conciliator coin
+// achieves with probability >= 1/2 per round independently of the schedule,
+// and adoption achieves deterministically -- the next completed round
+// commits.  A solo run commits in its first completed round.  Hence O(1)
+// expected steps even against the adaptive adversary, and deterministic
+// termination in every fair execution (nondeterministic solo termination in
+// the sense of [FHS98] holds a fortiori).
+#pragma once
+
+#include <cstdint>
+
+#include "algo/platform.hpp"
+#include "algo/stages.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class Le2 {
+ public:
+  explicit Le2(typename P::Arena arena, std::uint32_t stage_index = 0)
+      : stage_index_(stage_index) {
+    reg_[0] = arena.reg("le2.R0");
+    reg_[1] = arena.reg("le2.R1");
+  }
+
+  /// `side` must be 0 or 1; each side may call elect at most once.
+  sim::Outcome elect(typename P::Context& ctx, int side) {
+    RTS_ASSERT(side == 0 || side == 1);
+    const auto s = static_cast<std::uint64_t>(side);
+    std::uint64_t r = 1;
+    std::uint64_t v = s;  // propose myself as the winner
+
+    for (;;) {
+      RTS_ASSERT_MSG(r < (1ULL << 40), "le2: runaway round counter");
+
+      // ---- Phase A: propose.
+      ctx.publish_stage(stage::make(stage::kLe2, stage_index_, 1));
+      reg_[s].write(ctx, pack(r, kPhaseA, v, 0));
+      ctx.publish_stage(stage::make(stage::kLe2, stage_index_, 2));
+      const Snapshot a = unpack(reg_[1 - s].read(ctx));
+      if (a.round > r) {  // behind: adopt and re-run their round
+        v = a.value;
+        r = a.round;
+        continue;
+      }
+      const bool agree = a.round < r || a.value == v;
+
+      // ---- Phase B: grade.
+      ctx.publish_stage(stage::make(stage::kLe2, stage_index_, 3));
+      reg_[s].write(ctx, pack(r, kPhaseB, v, agree ? 1 : 0));
+      ctx.publish_stage(stage::make(stage::kLe2, stage_index_, 4));
+      const Snapshot b = unpack(reg_[1 - s].read(ctx));
+      if (b.round > r) {
+        v = b.value;
+        r = b.round;
+        continue;
+      }
+      if (b.round < r) {
+        // The other side is behind (or absent): safe to decide -- it must
+        // pass through round r and will adopt v from our frozen register.
+        return decide(v, s);
+      }
+      // Same round.
+      if (b.value == v) return decide(v, s);
+      if (b.phase == kPhaseB && b.agree != 0) {
+        v = b.value;  // the other side may commit its value: adopt it
+      } else {
+        v = ctx.flip();  // conciliate
+      }
+      ++r;
+    }
+  }
+
+  static constexpr std::size_t kRegisters = 2;
+
+ private:
+  static constexpr std::uint64_t kPhaseA = 0;
+  static constexpr std::uint64_t kPhaseB = 1;
+
+  struct Snapshot {
+    std::uint64_t round = 0;  // 0 = other side has not arrived
+    std::uint64_t phase = kPhaseA;
+    std::uint64_t value = 0;
+    std::uint64_t agree = 0;
+  };
+
+  static std::uint64_t pack(std::uint64_t round, std::uint64_t phase,
+                            std::uint64_t value, std::uint64_t agree) {
+    return (round << 3) | (phase << 2) | (value << 1) | agree;
+  }
+
+  static Snapshot unpack(std::uint64_t bits) {
+    Snapshot snap;
+    snap.round = bits >> 3;
+    snap.phase = (bits >> 2) & 1;
+    snap.value = (bits >> 1) & 1;
+    snap.agree = bits & 1;
+    return snap;
+  }
+
+  static sim::Outcome decide(std::uint64_t winner_side, std::uint64_t my_side) {
+    return winner_side == my_side ? sim::Outcome::kWin : sim::Outcome::kLose;
+  }
+
+  typename P::Reg reg_[2];
+  std::uint32_t stage_index_;
+};
+
+}  // namespace rts::algo

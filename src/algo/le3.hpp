@@ -1,0 +1,46 @@
+// 3-process leader election from two 2-process leader elections, exactly as
+// RatRace's tree nodes need it (Alistarh et al. 2010): the three statically
+// distinguished contenders of a node are
+//   role 0: the process that stopped at (won the splitter of) this node,
+//   role 1: the winner propagated from the node's left/first child,
+//   role 2: the winner propagated from the node's right/second child.
+//
+// Roles 0 and 1 first play LE2 `a`; the survivor plays role 2 in LE2 `b`.
+// At most one process holds each role, so each LE2 side has at most one
+// caller, as required.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class Le3 {
+ public:
+  explicit Le3(typename P::Arena arena, std::uint32_t stage_index = 0)
+      : a_(arena, stage_index), b_(arena, stage_index) {}
+
+  /// `role` in {0, 1, 2}; at most one caller per role, one call per process.
+  sim::Outcome elect(typename P::Context& ctx, int role) {
+    RTS_ASSERT(role >= 0 && role <= 2);
+    if (role <= 1) {
+      if (a_.elect(ctx, role) == sim::Outcome::kLose) {
+        return sim::Outcome::kLose;
+      }
+      return b_.elect(ctx, 0);
+    }
+    return b_.elect(ctx, 1);
+  }
+
+  static constexpr std::size_t kRegisters = 2 * Le2<P>::kRegisters;
+
+ private:
+  Le2<P> a_;
+  Le2<P> b_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,65 @@
+// The Platform concept: the contract every algorithm template is written
+// against, so that one implementation runs both under the adversarial
+// simulator (SimPlatform) and on real hardware threads (HwPlatform).
+//
+// A platform provides:
+//   * Reg    -- an atomic multi-reader multi-writer register handle with
+//               read(ctx)/write(ctx, v); OpTags mark randomly-decided aspects
+//               of the op (what the weaker adversaries may not see).
+//   * Arena  -- allocates registers (copyable handle, stable storage).
+//   * Context-- per-process handle: pid, enumerable randomness, stage
+//               publication, and the fiber hooks used by the combiner.
+//   * Mutex  -- for lazily-materialized structures (no-op under the
+//               single-threaded simulator, std::mutex on hardware).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace rts::algo {
+
+template <class P>
+concept Platform = requires(typename P::Arena arena, typename P::Context& ctx,
+                            typename P::Reg reg, std::uint64_t v,
+                            sim::OpTags tags, std::string name) {
+  { arena.reg(name) } -> std::same_as<typename P::Reg>;
+  { reg.read(ctx) } -> std::convertible_to<std::uint64_t>;
+  { reg.read(ctx, tags) } -> std::convertible_to<std::uint64_t>;
+  reg.write(ctx, v);
+  reg.write(ctx, v, tags);
+  { ctx.pid() } -> std::convertible_to<int>;
+  { ctx.flip() } -> std::convertible_to<std::uint64_t>;
+  { ctx.uniform_below(v) } -> std::convertible_to<std::uint64_t>;
+  { ctx.geometric_trunc(v) } -> std::convertible_to<std::uint64_t>;
+  ctx.publish_stage(v);
+  typename P::Mutex;
+};
+
+/// Leader election: every participant calls elect() at most once.
+template <class P>
+class ILeaderElect {
+ public:
+  virtual ~ILeaderElect() = default;
+
+  virtual sim::Outcome elect(typename P::Context& ctx) = 0;
+
+  /// Registers the structure would occupy if fully materialized (analytic
+  /// bound; lazily-built structures allocate fewer at run time).
+  virtual std::size_t declared_registers() const = 0;
+};
+
+/// Group election (Section 2.1): every participant calls elect() at most
+/// once; at least one caller must be elected (return true).
+template <class P>
+class IGroupElect {
+ public:
+  virtual ~IGroupElect() = default;
+
+  virtual bool elect(typename P::Context& ctx) = 0;
+  virtual std::size_t declared_registers() const = 0;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,104 @@
+#include "algo/registry.hpp"
+
+#include "algo/aa.hpp"
+#include "algo/cascade.hpp"
+#include "algo/chain.hpp"
+#include "algo/combined.hpp"
+#include "algo/ratrace.hpp"
+#include "algo/tournament.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+const std::vector<AlgoInfo>& all_algorithms() {
+  static const std::vector<AlgoInfo> kAlgorithms = {
+      {AlgorithmId::kLogStarChain, "logstar", "O(log* k)",
+       "location-oblivious",
+       "Thm 2.3: leader election from Figure-1 group elections"},
+      {AlgorithmId::kSiftChain, "sift", "O(log log n)", "rw-oblivious",
+       "Sec 2.3: Alistarh-Aspnes sifting chain (non-adaptive)"},
+      {AlgorithmId::kSiftCascade, "cascade", "O(log log k)", "rw-oblivious",
+       "Thm 2.4: cascade of doubly-exponentially sized sifting chains"},
+      {AlgorithmId::kRatRace, "ratrace", "O(log k)", "adaptive",
+       "Alistarh et al. 2010 baseline; Theta(n^3) registers"},
+      {AlgorithmId::kRatRacePath, "ratrace-path", "O(log k)", "adaptive",
+       "Sec 3: RatRace with elimination paths; Theta(n) registers"},
+      {AlgorithmId::kCombinedLogStar, "combined-logstar",
+       "O(log* k) weak / O(log k) adaptive", "both",
+       "Cor 4.2: combiner of RatRacePath and the log* chain"},
+      {AlgorithmId::kCombinedSift, "combined-sift",
+       "O(log log k) weak / O(log k) adaptive", "both",
+       "Cor 4.2: combiner of RatRacePath and the sifting cascade"},
+      {AlgorithmId::kTournament, "tournament", "O(log n)", "adaptive",
+       "Afek-Gafni-Tromp-Vitanyi 1992 tournament tree baseline"},
+      {AlgorithmId::kAaSiftRatRace, "aa",
+       "O(log log n) weak / O(log n) adaptive", "rw-oblivious",
+       "Alistarh-Aspnes 2011: sifting rounds + RatRace backup (graceful "
+       "degradation)"},
+  };
+  return kAlgorithms;
+}
+
+const AlgoInfo& info(AlgorithmId id) {
+  for (const AlgoInfo& algo : all_algorithms()) {
+    if (algo.id == id) return algo;
+  }
+  RTS_ASSERT_MSG(false, "unknown algorithm id");
+  return all_algorithms().front();
+}
+
+std::optional<AlgorithmId> parse_algorithm(std::string_view name) {
+  for (const AlgoInfo& algo : all_algorithms()) {
+    if (name == algo.name) return algo.id;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
+                                                       SimPlatform::Arena arena,
+                                                       int n) {
+  using P = SimPlatform;
+  switch (id) {
+    case AlgorithmId::kLogStarChain:
+      return std::make_unique<GeChainLe<P>>(
+          arena, n, fig1_truncated_factory<P>(n, default_live_prefix(n)));
+    case AlgorithmId::kSiftChain:
+      return std::make_unique<GeChainLe<P>>(arena, n,
+                                            sift_truncated_factory<P>(n));
+    case AlgorithmId::kSiftCascade:
+      return std::make_unique<SiftCascadeLe<P>>(arena, n);
+    case AlgorithmId::kRatRace:
+      return std::make_unique<RatRaceOriginal<P>>(arena, n);
+    case AlgorithmId::kRatRacePath:
+      return std::make_unique<RatRacePath<P>>(arena, n);
+    case AlgorithmId::kCombinedLogStar:
+      return std::make_unique<CombinedLe<P>>(
+          arena, n,
+          std::make_unique<GeChainLe<P>>(
+              arena, n, fig1_truncated_factory<P>(n, default_live_prefix(n))));
+    case AlgorithmId::kCombinedSift:
+      return std::make_unique<CombinedLe<P>>(
+          arena, n, std::make_unique<SiftCascadeLe<P>>(arena, n));
+    case AlgorithmId::kTournament:
+      return std::make_unique<TournamentLe<P>>(arena, n);
+    case AlgorithmId::kAaSiftRatRace:
+      return std::make_unique<AaSiftRatRaceLe<P>>(arena, n);
+  }
+  RTS_ASSERT_MSG(false, "unknown algorithm id");
+  return nullptr;
+}
+
+sim::LeBuilder sim_builder(AlgorithmId id) {
+  return [id](sim::Kernel& kernel, int n) -> sim::BuiltLe {
+    SimPlatform::Arena arena(kernel.memory());
+    std::shared_ptr<ILeaderElect<SimPlatform>> le =
+        make_sim_le(id, arena, n);
+    sim::BuiltLe built;
+    built.keepalive = le;
+    built.declared_registers = le->declared_registers();
+    built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    return built;
+  };
+}
+
+}  // namespace rts::algo

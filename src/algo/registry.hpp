@@ -1,0 +1,53 @@
+// Central catalogue of the leader-election algorithms in this library, with
+// type-erased factories for the simulator harness.  Benches, tests, and the
+// example binaries all enumerate algorithms through here.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/platform.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/runner.hpp"
+
+namespace rts::algo {
+
+enum class AlgorithmId {
+  kLogStarChain,    // Thm 2.3: Fig-1 GE chain, O(log* k) vs location-oblivious
+  kSiftChain,       // Sec 2.3: AA sifting chain, O(log log n) vs R/W-oblivious
+  kSiftCascade,     // Thm 2.4: adaptive O(log log k) vs R/W-oblivious
+  kRatRace,         // baseline: original RatRace, O(log k) adaptive, Theta(n^3)
+  kRatRacePath,     // Sec 3: elimination-path RatRace, O(log k), Theta(n)
+  kCombinedLogStar, // Cor 4.2: combiner(RatRacePath, log* chain)
+  kCombinedSift,    // Cor 4.2: combiner(RatRacePath, sift cascade)
+  kTournament,      // AGTV 1992 baseline, O(log n)
+  kAaSiftRatRace,   // Alistarh-Aspnes 2011: sifting + RatRace backup
+};
+
+struct AlgoInfo {
+  AlgorithmId id;
+  const char* name;         // stable identifier, e.g. "logstar"
+  const char* complexity;   // expected step complexity, as claimed
+  const char* adversary;    // adversary model the bound is proved for
+  const char* description;
+};
+
+const std::vector<AlgoInfo>& all_algorithms();
+const AlgoInfo& info(AlgorithmId id);
+std::optional<AlgorithmId> parse_algorithm(std::string_view name);
+
+/// Builds the algorithm as a leader-election object for up to n processes
+/// inside the given simulator kernel.
+sim::LeBuilder sim_builder(AlgorithmId id);
+
+/// Constructs the algorithm directly (shared by sim_builder and by code that
+/// needs the concrete interface, e.g. the TAS adapter and the lower-bound
+/// drivers).
+std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
+                                                       SimPlatform::Arena arena,
+                                                       int n);
+
+}  // namespace rts::algo

@@ -1,0 +1,79 @@
+// One-shot renaming from test-and-set rows -- the classical application the
+// paper's introduction cites (TAS has been "used in algorithms for classical
+// problems such as mutual exclusion and renaming" [3, 9]).
+//
+// A row of `capacity` one-shot TAS objects; a process walks the row and
+// claims the first object it wins, acquiring that index as its new name.
+// With capacity >= number of participants, every participant obtains a
+// unique name in {0, ..., capacity-1}: at most one winner per object
+// (TAS safety) and a walker can only pass object i if someone else won it,
+// so by induction a process that loses objects 0..k-1 finds a free object
+// among the first k+1.
+//
+// Step complexity: the walk visits at most k objects (k = contention); each
+// losing visit is one read on the fast path after the first winner wrote
+// Done.  With the log* chain inside, the expected cost is
+// O(k + C_elect(k)) = O(k); names are *adaptive*: the largest name handed
+// out is at most k - 1, not capacity - 1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/platform.hpp"
+#include "algo/tas.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class Renaming {
+ public:
+  /// Builds TAS objects using `le_factory(arena, capacity)` per slot.
+  using LeFactory = std::function<std::unique_ptr<ILeaderElect<P>>(
+      typename P::Arena&, int)>;
+
+  Renaming(typename P::Arena arena, int capacity, const LeFactory& le_factory)
+      : capacity_(capacity) {
+    RTS_REQUIRE(capacity >= 1, "renaming capacity must be positive");
+    slots_.reserve(static_cast<std::size_t>(capacity));
+    for (int i = 0; i < capacity; ++i) {
+      slots_.push_back(std::make_unique<TasFromLe<P>>(
+          arena, le_factory(arena, capacity)));
+    }
+  }
+
+  /// Default construction: log*-chain based TAS per slot.
+  Renaming(typename P::Arena arena, int capacity)
+      : Renaming(arena, capacity,
+                 [](typename P::Arena& a, int n) {
+                   return std::make_unique<GeChainLe<P>>(
+                       a, n,
+                       fig1_truncated_factory<P>(n, default_live_prefix(n)));
+                 }) {}
+
+  /// Acquires a unique name in {0, ..., capacity-1}; at most one call per
+  /// process, at most `capacity` callers.  Returns -1 only if more than
+  /// `capacity` processes call (a contract violation by the caller).
+  int acquire(typename P::Context& ctx) {
+    for (int name = 0; name < capacity_; ++name) {
+      if (slots_[static_cast<std::size_t>(name)]->tas(ctx) == 0) return name;
+    }
+    return -1;
+  }
+
+  int capacity() const { return capacity_; }
+
+  std::size_t declared_registers() const {
+    std::size_t total = 0;
+    for (const auto& slot : slots_) total += slot->declared_registers();
+    return total;
+  }
+
+ private:
+  int capacity_;
+  std::vector<std::unique_ptr<TasFromLe<P>>> slots_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,57 @@
+// Platform adapter binding the algorithm templates to the simulator.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+
+namespace rts::algo {
+
+struct SimPlatform {
+  using Context = sim::Context;
+
+  /// No-op mutex: the simulator is strictly single-threaded.
+  struct Mutex {
+    void lock() {}
+    void unlock() {}
+  };
+
+  class Reg {
+   public:
+    Reg() = default;
+    explicit Reg(sim::RegId id) : id_(id) {}
+
+    std::uint64_t read(Context& ctx, sim::OpTags tags = {}) const {
+      return ctx.read(id_, tags);
+    }
+    void write(Context& ctx, std::uint64_t value, sim::OpTags tags = {}) const {
+      ctx.write(id_, value, tags);
+    }
+    sim::RegId id() const { return id_; }
+
+   private:
+    sim::RegId id_ = sim::kInvalidReg;
+  };
+
+  class Arena {
+   public:
+    explicit Arena(sim::SimMemory& memory) : memory_(&memory) {}
+
+    Reg reg(std::string name) { return Reg(memory_->alloc(std::move(name))); }
+    std::size_t allocated() const { return memory_->allocated(); }
+
+   private:
+    sim::SimMemory* memory_;
+  };
+
+  static Context child_context(Context& parent,
+                               fiber::ExecutionContext& slot) {
+    return Context(parent.process(), slot);
+  }
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,104 @@
+// Splitters.
+//
+// Deterministic splitter (Moir-Anderson 1994): split() returns a value in
+// {L, R, S} such that if k processes call it,
+//   * at most one call returns S (stop),
+//   * at most k-1 calls return L,
+//   * at most k-1 calls return R,
+//   * a solo caller always gets S.
+//
+// Randomized splitter (Attiya, Kuhn, Plaxton, Wattenhofer, Wattenhofer 2006):
+// keeps the at-most-one-S and solo-S properties, but a non-S caller gets L or
+// R independently with probability 1/2 each (so all calls may return the
+// same direction).
+//
+// Both use two registers and at most four steps per call.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/platform.hpp"
+#include "algo/stages.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+enum class SplitResult : std::uint8_t { kLeft, kRight, kStop };
+
+inline const char* to_string(SplitResult r) {
+  switch (r) {
+    case SplitResult::kLeft:
+      return "L";
+    case SplitResult::kRight:
+      return "R";
+    case SplitResult::kStop:
+      return "S";
+  }
+  return "?";
+}
+
+template <Platform P>
+class Splitter {
+ public:
+  /// `stage_index` labels this splitter in published stage tags.
+  explicit Splitter(typename P::Arena arena, std::uint32_t stage_index = 0)
+      : x_(arena.reg("splitter.X")),
+        y_(arena.reg("splitter.Y")),
+        stage_index_(stage_index) {}
+
+  SplitResult split(typename P::Context& ctx) {
+    // Register X holds pid+1 so that 0 means "nobody yet".
+    const std::uint64_t my_id = static_cast<std::uint64_t>(ctx.pid()) + 1;
+    ctx.publish_stage(stage::make(stage::kSplitter, stage_index_, 1));
+    x_.write(ctx, my_id);
+    ctx.publish_stage(stage::make(stage::kSplitter, stage_index_, 2));
+    if (y_.read(ctx) != 0) return SplitResult::kLeft;
+    ctx.publish_stage(stage::make(stage::kSplitter, stage_index_, 3));
+    y_.write(ctx, 1);
+    ctx.publish_stage(stage::make(stage::kSplitter, stage_index_, 4));
+    if (x_.read(ctx) == my_id) return SplitResult::kStop;
+    return SplitResult::kRight;
+  }
+
+  static constexpr std::size_t kRegisters = 2;
+
+ private:
+  typename P::Reg x_;
+  typename P::Reg y_;
+  std::uint32_t stage_index_;
+};
+
+template <Platform P>
+class RSplitter {
+ public:
+  explicit RSplitter(typename P::Arena arena, std::uint32_t stage_index = 0)
+      : x_(arena.reg("rsplitter.X")),
+        y_(arena.reg("rsplitter.Y")),
+        stage_index_(stage_index) {}
+
+  SplitResult split(typename P::Context& ctx) {
+    const std::uint64_t my_id = static_cast<std::uint64_t>(ctx.pid()) + 1;
+    ctx.publish_stage(stage::make(stage::kRSplitter, stage_index_, 1));
+    x_.write(ctx, my_id);
+    ctx.publish_stage(stage::make(stage::kRSplitter, stage_index_, 2));
+    if (y_.read(ctx) != 0) return random_direction(ctx);
+    ctx.publish_stage(stage::make(stage::kRSplitter, stage_index_, 3));
+    y_.write(ctx, 1);
+    ctx.publish_stage(stage::make(stage::kRSplitter, stage_index_, 4));
+    if (x_.read(ctx) == my_id) return SplitResult::kStop;
+    return random_direction(ctx);
+  }
+
+  static constexpr std::size_t kRegisters = 2;
+
+ private:
+  static SplitResult random_direction(typename P::Context& ctx) {
+    return ctx.flip() == 0 ? SplitResult::kLeft : SplitResult::kRight;
+  }
+
+  typename P::Reg x_;
+  typename P::Reg y_;
+  std::uint32_t stage_index_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,50 @@
+// Stage tags published by algorithms before each shared-memory operation.
+//
+// An adaptive adversary knows every coin flip and every past step, so it can
+// reconstruct each process's exact position in its program.  Stage tags make
+// that reconstruction cheap: the attack drivers (algo/attacks.hpp) and the
+// covering-argument driver read Kernel::stage(pid) instead of re-simulating
+// local state.  Weak adversaries never look at stages.
+//
+// Encoding: [ kind:16 | object index:32 | detail:16 ].
+#pragma once
+
+#include <cstdint>
+
+namespace rts::algo::stage {
+
+enum Kind : std::uint16_t {
+  kIdle = 0,
+  kGeFlagRead,    // Fig-1 GroupElect line 1
+  kGeFlagWrite,   // Fig-1 GroupElect line 2
+  kGeSlotWrite,   // Fig-1 GroupElect line 4 (detail = chosen slot x)
+  kGeSlotRead,    // Fig-1 GroupElect line 5 (detail = x + 1)
+  kSift,          // sifting GroupElect single op (detail = 1 if write)
+  kSplitter,      // deterministic splitter op
+  kRSplitter,     // randomized splitter op (RatRace tree)
+  kLe2,           // 2-process leader election op (object index = LE index)
+  kTree,          // RatRace primary tree op
+  kGrid,          // RatRace backup grid op
+  kPath,          // elimination path op
+  kTop,           // final LE_top op
+  kDone,
+};
+
+inline std::uint64_t make(Kind kind, std::uint32_t index = 0,
+                          std::uint16_t detail = 0) {
+  return (static_cast<std::uint64_t>(kind) << 48) |
+         (static_cast<std::uint64_t>(index) << 16) |
+         static_cast<std::uint64_t>(detail);
+}
+
+inline Kind kind_of(std::uint64_t tag) {
+  return static_cast<Kind>(tag >> 48);
+}
+inline std::uint32_t index_of(std::uint64_t tag) {
+  return static_cast<std::uint32_t>((tag >> 16) & 0xffffffffu);
+}
+inline std::uint16_t detail_of(std::uint64_t tag) {
+  return static_cast<std::uint16_t>(tag & 0xffffu);
+}
+
+}  // namespace rts::algo::stage

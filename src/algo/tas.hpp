@@ -1,0 +1,45 @@
+// Linearizable one-shot test-and-set from leader election plus one register
+// (Golab, Hendler, Woelfel 2010 -- reference [11] of the paper).
+//
+// TAS() = read the Done register (late arrivals return 1 immediately);
+// otherwise run elect(); the winner writes Done and returns 0, losers
+// return 1.  As the paper notes, a TAS() call is one elect() call plus one
+// read and at most one write.  Each process calls tas() at most once.
+#pragma once
+
+#include <memory>
+
+#include "algo/platform.hpp"
+#include "support/assert.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class TasFromLe {
+ public:
+  TasFromLe(typename P::Arena arena, std::unique_ptr<ILeaderElect<P>> le)
+      : done_(arena.reg("tas.done")), le_(std::move(le)) {
+    RTS_REQUIRE(le_ != nullptr, "TasFromLe: null leader election");
+  }
+
+  /// Returns the previous value of the bit: 0 for exactly one caller (the
+  /// winner, which sets the bit), 1 for everyone else.
+  int tas(typename P::Context& ctx) {
+    if (done_.read(ctx) == 1) return 1;
+    if (le_->elect(ctx) == sim::Outcome::kWin) {
+      done_.write(ctx, 1);
+      return 0;
+    }
+    return 1;
+  }
+
+  std::size_t declared_registers() const {
+    return 1 + le_->declared_registers();
+  }
+
+ private:
+  typename P::Reg done_;
+  std::unique_ptr<ILeaderElect<P>> le_;
+};
+
+}  // namespace rts::algo

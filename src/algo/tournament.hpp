@@ -1,0 +1,63 @@
+// The classic tournament-tree test-and-set of Afek, Gafni, Tromp and
+// Vitanyi (1992): the O(log n) baseline the paper's introduction measures
+// everything against.
+//
+// A complete binary tournament over n leaves (padded to a power of two);
+// process p starts at leaf p and plays the 2-process leader election at each
+// internal node on the way to the root -- as side 0 when arriving from the
+// left child and side 1 from the right.  Each internal node sees at most one
+// process per side (the unique survivor of that subtree).  The root winner
+// wins.  Expected step complexity Theta(log n) regardless of contention;
+// space Theta(n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/le2.hpp"
+#include "algo/platform.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace rts::algo {
+
+template <Platform P>
+class TournamentLe final : public ILeaderElect<P> {
+ public:
+  TournamentLe(typename P::Arena arena, int n) : n_(n) {
+    RTS_REQUIRE(n >= 1, "tournament requires n >= 1");
+    height_ = support::log2_ceil(static_cast<std::uint64_t>(std::max(2, n)));
+    // Internal nodes in heap numbering 1 .. 2^height - 1.
+    const std::size_t internal = (1ULL << height_) - 1;
+    nodes_.reserve(internal);
+    for (std::size_t v = 0; v < internal; ++v) {
+      nodes_.push_back(Le2<P>(arena, static_cast<std::uint32_t>(v + 1)));
+    }
+  }
+
+  sim::Outcome elect(typename P::Context& ctx) override {
+    RTS_ASSERT(ctx.pid() >= 0 && ctx.pid() < n_);
+    // Leaf ids occupy 2^height .. 2^height + n - 1.
+    std::uint64_t id = (1ULL << height_) + static_cast<std::uint64_t>(ctx.pid());
+    while (id > 1) {
+      const int side = static_cast<int>(id & 1);  // right child plays side 1
+      id >>= 1;
+      if (nodes_[static_cast<std::size_t>(id - 1)].elect(ctx, side) ==
+          sim::Outcome::kLose) {
+        return sim::Outcome::kLose;
+      }
+    }
+    return sim::Outcome::kWin;
+  }
+
+  std::size_t declared_registers() const override {
+    return nodes_.size() * Le2<P>::kRegisters;
+  }
+
+ private:
+  int n_;
+  int height_;
+  std::vector<Le2<P>> nodes_;
+};
+
+}  // namespace rts::algo

@@ -1,0 +1,23 @@
+// rts -- randomized test-and-set from atomic registers.
+//
+// Umbrella header for the library's public API.
+//
+// The library reproduces Giakkoupis & Woelfel, "On the Time and Space
+// Complexity of Randomized Test-And-Set" (PODC 2012):
+//   * rts::TestAndSet / rts::LeaderElection -- production-usable one-shot
+//     objects on std::atomic registers, selectable algorithm (core/).
+//   * rts::algo -- the algorithm templates themselves (Theorems 2.3, 2.4,
+//     Section 3's space-efficient RatRace, Section 4's combiner, baselines).
+//   * rts::sim -- the adversarial shared-memory simulator (fibers, adversary
+//     classes, exhaustive model checker) used to measure step complexity
+//     under the paper's adversary models.
+//   * rts::lb -- executable lower-bound constructions (Theorem 5.1's
+//     covering argument, Theorem 6.1's two-process time bound).
+#pragma once
+
+#include "algo/registry.hpp"        // IWYU pragma: export
+#include "core/test_and_set.hpp"    // IWYU pragma: export
+#include "hw/harness.hpp"           // IWYU pragma: export
+#include "lowerbound/covering.hpp"  // IWYU pragma: export
+#include "lowerbound/two_proc.hpp"  // IWYU pragma: export
+#include "sim/runner.hpp"           // IWYU pragma: export

@@ -1,0 +1,57 @@
+#include "core/test_and_set.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rts {
+
+LeaderElection::LeaderElection(const Options& options)
+    : max_processes_(options.max_processes),
+      seed_(options.seed),
+      called_(static_cast<std::size_t>(options.max_processes)) {
+  RTS_REQUIRE(options.max_processes >= 1,
+              "LeaderElection needs max_processes >= 1");
+  RTS_REQUIRE(options.algorithm != Algorithm::kNativeAtomic,
+              "use TestAndSet for the native baseline");
+  hw::HwPlatform::Arena arena(pool_);
+  le_ = hw::make_hw_le(options.algorithm, arena, options.max_processes);
+  for (auto& flag : called_) flag.store(0, std::memory_order_relaxed);
+}
+
+LeaderElection::~LeaderElection() = default;
+
+bool LeaderElection::elect(int pid) {
+  RTS_REQUIRE(pid >= 0 && pid < max_processes_, "pid out of range");
+  const auto was_called = called_[static_cast<std::size_t>(pid)].exchange(
+      1, std::memory_order_seq_cst);
+  RTS_REQUIRE(was_called == 0, "elect() is one-shot per pid");
+  support::PrngSource rng(
+      support::derive_seed(seed_, static_cast<std::uint64_t>(pid)));
+  hw::HwPlatform::Context ctx(pid, rng);
+  return le_->elect(ctx) == sim::Outcome::kWin;
+}
+
+std::size_t LeaderElection::declared_registers() const {
+  return le_->declared_registers();
+}
+
+TestAndSet::TestAndSet(const Options& options) : election_(options) {}
+
+int TestAndSet::test_and_set(int pid) {
+  // The Golab-Hendler-Woelfel transformation: read the Done bit, elect,
+  // winner writes Done.  (See algo/tas.hpp; re-stated here over a plain
+  // atomic for the public object.)
+  if (done_.load(std::memory_order_seq_cst) == 1) {
+    // Still burn the one-shot slot for this pid to keep the contract simple.
+    RTS_REQUIRE(pid >= 0 && pid < election_.max_processes(),
+                "pid out of range");
+    return 1;
+  }
+  if (election_.elect(pid)) {
+    done_.store(1, std::memory_order_seq_cst);
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace rts

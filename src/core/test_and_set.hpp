@@ -1,0 +1,82 @@
+// Public one-shot TestAndSet and LeaderElection objects for real threads.
+//
+// Usage:
+//   rts::TestAndSet::Options options;
+//   options.max_processes = 16;
+//   rts::TestAndSet tas(options);
+//   ...
+//   if (tas.test_and_set(my_pid) == 0) { /* I am the winner */ }
+//
+// Both objects are one-shot: each pid in [0, max_processes) may call at most
+// once (enforced).  Thread-safe: distinct pids may call concurrently.
+// The default algorithm is the paper's Corollary-4.2 combination -- O(log* k)
+// expected steps under benign scheduling while staying O(log k) under fully
+// adversarial scheduling -- on Theta(n) registers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/platform.hpp"
+#include "hw/harness.hpp"
+#include "hw/platform.hpp"
+
+namespace rts {
+
+/// Algorithm selection for the public objects (see DESIGN.md / the paper).
+using Algorithm = hw::HwAlgorithmId;
+
+class LeaderElection {
+ public:
+  struct Options {
+    int max_processes = 0;  ///< required: capacity n
+    Algorithm algorithm = Algorithm::kCombinedLogStar;
+    std::uint64_t seed = 0x52'54'53'2012;  ///< randomness seed (determinism)
+  };
+
+  explicit LeaderElection(const Options& options);
+  ~LeaderElection();
+
+  LeaderElection(const LeaderElection&) = delete;
+  LeaderElection& operator=(const LeaderElection&) = delete;
+
+  /// One-shot election; `pid` must be unique per caller, in
+  /// [0, max_processes).  Returns true for exactly one caller.
+  bool elect(int pid);
+
+  /// Registers the chosen algorithm's structure would occupy when fully
+  /// materialized.
+  std::size_t declared_registers() const;
+
+  int max_processes() const { return max_processes_; }
+
+ private:
+  int max_processes_;
+  std::uint64_t seed_;
+  hw::RegisterPool pool_;
+  std::unique_ptr<algo::ILeaderElect<hw::HwPlatform>> le_;
+  std::vector<std::atomic<std::uint8_t>> called_;
+};
+
+class TestAndSet {
+ public:
+  using Options = LeaderElection::Options;
+
+  explicit TestAndSet(const Options& options);
+
+  /// One-shot TAS; returns 0 for exactly one caller (the winner), 1 for all
+  /// others.  `pid` must be unique per caller, in [0, max_processes).
+  int test_and_set(int pid);
+
+  std::size_t declared_registers() const {
+    return 1 + election_.declared_registers();
+  }
+
+ private:
+  LeaderElection election_;
+  std::atomic<std::uint64_t> done_{0};
+};
+
+}  // namespace rts

@@ -1,0 +1,116 @@
+#include "fiber/fiber.hpp"
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+#if RTS_FIBER_FAST_CONTEXT
+extern "C" {
+/// Implemented in fcontext_x86_64.S.
+void rts_fctx_swap(void** save_sp, void* resume_sp);
+void rts_fctx_boot();
+/// Called by rts_fctx_boot on a fiber's first activation.
+[[noreturn]] void rts_fiber_entry(void* self);
+}
+#endif
+
+namespace rts::fiber {
+
+void switch_context(ExecutionContext& save_into, ExecutionContext& resume) {
+  RTS_ASSERT(&save_into != &resume);
+#if RTS_FIBER_FAST_CONTEXT
+  rts_fctx_swap(&save_into.sp_, resume.sp_);
+#else
+  const int rc = ::swapcontext(&save_into.uc_, &resume.uc_);
+  RTS_ASSERT_MSG(rc == 0, "swapcontext failed");
+#endif
+}
+
+Fiber::~Fiber() { release_stack(std::move(stack_)); }
+
+#if RTS_FIBER_FAST_CONTEXT
+
+namespace {
+
+/// Captures the caller's SSE/x87 control state for seeding fresh fibers.
+std::uint64_t current_fp_control() {
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fpcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fpcw));
+  return static_cast<std::uint64_t>(mxcsr) |
+         (static_cast<std::uint64_t>(fpcw) << 32);
+}
+
+}  // namespace
+
+void rts_fiber_entry_impl(Fiber* self) { self->run(); }
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : stack_(acquire_stack(stack_bytes)), fn_(std::move(fn)) {
+  RTS_ASSERT(fn_ != nullptr);
+  // Seed the stack so the first switch "returns" into rts_fctx_boot with
+  // this Fiber* in r15.  Layout (addresses descending from the 16-aligned
+  // stack top): [pad][pad][&boot][rbp][rbx][r12][r13][r14][r15=this][fpctl].
+  auto* top = reinterpret_cast<std::uint64_t*>(
+      static_cast<char*>(stack_.base()) + stack_.size());
+  RTS_ASSERT((reinterpret_cast<std::uintptr_t>(top) & 15u) == 0);
+  std::uint64_t* sp = top;
+  *--sp = 0;                                              // padding
+  *--sp = 0;                                              // ret lands here
+  *--sp = reinterpret_cast<std::uint64_t>(&rts_fctx_boot);  // 'ret' target
+  *--sp = 0;                                              // rbp
+  *--sp = 0;                                              // rbx
+  *--sp = 0;                                              // r12
+  *--sp = 0;                                              // r13
+  *--sp = 0;                                              // r14
+  *--sp = reinterpret_cast<std::uint64_t>(this);          // r15 -> entry arg
+  *--sp = current_fp_control();                           // mxcsr | fpcw<<32
+  sp_ = sp;
+}
+
+#else  // ucontext fallback
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : stack_(acquire_stack(stack_bytes)), fn_(std::move(fn)) {
+  RTS_ASSERT(fn_ != nullptr);
+  const int rc = ::getcontext(&uc_);
+  RTS_ASSERT_MSG(rc == 0, "getcontext failed");
+  uc_.uc_stack.ss_sp = stack_.base();
+  uc_.uc_stack.ss_size = stack_.size();
+  uc_.uc_link = nullptr;  // returns are routed through the trampoline instead
+  // makecontext only passes ints; split the this-pointer into two 32-bit
+  // halves (the portable idiom).
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&uc_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self_bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self_bits)->run();
+}
+
+#endif
+
+void Fiber::run() {
+  fn_();
+  finished_ = true;
+  RTS_ASSERT_MSG(return_to_ != nullptr,
+                 "fiber function returned with no return context set");
+  // Jump out for the last time; saving into our own slot is harmless since
+  // nothing may resume a finished fiber.
+  switch_context(*this, *return_to_);
+  RTS_ASSERT_MSG(false, "resumed a finished fiber");
+}
+
+}  // namespace rts::fiber
+
+#if RTS_FIBER_FAST_CONTEXT
+extern "C" [[noreturn]] void rts_fiber_entry(void* self) {
+  rts::fiber::rts_fiber_entry_impl(static_cast<rts::fiber::Fiber*>(self));
+  __builtin_unreachable();
+}
+#endif

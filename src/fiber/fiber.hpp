@@ -1,0 +1,90 @@
+// Cooperative fibers.
+//
+// The simulator runs every simulated process as a fiber inside one OS
+// thread; a context switch happens at every shared-memory operation, giving
+// the adversary per-step scheduling control.  The Section-4 combiner
+// additionally nests fibers: one child fiber per sub-algorithm inside a
+// process.
+//
+// The model is plain symmetric switching: `switch_context(save, resume)`
+// saves the caller's continuation into `save` and jumps to `resume`.  There
+// is no scheduler here -- the simulator kernel and the combiner decide every
+// switch explicitly.
+//
+// Two backends:
+//   * x86-64: a 20-instruction assembly switch (fcontext_x86_64.S) saving
+//     only callee-saved state -- no kernel involvement, ~nanoseconds.
+//   * other architectures: POSIX ucontext (swapcontext does a sigprocmask
+//     syscall per switch; correct but much slower).
+#pragma once
+
+#if defined(__x86_64__)
+#define RTS_FIBER_FAST_CONTEXT 1
+#else
+#define RTS_FIBER_FAST_CONTEXT 0
+#include <ucontext.h>
+#endif
+
+#include <cstddef>
+#include <functional>
+
+#include "fiber/stack.hpp"
+
+namespace rts::fiber {
+
+/// A resumable continuation slot: either the implicit context of an OS thread
+/// (default-constructed) or a Fiber's context.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  virtual ~ExecutionContext() = default;
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+ protected:
+  friend void switch_context(ExecutionContext& save_into,
+                             ExecutionContext& resume);
+#if RTS_FIBER_FAST_CONTEXT
+  void* sp_ = nullptr;
+#else
+  ucontext_t uc_{};
+#endif
+};
+
+/// Saves the current continuation into `save_into` and resumes `resume`.
+/// Returns when something later switches back into `save_into`.
+void switch_context(ExecutionContext& save_into, ExecutionContext& resume);
+
+/// A fiber: a function plus its own guarded stack.  The function starts
+/// running the first time something switches into the fiber.  When the
+/// function returns, control jumps to the context designated by
+/// `set_return_to` (which must be set before the final return happens).
+class Fiber final : public ExecutionContext {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
+
+  explicit Fiber(std::function<void()> fn,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber() override;
+
+  /// Where control goes when the fiber's function returns.
+  void set_return_to(ExecutionContext* ctx) { return_to_ = ctx; }
+
+  bool finished() const { return finished_; }
+
+ private:
+#if RTS_FIBER_FAST_CONTEXT
+  friend void rts_fiber_entry_impl(Fiber* self);
+#else
+  static void trampoline(unsigned hi, unsigned lo);
+#endif
+  void run();
+
+  MmapStack stack_;
+  std::function<void()> fn_;
+  ExecutionContext* return_to_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace rts::fiber

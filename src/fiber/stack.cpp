@@ -1,0 +1,109 @@
+#include "fiber/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rts::fiber {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t size = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+}  // namespace
+
+MmapStack::MmapStack(std::size_t usable_bytes) {
+  const std::size_t page = page_size();
+  usable_bytes_ = (usable_bytes + page - 1) / page * page;
+  mapping_bytes_ = usable_bytes_ + page;  // + guard page
+  mapping_ = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapping_ == MAP_FAILED) {
+    mapping_ = nullptr;
+    throw Error("MmapStack: mmap failed");
+  }
+  if (::mprotect(mapping_, page, PROT_NONE) != 0) {
+    release();
+    throw Error("MmapStack: mprotect(guard) failed");
+  }
+  usable_ = static_cast<char*>(mapping_) + page;
+}
+
+MmapStack::~MmapStack() { release(); }
+
+MmapStack::MmapStack(MmapStack&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      mapping_bytes_(std::exchange(other.mapping_bytes_, 0)),
+      usable_(std::exchange(other.usable_, nullptr)),
+      usable_bytes_(std::exchange(other.usable_bytes_, 0)) {}
+
+MmapStack& MmapStack::operator=(MmapStack&& other) noexcept {
+  if (this != &other) {
+    release();
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    mapping_bytes_ = std::exchange(other.mapping_bytes_, 0);
+    usable_ = std::exchange(other.usable_, nullptr);
+    usable_bytes_ = std::exchange(other.usable_bytes_, 0);
+  }
+  return *this;
+}
+
+void MmapStack::release() noexcept {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapping_bytes_);
+    mapping_ = nullptr;
+  }
+}
+
+namespace {
+
+struct StackPool {
+  // One bucket suffices in practice: all fibers in a process use the same
+  // stack size.  A small vector keyed by size keeps it general.
+  struct Bucket {
+    std::size_t size = 0;
+    std::vector<MmapStack> free;
+  };
+  std::vector<Bucket> buckets;
+
+  Bucket& bucket_for(std::size_t size) {
+    for (Bucket& b : buckets) {
+      if (b.size == size) return b;
+    }
+    buckets.push_back(Bucket{size, {}});
+    return buckets.back();
+  }
+};
+
+StackPool& pool() {
+  thread_local StackPool instance;
+  return instance;
+}
+
+}  // namespace
+
+MmapStack acquire_stack(std::size_t usable_bytes) {
+  auto& bucket = pool().bucket_for(usable_bytes);
+  if (!bucket.free.empty()) {
+    MmapStack stack = std::move(bucket.free.back());
+    bucket.free.pop_back();
+    return stack;
+  }
+  return MmapStack(usable_bytes);
+}
+
+void release_stack(MmapStack stack) noexcept {
+  constexpr std::size_t kMaxPooledPerSize = 16384;
+  auto& bucket = pool().bucket_for(stack.size());
+  if (bucket.free.size() < kMaxPooledPerSize) {
+    bucket.free.push_back(std::move(stack));
+  }
+}
+
+}  // namespace rts::fiber

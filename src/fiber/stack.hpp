@@ -1,0 +1,42 @@
+// RAII mmap-backed fiber stacks with an inaccessible guard page at the low
+// end, so stack overflow in a fiber faults immediately instead of silently
+// corrupting a neighbouring stack.
+#pragma once
+
+#include <cstddef>
+
+namespace rts::fiber {
+
+class MmapStack {
+ public:
+  /// Maps `usable_bytes` (rounded up to whole pages) of read/write memory
+  /// plus one PROT_NONE guard page below it.  Throws rts::Error on failure.
+  explicit MmapStack(std::size_t usable_bytes);
+  ~MmapStack();
+
+  MmapStack(const MmapStack&) = delete;
+  MmapStack& operator=(const MmapStack&) = delete;
+  MmapStack(MmapStack&& other) noexcept;
+  MmapStack& operator=(MmapStack&& other) noexcept;
+
+  /// Base of the usable region (above the guard page).
+  void* base() const { return usable_; }
+  std::size_t size() const { return usable_bytes_; }
+
+ private:
+  void release() noexcept;
+
+  void* mapping_ = nullptr;       // includes the guard page
+  std::size_t mapping_bytes_ = 0;
+  void* usable_ = nullptr;
+  std::size_t usable_bytes_ = 0;
+};
+
+/// Thread-local stack recycling.  The model checker constructs and destroys
+/// fibers millions of times; reusing mappings avoids mmap/mprotect on every
+/// execution.  Stacks are pooled per thread (no locking) and only handed out
+/// for the exact usable size requested.
+MmapStack acquire_stack(std::size_t usable_bytes);
+void release_stack(MmapStack stack) noexcept;
+
+}  // namespace rts::fiber

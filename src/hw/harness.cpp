@@ -1,0 +1,147 @@
+#include "hw/harness.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "algo/cascade.hpp"
+#include "algo/chain.hpp"
+#include "algo/combined.hpp"
+#include "algo/ratrace.hpp"
+#include "algo/tournament.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rts::hw {
+
+const char* to_string(HwAlgorithmId id) {
+  switch (id) {
+    case HwAlgorithmId::kLogStarChain:
+      return "logstar";
+    case HwAlgorithmId::kSiftChain:
+      return "sift";
+    case HwAlgorithmId::kSiftCascade:
+      return "cascade";
+    case HwAlgorithmId::kRatRacePath:
+      return "ratrace-path";
+    case HwAlgorithmId::kCombinedLogStar:
+      return "combined-logstar";
+    case HwAlgorithmId::kTournament:
+      return "tournament";
+    case HwAlgorithmId::kNativeAtomic:
+      return "native-atomic";
+  }
+  return "?";
+}
+
+std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
+    HwAlgorithmId id, HwPlatform::Arena arena, int n) {
+  using P = HwPlatform;
+  switch (id) {
+    case HwAlgorithmId::kLogStarChain:
+      return std::make_unique<algo::GeChainLe<P>>(
+          arena, n,
+          algo::fig1_truncated_factory<P>(n, algo::default_live_prefix(n)));
+    case HwAlgorithmId::kSiftChain:
+      return std::make_unique<algo::GeChainLe<P>>(
+          arena, n, algo::sift_truncated_factory<P>(n));
+    case HwAlgorithmId::kSiftCascade:
+      return std::make_unique<algo::SiftCascadeLe<P>>(arena, n);
+    case HwAlgorithmId::kRatRacePath:
+      return std::make_unique<algo::RatRacePath<P>>(arena, n);
+    case HwAlgorithmId::kCombinedLogStar:
+      return std::make_unique<algo::CombinedLe<P>>(
+          arena, n,
+          std::make_unique<algo::GeChainLe<P>>(
+              arena, n,
+              algo::fig1_truncated_factory<P>(n,
+                                              algo::default_live_prefix(n))));
+    case HwAlgorithmId::kTournament:
+      return std::make_unique<algo::TournamentLe<P>>(arena, n);
+    case HwAlgorithmId::kNativeAtomic:
+      return nullptr;
+  }
+  RTS_ASSERT_MSG(false, "unknown hardware algorithm id");
+  return nullptr;
+}
+
+HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed) {
+  RTS_REQUIRE(k >= 1, "need at least one thread");
+  HwRunResult result;
+  result.k = k;
+  result.outcomes.assign(static_cast<std::size_t>(k), sim::Outcome::kUnknown);
+  result.ops.assign(static_cast<std::size_t>(k), 0);
+
+  RegisterPool pool;
+  HwPlatform::Arena arena(pool);
+  std::unique_ptr<algo::ILeaderElect<HwPlatform>> le =
+      make_hw_le(id, arena, k);
+  std::atomic<std::uint64_t> native_bit{0};
+
+  std::barrier gate(k + 1);
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(k));
+  for (int pid = 0; pid < k; ++pid) {
+    threads.emplace_back([&, pid] {
+      support::PrngSource rng(
+          support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+      HwPlatform::Context ctx(pid, rng);
+      gate.arrive_and_wait();
+      if (le != nullptr) {
+        result.outcomes[static_cast<std::size_t>(pid)] = le->elect(ctx);
+      } else {
+        // Native baseline: atomic exchange is a hardware TAS.
+        result.outcomes[static_cast<std::size_t>(pid)] =
+            native_bit.exchange(1, std::memory_order_seq_cst) == 0
+                ? sim::Outcome::kWin
+                : sim::Outcome::kLose;
+        ctx.on_op();
+      }
+      result.ops[static_cast<std::size_t>(pid)] = ctx.ops();
+      gate.arrive_and_wait();
+    });
+  }
+
+  gate.arrive_and_wait();  // release the threads
+  const auto start = std::chrono::steady_clock::now();
+  gate.arrive_and_wait();  // wait for completion
+  const auto end = std::chrono::steady_clock::now();
+  threads.clear();  // join
+
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.registers = pool.allocated();
+  for (const sim::Outcome outcome : result.outcomes) {
+    if (outcome == sim::Outcome::kWin) ++result.winners;
+  }
+  if (result.winners != 1) {
+    result.violations.push_back(
+        "hardware run must elect exactly one winner, got " +
+        std::to_string(result.winners));
+  }
+  return result;
+}
+
+HwAggregate run_hw_many(HwAlgorithmId id, int k, int trials,
+                        std::uint64_t seed0) {
+  HwAggregate agg;
+  double sum_max_ops = 0.0;
+  double sum_wall = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const HwRunResult r = run_hw_le(
+        id, k, support::derive_seed(seed0, static_cast<std::uint64_t>(t)));
+    ++agg.runs;
+    if (!r.violations.empty()) ++agg.violation_runs;
+    std::uint64_t max_ops = 0;
+    for (const auto ops : r.ops) max_ops = std::max(max_ops, ops);
+    sum_max_ops += static_cast<double>(max_ops);
+    sum_wall += r.wall_seconds;
+  }
+  if (agg.runs > 0) {
+    agg.mean_max_ops = sum_max_ops / agg.runs;
+    agg.mean_wall_seconds = sum_wall / agg.runs;
+  }
+  return agg;
+}
+
+}  // namespace rts::hw

@@ -1,0 +1,60 @@
+// Thread harness for running leader elections / TAS on real hardware:
+// builds an algorithm instance, releases `k` threads through a barrier, and
+// collects outcomes, per-thread shared-op counts, and wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algo/platform.hpp"
+#include "hw/platform.hpp"
+#include "sim/types.hpp"
+
+namespace rts::hw {
+
+/// Algorithm ids that can be instantiated on hardware.
+enum class HwAlgorithmId {
+  kLogStarChain,
+  kSiftChain,
+  kSiftCascade,
+  kRatRacePath,
+  kCombinedLogStar,
+  kTournament,
+  kNativeAtomic,  // baseline: one std::atomic exchange (not from registers)
+};
+
+const char* to_string(HwAlgorithmId id);
+
+/// Constructs the algorithm for up to n processes on the hardware platform.
+/// Returns nullptr for kNativeAtomic (handled specially by the harness).
+std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
+    HwAlgorithmId id, HwPlatform::Arena arena, int n);
+
+struct HwRunResult {
+  int k = 0;
+  std::vector<sim::Outcome> outcomes;
+  std::vector<std::uint64_t> ops;   // shared-memory ops per thread
+  double wall_seconds = 0.0;
+  int winners = 0;
+  std::size_t registers = 0;
+  std::vector<std::string> violations;
+};
+
+/// Runs one election with k threads.  Each thread calls elect() exactly
+/// once; the harness checks the exactly-one-winner invariant.
+HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed);
+
+/// Runs `trials` elections and accumulates (winners must be 1 in each).
+struct HwAggregate {
+  int runs = 0;
+  int violation_runs = 0;
+  double mean_max_ops = 0.0;
+  double mean_wall_seconds = 0.0;
+};
+
+HwAggregate run_hw_many(HwAlgorithmId id, int k, int trials,
+                        std::uint64_t seed0);
+
+}  // namespace rts::hw

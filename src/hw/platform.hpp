@@ -1,0 +1,154 @@
+// HwPlatform: binds the algorithm templates to real hardware -- cache-line
+// padded std::atomic registers (seq_cst, per the library's "sequentially
+// consistent by default" policy) and ordinary threads.
+//
+// The Context counts shared-memory operations (so hardware runs report the
+// same step metric as the simulator) and implements the combiner's fiber
+// hooks: on hardware there is no kernel to suspend to, so yield-after-op
+// switches directly from the child fiber back to the coordinator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fiber/fiber.hpp"
+#include "sim/types.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rts::hw {
+
+/// One register on its own cache line to keep the step counts honest (no
+/// false sharing between unrelated registers).
+struct alignas(64) RegisterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Stable-address pool of registers; allocation is thread-safe because the
+/// lazily materialized structures (RatRace tree) allocate from racing
+/// threads.
+class RegisterPool {
+ public:
+  RegisterCell* alloc() {
+    std::scoped_lock lock(mu_);
+    cells_.emplace_back();
+    return &cells_.back();
+  }
+
+  std::size_t allocated() const {
+    std::scoped_lock lock(mu_);
+    return cells_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<RegisterCell> cells_;  // deque: stable addresses
+};
+
+struct HwPlatform {
+  using Mutex = std::mutex;
+
+  class Context;
+
+  class Reg {
+   public:
+    Reg() = default;
+    explicit Reg(RegisterCell* cell) : cell_(cell) {}
+
+    std::uint64_t read(Context& ctx, sim::OpTags tags = {}) const;
+    void write(Context& ctx, std::uint64_t value, sim::OpTags tags = {}) const;
+
+   private:
+    RegisterCell* cell_ = nullptr;
+  };
+
+  class Arena {
+   public:
+    explicit Arena(RegisterPool& pool) : pool_(&pool) {}
+
+    Reg reg(std::string /*name*/) { return Reg(pool_->alloc()); }
+    std::size_t allocated() const { return pool_->allocated(); }
+
+   private:
+    RegisterPool* pool_;
+  };
+
+  class Context {
+   public:
+    Context(int pid, support::RandomSource& rng)
+        : pid_(pid),
+          rng_(&rng),
+          root_slot_(std::make_unique<fiber::ExecutionContext>()),
+          exec_slot_(root_slot_.get()) {}
+
+    /// Child-fiber context used by the combiner.
+    Context(int pid, support::RandomSource& rng,
+            fiber::ExecutionContext& slot)
+        : pid_(pid), rng_(&rng), exec_slot_(&slot) {}
+
+    Context(Context&&) = default;
+    Context& operator=(Context&&) = default;
+
+    int pid() const { return pid_; }
+    support::RandomSource& rng() { return *rng_; }
+    std::uint64_t flip() { return rng_->flip(); }
+    std::uint64_t uniform_below(std::uint64_t n) { return rng_->draw(n); }
+    std::uint64_t geometric_trunc(std::uint64_t ell) {
+      return rng_->geometric_trunc(ell);
+    }
+    void publish_stage(std::uint64_t tag) { stage_ = tag; }
+    std::uint64_t stage() const { return stage_; }
+
+    void set_yield_after_op(fiber::ExecutionContext* parent) {
+      yield_after_op_ = parent;
+    }
+    fiber::ExecutionContext& exec_slot() { return *exec_slot_; }
+
+    std::uint64_t ops() const { return ops_; }
+
+    /// Called by Reg after every shared-memory operation.
+    void on_op() {
+      ++ops_;
+      if (yield_after_op_ != nullptr) {
+        fiber::switch_context(*exec_slot_, *yield_after_op_);
+      }
+    }
+
+   private:
+    int pid_;
+    support::RandomSource* rng_;
+    // The thread's own continuation (allocated only for root contexts, so
+    // Context stays movable for std::optional storage in the combiner).
+    std::unique_ptr<fiber::ExecutionContext> root_slot_;
+    fiber::ExecutionContext* exec_slot_;
+    fiber::ExecutionContext* yield_after_op_ = nullptr;
+    std::uint64_t ops_ = 0;
+    std::uint64_t stage_ = 0;
+  };
+
+  static Context child_context(Context& parent,
+                               fiber::ExecutionContext& slot) {
+    return Context(parent.pid(), parent.rng(), slot);
+  }
+};
+
+inline std::uint64_t HwPlatform::Reg::read(Context& ctx,
+                                           sim::OpTags /*tags*/) const {
+  RTS_ASSERT(cell_ != nullptr);
+  const std::uint64_t v = cell_->value.load(std::memory_order_seq_cst);
+  ctx.on_op();
+  return v;
+}
+
+inline void HwPlatform::Reg::write(Context& ctx, std::uint64_t value,
+                                   sim::OpTags /*tags*/) const {
+  RTS_ASSERT(cell_ != nullptr);
+  cell_->value.store(value, std::memory_order_seq_cst);
+  ctx.on_op();
+}
+
+}  // namespace rts::hw

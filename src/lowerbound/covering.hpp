@@ -1,0 +1,58 @@
+// Constructive executor for the paper's Omega(log n) space lower bound
+// (Section 5, Lemma 5.4).
+//
+// The proof is a covering argument: schedule n processes in rounds so that
+// after round k every register is covered (= some process is poised to
+// write it) by at most n-k *representatives*, while keeping many process
+// groups "undecided".  At k = n-4, at least m_{n-4} >= 4(log n - 1)
+// representatives still cover registers, each register by at most 4 of
+// them, so at least log n - 1 distinct registers are covered -- hence any
+// nondeterministic solo-terminating leader election uses Omega(log n)
+// registers.
+//
+// This driver *executes* that construction against the real algorithms in
+// the library (with coins fixed by seeds, as the proof fixes them):
+//   round 0: run every process alone, granting only reads, until each is
+//     poised to write (a solo process must write before it can win).
+//   round k: let R be the registers covered by exactly n-k representatives
+//     and R' those covered by exactly n-k-1.  Pick one covering
+//     representative per register of R, let each perform exactly its
+//     pending write (overwriting anything visible there), then run the
+//     union Q of their groups -- and only Q -- granting reads anywhere but
+//     writes only inside R u R', until some process of Q is poised to write
+//     OUTSIDE R u R' (Claim 5.3 guarantees this happens).  Merge Q into one
+//     group represented by that process.
+//
+// The driver checks the lemma's invariants as it goes: (a) every
+// representative covers a register, (b) no register is covered by more than
+// n-k representatives, (e) m_{k+1} >= m_k - floor(m_k/(n-k)) + 1, and the
+// isolation property of Claim 5.3 (no process of Q ever reads a value
+// written by a live process outside Q).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+
+namespace rts::lb {
+
+struct CoveringResult {
+  int n = 0;
+  int rounds = 0;             ///< rounds executed (n - 4)
+  int final_groups = 0;       ///< m_{n-4}: surviving representatives
+  int covered_registers = 0;  ///< distinct registers covered at the end
+  int paper_bound = 0;        ///< log2(n) - 1, the bound to witness
+  std::uint64_t total_steps = 0;
+  bool ok = false;            ///< construction completed, invariants held
+  std::string error;          ///< diagnostic when !ok
+  std::vector<int> m_history; ///< m_k after each round
+};
+
+/// Runs the covering construction against `algorithm` with n processes
+/// (n must be a power of two, matching the lemma's assumption).
+CoveringResult run_covering_argument(algo::AlgorithmId algorithm, int n,
+                                     std::uint64_t seed);
+
+}  // namespace rts::lb

@@ -1,0 +1,129 @@
+#include "lowerbound/two_proc.hpp"
+
+#include <bit>
+#include <cmath>
+#include <memory>
+
+#include "algo/le2.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/tas.hpp"
+#include "sim/kernel.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rts::lb {
+
+namespace {
+
+using P = algo::SimPlatform;
+
+/// Wraps Le2 as a 2-process ILeaderElect (side = pid).
+class Le2AsLe final : public algo::ILeaderElect<P> {
+ public:
+  explicit Le2AsLe(P::Arena arena) : le2_(arena) {}
+
+  sim::Outcome elect(sim::Context& ctx) override {
+    RTS_ASSERT(ctx.pid() == 0 || ctx.pid() == 1);
+    return le2_.elect(ctx, ctx.pid());
+  }
+
+  std::size_t declared_registers() const override {
+    return algo::Le2<P>::kRegisters;
+  }
+
+ private:
+  algo::Le2<P> le2_;
+};
+
+/// Runs the 2-process TAS under a fixed balanced schedule (bitmask: bit i =
+/// pid of slot i, exactly t ones among 2t slots, skip convention) and
+/// reports whether some process consumed all t of its scheduled steps.
+bool some_process_needs_t_steps(std::uint32_t schedule_mask, int t,
+                                std::uint64_t seed) {
+  sim::Kernel kernel;
+  P::Arena arena(kernel.memory());
+  auto tas = std::make_shared<algo::TasFromLe<P>>(
+      arena, std::make_unique<Le2AsLe>(arena));
+  for (int pid = 0; pid < 2; ++pid) {
+    kernel.add_process([tas](sim::Context& ctx) { tas->tas(ctx); },
+                       std::make_unique<support::PrngSource>(support::derive_seed(
+                           seed, static_cast<std::uint64_t>(pid))));
+  }
+  kernel.start();
+  for (int slot = 0; slot < 2 * t; ++slot) {
+    const int pid = (schedule_mask >> slot) & 1;
+    if (kernel.runnable(pid)) kernel.grant(pid);
+  }
+  return kernel.steps(0) >= static_cast<std::uint64_t>(t) ||
+         kernel.steps(1) >= static_cast<std::uint64_t>(t);
+}
+
+double binomial(int n, int k) {
+  double result = 1.0;
+  for (int i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<TwoProcLbRow> run_two_proc_lb(const std::vector<int>& ts,
+                                          int trials_per_schedule,
+                                          int max_schedules,
+                                          std::uint64_t seed) {
+  std::vector<TwoProcLbRow> rows;
+  support::PrngSource sampler(seed);
+
+  for (const int t : ts) {
+    RTS_REQUIRE(t >= 1 && t <= 15, "t must be in [1, 15]");
+    TwoProcLbRow row;
+    row.t = t;
+    row.trials = trials_per_schedule;
+    row.bound = std::pow(0.25, t);
+    row.min_prob = 1.0;
+
+    const double total = binomial(2 * t, t);
+    std::vector<std::uint32_t> schedules;
+    if (total <= static_cast<double>(max_schedules)) {
+      row.exhaustive = true;
+      // Enumerate all 2t-bit masks with exactly t ones.
+      for (std::uint32_t mask = 0; mask < (1u << (2 * t)); ++mask) {
+        if (std::popcount(mask) == t) schedules.push_back(mask);
+      }
+    } else {
+      for (int s = 0; s < max_schedules; ++s) {
+        // Balanced random schedule: shuffle t zeros and t ones.
+        std::uint32_t mask = 0;
+        int ones_left = t;
+        for (int slot = 2 * t - 1; slot >= 0; --slot) {
+          const auto pick = sampler.draw(static_cast<std::uint64_t>(slot) + 1);
+          if (pick < static_cast<std::uint64_t>(ones_left)) {
+            mask |= 1u << slot;
+            --ones_left;
+          }
+        }
+        schedules.push_back(mask);
+      }
+    }
+    row.schedules = static_cast<int>(schedules.size());
+
+    for (const std::uint32_t mask : schedules) {
+      int hits = 0;
+      for (int trial = 0; trial < trials_per_schedule; ++trial) {
+        const auto trial_seed = support::derive_seed(
+            seed, (static_cast<std::uint64_t>(mask) << 20) ^
+                      static_cast<std::uint64_t>(trial));
+        if (some_process_needs_t_steps(mask, t, trial_seed)) ++hits;
+      }
+      const double prob =
+          static_cast<double>(hits) / static_cast<double>(trials_per_schedule);
+      row.max_prob = std::max(row.max_prob, prob);
+      row.min_prob = std::min(row.min_prob, prob);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace rts::lb

@@ -1,0 +1,38 @@
+// Empirical companion to Theorem 6.1: for any randomized 2-process TAS and
+// any t > 0 there is an oblivious schedule under which, with probability at
+// least 1/4^t, some process does not finish its TAS() within fewer than t
+// steps.
+//
+// The harness enumerates the schedule set S_t exactly (every interleaving
+// of t steps per process; |S_t| = C(2t, t)) for small t, or samples balanced
+// schedules for large t, and Monte-Carlo estimates -- over the algorithm's
+// coins -- the probability that some process consumes all t of its scheduled
+// steps.  The theorem predicts max-over-schedules >= 4^-t; the library's TAS
+// comfortably exceeds the bound (its per-round coin ties decay like 2^-t/8,
+// not 4^-t), which is the expected picture for an upper-bound algorithm
+// meeting a lower bound from below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rts::lb {
+
+struct TwoProcLbRow {
+  int t = 0;
+  int schedules = 0;       ///< schedules evaluated
+  bool exhaustive = false; ///< true if all of S_t was enumerated
+  int trials = 0;          ///< coin trials per schedule
+  double max_prob = 0.0;   ///< max over schedules of P(someone takes t steps)
+  double min_prob = 0.0;
+  double bound = 0.0;      ///< the theorem's 1/4^t
+};
+
+/// Evaluates the bound for each t.  Schedules are enumerated exhaustively
+/// when C(2t, t) <= max_schedules, otherwise sampled.
+std::vector<TwoProcLbRow> run_two_proc_lb(const std::vector<int>& ts,
+                                          int trials_per_schedule,
+                                          int max_schedules,
+                                          std::uint64_t seed);
+
+}  // namespace rts::lb

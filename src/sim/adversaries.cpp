@@ -1,0 +1,78 @@
+#include "sim/adversaries.hpp"
+
+#include "support/assert.hpp"
+
+namespace rts::sim {
+
+FixedScheduleAdversary::FixedScheduleAdversary(std::vector<int> schedule)
+    : schedule_(std::move(schedule)) {}
+
+Action FixedScheduleAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  while (pos_ < schedule_.size()) {
+    const int pid = schedule_[pos_++];
+    if (view.is_runnable(pid)) return Action::step(pid);
+  }
+  // Sequence exhausted: fall back to round-robin over runnable pids.
+  for (int attempts = 0; attempts < view.num_processes(); ++attempts) {
+    const int pid = rr_next_;
+    rr_next_ = (rr_next_ + 1) % view.num_processes();
+    if (view.is_runnable(pid)) return Action::step(pid);
+  }
+  return Action::step(runnable.front());
+}
+
+Action RoundRobinAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  for (int attempts = 0; attempts < view.num_processes(); ++attempts) {
+    const int pid = next_;
+    next_ = (next_ + 1) % view.num_processes();
+    if (view.is_runnable(pid)) return Action::step(pid);
+  }
+  return Action::step(runnable.front());
+}
+
+Action UniformRandomAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  const auto index = rng_.draw(runnable.size());
+  return Action::step(runnable[index]);
+}
+
+CrashInjectingAdversary::CrashInjectingAdversary(Adversary& inner,
+                                                 std::uint64_t seed,
+                                                 double crash_prob,
+                                                 int max_crashes)
+    : inner_(&inner), rng_(seed), crash_prob_(crash_prob),
+      max_crashes_(max_crashes) {
+  RTS_REQUIRE(crash_prob >= 0.0 && crash_prob <= 1.0,
+              "crash_prob must be a probability");
+}
+
+Action CrashInjectingAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  if (crashes_ < max_crashes_ && runnable.size() > 1) {
+    // Draw with 2^20 resolution to approximate crash_prob.
+    constexpr std::uint64_t kResolution = 1 << 20;
+    const bool crash_now =
+        rng_.draw(kResolution) <
+        static_cast<std::uint64_t>(crash_prob_ * static_cast<double>(kResolution));
+    if (crash_now) {
+      ++crashes_;
+      const auto victim = runnable[rng_.draw(runnable.size())];
+      return Action::crash(victim);
+    }
+  }
+  return inner_->next(view);
+}
+
+Action SequentialAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  return Action::step(runnable.front());
+}
+
+}  // namespace rts::sim

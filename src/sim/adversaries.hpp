@@ -1,0 +1,102 @@
+// Concrete schedulers.
+//
+// "Honest" adversaries (fixed schedule, round-robin, uniform random) model
+// benign-to-moderate asynchrony and are valid members of any adversary class
+// since they ignore the view's pending information.  The targeted *attack*
+// adversaries that realize the paper's worst cases are implemented as
+// white-box drivers next to the algorithms they attack (see
+// algo/attacks.hpp), because they need to decode algorithm phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "support/rng.hpp"
+
+namespace rts::sim {
+
+/// Plays a fixed sequence of pids; steps of non-runnable processes are
+/// skipped (the standard convention for oblivious schedules).  When the
+/// sequence is exhausted the adversary continues round-robin.
+class FixedScheduleAdversary final : public Adversary {
+ public:
+  explicit FixedScheduleAdversary(std::vector<int> schedule);
+
+  AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
+  Action next(const KernelView& view) override;
+
+  /// Number of schedule entries consumed (including skipped ones).
+  std::size_t consumed() const { return pos_; }
+
+ private:
+  std::vector<int> schedule_;
+  std::size_t pos_ = 0;
+  int rr_next_ = 0;
+};
+
+/// Cycles through processes in pid order.
+class RoundRobinAdversary final : public Adversary {
+ public:
+  explicit RoundRobinAdversary(
+      AdversaryClass clazz = AdversaryClass::kOblivious)
+      : clazz_(clazz) {}
+
+  AdversaryClass clazz() const override { return clazz_; }
+  Action next(const KernelView& view) override;
+
+ private:
+  AdversaryClass clazz_;
+  int next_ = 0;
+};
+
+/// Picks uniformly at random among runnable processes.  The schedule is a
+/// function of the seed only (given the skip convention), so this adversary
+/// is a valid member of every class; `clazz` just controls which information
+/// the kernel would let it see.
+class UniformRandomAdversary final : public Adversary {
+ public:
+  UniformRandomAdversary(std::uint64_t seed,
+                         AdversaryClass clazz = AdversaryClass::kOblivious)
+      : rng_(seed), clazz_(clazz) {}
+
+  AdversaryClass clazz() const override { return clazz_; }
+  Action next(const KernelView& view) override;
+
+ private:
+  support::PrngSource rng_;
+  AdversaryClass clazz_;
+};
+
+/// Decorator that injects crashes: before delegating, each decision crashes a
+/// uniformly random runnable process with probability `crash_prob`, up to
+/// `max_crashes` times.  Used by the failure-injection tests: with crashes,
+/// at-most-one-winner must still hold.
+class CrashInjectingAdversary final : public Adversary {
+ public:
+  CrashInjectingAdversary(Adversary& inner, std::uint64_t seed,
+                          double crash_prob, int max_crashes);
+
+  AdversaryClass clazz() const override { return inner_->clazz(); }
+  Action next(const KernelView& view) override;
+
+  int crashes_injected() const { return crashes_; }
+
+ private:
+  Adversary* inner_;
+  support::PrngSource rng_;
+  double crash_prob_;
+  int max_crashes_;
+  int crashes_ = 0;
+};
+
+/// Always grants the lowest-pid runnable process until it finishes, then the
+/// next: fully sequential executions.  Useful for solo-termination tests and
+/// as the most extreme "no contention overlap" schedule.
+class SequentialAdversary final : public Adversary {
+ public:
+  AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
+  Action next(const KernelView& view) override;
+};
+
+}  // namespace rts::sim

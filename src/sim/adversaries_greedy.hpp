@@ -1,0 +1,118 @@
+// A generic (non-white-box) adversary whose power depends measurably on its
+// information class -- the library's demonstration that the KernelView
+// filters are load-bearing.
+//
+// Strategy against Figure-1-style group elections, expressed purely over
+// the *visible* pending-op fields:
+//   1. grant pending reads first (they can only help processes get elected);
+//   2. among pending writes with a visible target register, grant the one
+//      with the smallest register id, then immediately keep granting that
+//      process while its next op is a read (the write-then-check pattern);
+//   3. writes with hidden targets are granted round-robin.
+//
+// Run with AdversaryClass::kAdaptive, rule 2 sees Figure 1's slot writes and
+// releases them in ascending-slot order, electing *everyone* (the Omega(k)
+// direction).  Run with kLocationOblivious, those writes' targets are
+// hidden (OpTags::random_location), rule 2 never fires for them, and the
+// election behaves as Lemma 2.2 promises.  Identical code; only the view
+// differs.
+#pragma once
+
+#include <optional>
+
+#include "sim/adversary.hpp"
+
+namespace rts::sim {
+
+class GreedySlotAdversary final : public Adversary {
+ public:
+  explicit GreedySlotAdversary(AdversaryClass clazz) : clazz_(clazz) {}
+
+  AdversaryClass clazz() const override { return clazz_; }
+
+  Action next(const KernelView& view) override {
+    const auto& runnable = view.runnable();
+    // Follow-up rule: after granting a write, keep the same process running
+    // while it is reading (completes Figure 1's write-then-check).
+    if (last_written_ >= 0 && view.is_runnable(last_written_)) {
+      const PendingOpView p = view.pending(last_written_);
+      if (p.kind.has_value() && *p.kind == OpKind::kRead) {
+        return Action::step(last_written_);
+      }
+    }
+    last_written_ = -1;
+
+    // Rule 1: pending reads first.
+    for (const int pid : runnable) {
+      const PendingOpView p = view.pending(pid);
+      if (p.kind.has_value() && *p.kind == OpKind::kRead) {
+        return Action::step(pid);
+      }
+    }
+    // Rule 2: visible-target writes, ascending register id.
+    int best = -1;
+    RegId best_reg = kInvalidReg;
+    for (const int pid : runnable) {
+      const PendingOpView p = view.pending(pid);
+      if (p.kind.has_value() && *p.kind == OpKind::kWrite &&
+          p.reg.has_value() && *p.reg < best_reg) {
+        best_reg = *p.reg;
+        best = pid;
+      }
+    }
+    if (best >= 0) {
+      last_written_ = best;
+      return Action::step(best);
+    }
+    // Rule 3: hidden writes round-robin.
+    for (int attempts = 0; attempts < view.num_processes(); ++attempts) {
+      const int pid = rr_next_;
+      rr_next_ = (rr_next_ + 1) % view.num_processes();
+      if (view.is_runnable(pid)) {
+        last_written_ = pid;
+        return Action::step(pid);
+      }
+    }
+    return Action::step(runnable.front());
+  }
+
+ private:
+  AdversaryClass clazz_;
+  int rr_next_ = 0;
+  int last_written_ = -1;
+};
+
+/// The mirror demonstration for the R/W-oblivious class: a strategy that
+/// grants pending *reads* before pending writes.  Against the sifting step
+/// (where read-vs-write is the random choice, OpTags::random_kind) this
+/// elects everyone when run as adaptive (it sees the kinds) -- readers get
+/// in before any write -- but collapses to round-robin when run as
+/// R/W-oblivious, because the kernel hides exactly that bit.
+class GreedyKindAdversary final : public Adversary {
+ public:
+  explicit GreedyKindAdversary(AdversaryClass clazz) : clazz_(clazz) {}
+
+  AdversaryClass clazz() const override { return clazz_; }
+
+  Action next(const KernelView& view) override {
+    const auto& runnable = view.runnable();
+    for (const int pid : runnable) {
+      const PendingOpView p = view.pending(pid);
+      if (p.kind.has_value() && *p.kind == OpKind::kRead) {
+        return Action::step(pid);
+      }
+    }
+    for (int attempts = 0; attempts < view.num_processes(); ++attempts) {
+      const int pid = rr_next_;
+      rr_next_ = (rr_next_ + 1) % view.num_processes();
+      if (view.is_runnable(pid)) return Action::step(pid);
+    }
+    return Action::step(runnable.front());
+  }
+
+ private:
+  AdversaryClass clazz_;
+  int rr_next_ = 0;
+};
+
+}  // namespace rts::sim

@@ -1,0 +1,99 @@
+// Adversary framework.
+//
+// The paper distinguishes four adversary classes by what they may observe
+// when deciding which process takes the next step:
+//
+//   * adaptive            -- everything, including past coin flips.
+//   * location-oblivious  -- everything in the past, plus the kind and
+//                            argument of pending ops, but NOT the target
+//                            register of a pending op whose location was
+//                            chosen at random (Fig. 1, line 3/4).
+//   * R/W-oblivious       -- everything in the past, plus target registers of
+//                            pending ops, but NOT whether a pending op is a
+//                            read or a write when that was chosen at random
+//                            (the Alistarh-Aspnes sifting coin).
+//   * oblivious           -- must fix the whole schedule in advance.
+//
+// The KernelView enforces these rules mechanically: the adversary receives a
+// view parameterized by its declared class, and hidden fields come back as
+// std::nullopt.  Deterministically-decided pending fields are visible to
+// every non-oblivious adversary -- they are inferable from the visible past
+// plus the program text anyway, so hiding them would not model anything.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/types.hpp"
+
+namespace rts::sim {
+
+enum class AdversaryClass : std::uint8_t {
+  kOblivious,
+  kLocationOblivious,
+  kRWOblivious,
+  kAdaptive,
+};
+
+const char* to_string(AdversaryClass clazz);
+
+/// What an adversary of a given class may see of one pending operation.
+struct PendingOpView {
+  int pid = -1;
+  std::optional<OpKind> kind;
+  std::optional<RegId> reg;
+  std::optional<std::uint64_t> value;  // write argument, when kind is visible
+};
+
+/// Class-filtered window onto the kernel, handed to Adversary::next().
+class KernelView {
+ public:
+  KernelView(const Kernel& kernel, AdversaryClass clazz);
+
+  AdversaryClass clazz() const { return clazz_; }
+  int num_processes() const { return kernel_->num_processes(); }
+  std::uint64_t total_steps() const { return kernel_->total_steps(); }
+  std::uint64_t steps(int pid) const { return kernel_->steps(pid); }
+
+  /// Pids with a pending operation, in pid order.  Every adversary class may
+  /// use this: the standard convention for oblivious schedules is that steps
+  /// of finished processes are skipped.
+  const std::vector<int>& runnable() const { return runnable_; }
+  bool is_runnable(int pid) const;
+
+  /// The class-filtered view of pid's pending op.  Precondition: runnable.
+  PendingOpView pending(int pid) const;
+
+  /// Full kernel access; permitted for the adaptive adversary only.
+  const Kernel& adaptive_full_access() const;
+
+ private:
+  const Kernel* kernel_;
+  AdversaryClass clazz_;
+  std::vector<int> runnable_;
+};
+
+/// One scheduling decision.
+struct Action {
+  enum class Kind : std::uint8_t { kStep, kCrash };
+  Kind kind = Kind::kStep;
+  int pid = -1;
+
+  static Action step(int pid) { return Action{Kind::kStep, pid}; }
+  static Action crash(int pid) { return Action{Kind::kCrash, pid}; }
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual AdversaryClass clazz() const = 0;
+
+  /// Chooses the next action.  Must return a step for a runnable pid or a
+  /// crash for a live pid; the kernel asserts this.
+  virtual Action next(const KernelView& view) = 0;
+};
+
+}  // namespace rts::sim

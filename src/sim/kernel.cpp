@@ -1,0 +1,108 @@
+#include "sim/kernel.hpp"
+
+#include "sim/adversary.hpp"
+#include "support/assert.hpp"
+
+namespace rts::sim {
+
+Kernel::Kernel() : Kernel(Options{}) {}
+
+Kernel::Kernel(Options options) : options_(options) {}
+
+int Kernel::add_process(std::function<void(Context&)> body,
+                        std::unique_ptr<support::RandomSource> rng) {
+  RTS_REQUIRE(!started_, "add_process after start");
+  const int pid = static_cast<int>(processes_.size());
+  processes_.push_back(
+      std::make_unique<SimProcess>(*this, pid, std::move(body), std::move(rng)));
+  return pid;
+}
+
+void Kernel::start() {
+  RTS_REQUIRE(!started_, "kernel already started");
+  started_ = true;
+  for (auto& proc : processes_) proc->start();
+}
+
+const SimProcess& Kernel::process(int pid) const {
+  RTS_ASSERT(pid >= 0 && pid < num_processes());
+  return *processes_[pid];
+}
+
+std::vector<int> Kernel::runnable_pids() const {
+  std::vector<int> out;
+  out.reserve(processes_.size());
+  for (const auto& proc : processes_) {
+    if (proc->runnable()) out.push_back(proc->pid());
+  }
+  return out;
+}
+
+bool Kernel::all_done() const {
+  for (const auto& proc : processes_) {
+    if (proc->state() == SimProcess::State::kReady ||
+        proc->state() == SimProcess::State::kUnstarted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Kernel::grant(int pid) {
+  RTS_ASSERT(pid >= 0 && pid < num_processes());
+  SimProcess& proc = *processes_[pid];
+  RTS_ASSERT_MSG(proc.runnable(), "grant to non-runnable process");
+
+  const PendingOp op = proc.pending();
+  OpRecord record;
+  record.step = total_steps_;
+  record.pid = pid;
+  record.kind = op.kind;
+  record.reg = op.reg;
+  record.prev_writer = memory_.slot(op.reg).last_writer;
+
+  std::uint64_t result = 0;
+  if (op.kind == OpKind::kRead) {
+    result = memory_.read(op.reg, pid);
+    record.value = result;
+  } else {
+    memory_.write(op.reg, op.value, pid);
+    record.value = op.value;
+  }
+  ++total_steps_;
+  ++proc.steps_;
+
+  if (op_observer_) op_observer_(record);
+  if (options_.track_events) event_log_.push_back(record);
+
+  proc.resume_with_result(result);
+}
+
+void Kernel::crash(int pid) {
+  RTS_ASSERT(pid >= 0 && pid < num_processes());
+  SimProcess& proc = *processes_[pid];
+  RTS_ASSERT_MSG(proc.state() == SimProcess::State::kReady ||
+                     proc.state() == SimProcess::State::kUnstarted,
+                 "crash of a process that already finished or crashed");
+  proc.crash();
+}
+
+bool Kernel::run(Adversary& adversary) {
+  if (!started_) start();
+  while (!all_done()) {
+    if (total_steps_ >= options_.step_limit) return false;
+    KernelView view(*this, adversary.clazz());
+    const Action action = adversary.next(view);
+    switch (action.kind) {
+      case Action::Kind::kStep:
+        grant(action.pid);
+        break;
+      case Action::Kind::kCrash:
+        crash(action.pid);
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rts::sim

@@ -1,0 +1,69 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace rts::sim {
+
+RegId SimMemory::alloc(std::string name) {
+  RegSlot slot;
+  slot.name = std::move(name);
+  slots_.push_back(std::move(slot));
+  return static_cast<RegId>(slots_.size() - 1);
+}
+
+std::uint64_t SimMemory::read(RegId reg, int pid) {
+  RTS_ASSERT(reg < slots_.size());
+  (void)pid;
+  ++slots_[reg].reads;
+  ++total_reads_;
+  return slots_[reg].value;
+}
+
+void SimMemory::write(RegId reg, std::uint64_t value, int pid) {
+  RTS_ASSERT(reg < slots_.size());
+  RegSlot& slot = slots_[reg];
+  slot.value = value;
+  slot.last_writer = pid;
+  ++slot.writes;
+  ++total_writes_;
+}
+
+const RegSlot& SimMemory::slot(RegId reg) const {
+  RTS_ASSERT(reg < slots_.size());
+  return slots_[reg];
+}
+
+std::size_t SimMemory::touched() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) {
+    if (slot.reads > 0 || slot.writes > 0) ++n;
+  }
+  return n;
+}
+
+std::vector<SimMemory::PrefixUsage> SimMemory::usage_by_prefix() const {
+  std::map<std::string, PrefixUsage> by_prefix;
+  for (const auto& slot : slots_) {
+    const auto dot = slot.name.find('.');
+    const std::string prefix =
+        dot == std::string::npos ? slot.name : slot.name.substr(0, dot);
+    PrefixUsage& usage = by_prefix[prefix];
+    usage.prefix = prefix;
+    ++usage.registers;
+    usage.reads += slot.reads;
+    usage.writes += slot.writes;
+  }
+  std::vector<PrefixUsage> out;
+  out.reserve(by_prefix.size());
+  for (auto& [prefix, usage] : by_prefix) out.push_back(std::move(usage));
+  std::sort(out.begin(), out.end(),
+            [](const PrefixUsage& a, const PrefixUsage& b) {
+              return a.registers > b.registers;
+            });
+  return out;
+}
+
+}  // namespace rts::sim

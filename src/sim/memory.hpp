@@ -1,0 +1,60 @@
+// The simulated shared memory: an array of atomic multi-reader multi-writer
+// registers with full accounting (reads, writes, last writer).
+//
+// Following the paper's Section 5 convention, every register implicitly
+// stores the identifier of its last writer next to the value ("whenever a
+// process writes a value to a register, that value is a pair (x, ID)").  The
+// simulator keeps the ID as metadata so algorithms see plain values while
+// the lower-bound driver can ask who is *visible* on a register.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rts::sim {
+
+struct RegSlot {
+  std::uint64_t value = 0;
+  int last_writer = -1;  // -1 = bottom: no process visible
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::string name;
+};
+
+class SimMemory {
+ public:
+  /// Allocates a fresh register initialised to 0 and returns its id.
+  RegId alloc(std::string name);
+
+  std::uint64_t read(RegId reg, int pid);
+  void write(RegId reg, std::uint64_t value, int pid);
+
+  const RegSlot& slot(RegId reg) const;
+
+  /// Number of registers allocated so far.
+  std::size_t allocated() const { return slots_.size(); }
+  /// Number of registers with at least one read or write.
+  std::size_t touched() const;
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_writes() const { return total_writes_; }
+
+  struct PrefixUsage {
+    std::string prefix;     // register-name prefix up to the first '.'
+    std::size_t registers = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  /// Space/traffic breakdown grouped by register-name prefix (the component
+  /// that allocated it), sorted by register count descending.
+  std::vector<PrefixUsage> usage_by_prefix() const;
+
+ private:
+  std::vector<RegSlot> slots_;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_writes_ = 0;
+};
+
+}  // namespace rts::sim

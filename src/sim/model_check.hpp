@@ -1,0 +1,99 @@
+// Bounded exhaustive exploration of schedules x coin flips.
+//
+// Every source of nondeterminism in a simulation run -- the scheduler's
+// choice among runnable processes and every coin flip inside every process --
+// is funnelled through one master decision tape.  Depth-first search over
+// tapes then enumerates every execution up to a decision budget, checking a
+// safety predicate after every step.
+//
+// Because the predicate is checked on every prefix and the search includes
+// unfair schedules (a process may simply never be scheduled again within the
+// budget), the exploration also covers every crash pattern: a crash is
+// indistinguishable from never being scheduled.
+//
+// This is how the library *machine-checks* the safety of the 2-process
+// leader-election building block instead of trusting a paper citation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace rts::sim {
+
+/// RandomSource adapter that forwards to a master source; handed to each
+/// simulated process so all coins land on the shared tape in execution order.
+class SharedSource final : public support::RandomSource {
+ public:
+  explicit SharedSource(support::RandomSource& master) : master_(&master) {}
+
+  std::uint64_t draw(std::uint64_t arity) override {
+    return master_->draw(arity);
+  }
+  std::uint64_t geometric_trunc(std::uint64_t ell) override {
+    return master_->geometric_trunc(ell);
+  }
+
+ private:
+  support::RandomSource* master_;
+};
+
+struct ExploreOptions {
+  /// Bound on decisions (scheduler picks + coins) per execution; executions
+  /// exceeding it are truncated (still checked on every explored prefix).
+  std::size_t max_decisions = 40;
+  /// Bound on the number of executions explored.
+  std::uint64_t max_runs = 50'000'000;
+  Kernel::Options kernel;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;
+  std::uint64_t truncated_runs = 0;
+  std::uint64_t completed_runs = 0;
+  bool exhausted = false;  ///< true if the whole bounded space was explored
+  bool violation_found = false;
+  std::string violation;
+  std::vector<support::TapeSource::Decision> violating_tape;
+};
+
+/// `build` populates a fresh kernel (processes must draw randomness from the
+/// provided master source, e.g. via SharedSource).  `stepwise_check` runs
+/// after start() and after every grant; returning a non-empty string flags a
+/// violation.  `terminal_check` runs when all processes finished.
+ExploreResult explore_all(
+    const std::function<void(Kernel&, support::RandomSource&)>& build,
+    const std::function<std::string(const Kernel&)>& stepwise_check,
+    const std::function<std::string(const Kernel&)>& terminal_check,
+    const ExploreOptions& options = {});
+
+struct ReplayResult {
+  bool truncated = false;
+  bool completed = false;
+  std::string violation;
+};
+
+/// Re-executes the single run identified by `tape` (e.g. a violating tape
+/// returned by explore_all, possibly deserialized with parse_tape) and
+/// re-applies the checks.  The foundation of reproducible bug reports.
+ReplayResult replay_tape(
+    const std::function<void(Kernel&, support::RandomSource&)>& build,
+    const std::function<std::string(const Kernel&)>& stepwise_check,
+    const std::function<std::string(const Kernel&)>& terminal_check,
+    const ExploreOptions& options,
+    std::vector<support::TapeSource::Decision> tape);
+
+/// Serializes a decision tape as "value/arity value/arity ...".
+std::string format_tape(
+    const std::vector<support::TapeSource::Decision>& tape);
+
+/// Parses format_tape output; returns std::nullopt on malformed input.
+std::optional<std::vector<support::TapeSource::Decision>> parse_tape(
+    const std::string& text);
+
+}  // namespace rts::sim

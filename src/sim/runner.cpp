@@ -1,0 +1,97 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rts::sim {
+
+LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
+                        Adversary& adversary, std::uint64_t seed,
+                        Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+  LeRunResult result;
+  result.n = n;
+  result.k = k;
+  result.outcomes.assign(static_cast<std::size_t>(k), Outcome::kUnknown);
+
+  Kernel kernel(kernel_options);
+  BuiltLe le = builder(kernel, n);
+  result.declared_registers = le.declared_registers;
+
+  for (int pid = 0; pid < k; ++pid) {
+    auto rng = std::make_unique<support::PrngSource>(
+        support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+    auto* outcome_slot = &result.outcomes[static_cast<std::size_t>(pid)];
+    kernel.add_process(
+        [&le, outcome_slot](Context& ctx) { *outcome_slot = le.elect(ctx); },
+        std::move(rng));
+  }
+
+  result.completed = kernel.run(adversary);
+
+  result.steps.resize(static_cast<std::size_t>(k));
+  for (int pid = 0; pid < k; ++pid) {
+    result.steps[static_cast<std::size_t>(pid)] = kernel.steps(pid);
+    if (kernel.state(pid) == SimProcess::State::kCrashed) {
+      result.crash_free = false;
+    }
+  }
+  result.max_steps = *std::max_element(result.steps.begin(), result.steps.end());
+  result.total_steps = kernel.total_steps();
+  result.regs_allocated = kernel.memory().allocated();
+  result.regs_touched = kernel.memory().touched();
+
+  for (const Outcome outcome : result.outcomes) {
+    switch (outcome) {
+      case Outcome::kWin:
+        ++result.winners;
+        break;
+      case Outcome::kLose:
+        ++result.losers;
+        break;
+      case Outcome::kUnknown:
+        ++result.unfinished;
+        break;
+    }
+  }
+
+  if (result.winners > 1) {
+    result.violations.push_back("safety: more than one winner (" +
+                                std::to_string(result.winners) + ")");
+  }
+  if (result.completed && result.crash_free && result.winners != 1) {
+    result.violations.push_back(
+        "liveness: crash-free complete run without exactly one winner");
+  }
+  return result;
+}
+
+LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
+                        const AdversaryFactory& adversary_factory, int trials,
+                        std::uint64_t seed0, Kernel::Options kernel_options) {
+  LeAggregate agg;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed =
+        support::derive_seed(seed0, static_cast<std::uint64_t>(t));
+    auto adversary = adversary_factory(support::derive_seed(seed, 0xadUL));
+    LeRunResult r =
+        run_le_once(builder, n, k, *adversary, seed, kernel_options);
+    ++agg.runs;
+    agg.max_steps.add(static_cast<double>(r.max_steps));
+    agg.mean_steps.add(static_cast<double>(r.total_steps) /
+                       static_cast<double>(k));
+    agg.total_steps.add(static_cast<double>(r.total_steps));
+    agg.regs_touched.add(static_cast<double>(r.regs_touched));
+    if (!r.violations.empty()) {
+      ++agg.violation_runs;
+      if (agg.first_violations.size() < 5) {
+        agg.first_violations.push_back(r.violations.front());
+      }
+    }
+  }
+  return agg;
+}
+
+}  // namespace rts::sim

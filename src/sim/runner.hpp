@@ -1,0 +1,82 @@
+// High-level harness: build a leader-election instance inside a kernel, run
+// k participants against an adversary, collect step counts, outcomes, space
+// accounting, and safety-violation diagnostics.
+//
+// Algorithms are delivered as type-erased BuiltLe factories so the runner,
+// tests, and benches are independent of the concrete algorithm templates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "sim/kernel.hpp"
+#include "sim/types.hpp"
+#include "support/stats.hpp"
+
+namespace rts::sim {
+
+/// A leader-election instance materialized inside some kernel's memory.
+struct BuiltLe {
+  /// Owns the algorithm object graph (kept alive for the kernel's lifetime).
+  std::shared_ptr<void> keepalive;
+  /// One-shot election call; invoked at most once per process.
+  std::function<Outcome(Context&)> elect;
+  /// Registers the structure would occupy if fully materialized (analytic;
+  /// lazily-built structures allocate fewer).
+  std::size_t declared_registers = 0;
+};
+
+/// Builds a leader-election instance sized for up to `n` processes.
+using LeBuilder = std::function<BuiltLe(Kernel&, int n)>;
+
+/// Creates a fresh adversary for a trial with the given seed.
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(std::uint64_t seed)>;
+
+struct LeRunResult {
+  int n = 0;  ///< capacity the object was built for
+  int k = 0;  ///< participants
+  std::vector<Outcome> outcomes;
+  std::vector<std::uint64_t> steps;
+  std::uint64_t max_steps = 0;
+  std::uint64_t total_steps = 0;
+  int winners = 0;
+  int losers = 0;
+  int unfinished = 0;  ///< crashed or starved
+  std::size_t regs_allocated = 0;
+  std::size_t regs_touched = 0;
+  std::size_t declared_registers = 0;
+  bool crash_free = true;
+  bool completed = true;  ///< false if the kernel step limit was hit
+  std::vector<std::string> violations;
+};
+
+/// Runs one election: builds the object for `n` processes, spawns `k`
+/// participants (pids 0..k-1) seeded from `seed`, and drives them with
+/// `adversary`.  Safety violations (two winners; or no winner despite a
+/// crash-free complete run) are recorded in the result.
+LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
+                        Adversary& adversary, std::uint64_t seed,
+                        Kernel::Options kernel_options = {});
+
+/// Aggregate statistics over repeated trials.
+struct LeAggregate {
+  support::Accumulator max_steps;      ///< per-run max individual steps
+  support::Accumulator mean_steps;     ///< per-run mean individual steps
+  support::Accumulator total_steps;
+  support::Accumulator regs_touched;
+  int runs = 0;
+  int violation_runs = 0;
+  std::vector<std::string> first_violations;
+};
+
+LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
+                        const AdversaryFactory& adversary_factory, int trials,
+                        std::uint64_t seed0,
+                        Kernel::Options kernel_options = {});
+
+}  // namespace rts::sim

@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace rts::sim {
+
+std::string format_record(const Kernel& kernel, const OpRecord& record) {
+  char buffer[256];
+  const auto& slot = kernel.memory().slot(record.reg);
+  if (record.kind == OpKind::kWrite) {
+    std::snprintf(buffer, sizeof buffer, "#%-6llu p%-3d WRITE r%-4u %-18s := %llu",
+                  static_cast<unsigned long long>(record.step), record.pid,
+                  record.reg, slot.name.c_str(),
+                  static_cast<unsigned long long>(record.value));
+  } else if (record.prev_writer >= 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  "#%-6llu p%-3d READ  r%-4u %-18s -> %llu (saw p%d)",
+                  static_cast<unsigned long long>(record.step), record.pid,
+                  record.reg, slot.name.c_str(),
+                  static_cast<unsigned long long>(record.value),
+                  record.prev_writer);
+  } else {
+    std::snprintf(buffer, sizeof buffer,
+                  "#%-6llu p%-3d READ  r%-4u %-18s -> %llu",
+                  static_cast<unsigned long long>(record.step), record.pid,
+                  record.reg, slot.name.c_str(),
+                  static_cast<unsigned long long>(record.value));
+  }
+  return buffer;
+}
+
+std::string format_trace(const Kernel& kernel, std::size_t max_lines) {
+  std::string out;
+  const auto& log = kernel.event_log();
+  const std::size_t shown = std::min(max_lines, log.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    out += format_record(kernel, log[i]);
+    out += '\n';
+  }
+  if (shown < log.size()) {
+    out += "... (" + std::to_string(log.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace rts::sim

@@ -1,0 +1,19 @@
+// Human-readable rendering of kernel event logs -- the debugging view of an
+// execution.  Enable Kernel::Options::track_events, run, then format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/types.hpp"
+
+namespace rts::sim {
+
+/// One line per operation: "#step pid OP reg(name) value [saw writer]".
+std::string format_record(const Kernel& kernel, const OpRecord& record);
+
+/// Formats the whole event log (requires track_events).
+std::string format_trace(const Kernel& kernel, std::size_t max_lines = 200);
+
+}  // namespace rts::sim

@@ -1,0 +1,57 @@
+// Assertion and error-handling primitives for the rts library.
+//
+// Two distinct mechanisms, per the library's error-handling policy:
+//  * rts::Error (exception)  -- for construction/configuration errors that a
+//    caller can reasonably be expected to handle (bad parameters, misuse of
+//    the public API).
+//  * RTS_ASSERT / RTS_CHECK  -- for internal invariants; violation means the
+//    library itself is broken, so we print a diagnostic and abort.  These are
+//    enabled in all build types: the simulator is a verification tool, so its
+//    invariants must hold in release builds too.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rts {
+
+/// Exception thrown on API misuse or invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rts: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rts
+
+/// Internal invariant check, active in every build type.
+#define RTS_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::rts::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                           \
+  } while (false)
+
+/// Internal invariant check with an explanatory message.
+#define RTS_ASSERT_MSG(expr, msg)                           \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::rts::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                       \
+  } while (false)
+
+/// Precondition on a public API; throws rts::Error instead of aborting.
+#define RTS_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      throw ::rts::Error(std::string("precondition failed: ") + (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,57 @@
+#include "support/math.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rts::support {
+
+int log2_floor(std::uint64_t x) {
+  RTS_ASSERT(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int log2_ceil(std::uint64_t x) {
+  RTS_ASSERT(x >= 1);
+  if (x == 1) return 0;
+  return log2_floor(x - 1) + 1;
+}
+
+bool is_pow2(std::uint64_t x) { return x >= 1 && std::has_single_bit(x); }
+
+int log_star(double x) {
+  int iters = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++iters;
+    RTS_ASSERT_MSG(iters < 64, "log_star diverged");
+  }
+  return iters;
+}
+
+double log_log2(double x) {
+  if (x <= 2.0) return 0.0;
+  const double l = std::log2(x);
+  return l <= 1.0 ? 0.0 : std::log2(l);
+}
+
+int delta_iterations(std::uint64_t k, const std::function<double(double)>& rate,
+                     double threshold, int max_iters) {
+  double j = static_cast<double>(k);
+  int iters = 0;
+  while (j > threshold && iters < max_iters) {
+    const double next = rate(j);
+    ++iters;
+    if (next >= j) break;  // rate no longer contracts; bail out
+    j = next;
+  }
+  return iters;
+}
+
+double fig1_performance_bound(std::uint64_t k) {
+  if (k <= 1) return 6.0;
+  return 2.0 * std::log2(static_cast<double>(k)) + 6.0;
+}
+
+}  // namespace rts::support

@@ -1,0 +1,41 @@
+// Small integer-math helpers used throughout the library: binary logarithms,
+// the iterated logarithm log* (the paper's headline complexity), and the
+// Markov-chain hitting-time estimate Delta_{f-1} from Section 2.1 of the
+// paper, which predicts the expected number of group-election rounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rts::support {
+
+/// floor(log2(x)) for x >= 1.
+int log2_floor(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+int log2_ceil(std::uint64_t x);
+
+/// True if x is a power of two (x >= 1).
+bool is_pow2(std::uint64_t x);
+
+/// The iterated logarithm log*(x): the number of times log2 must be applied
+/// to x before the result is <= 1.  log_star(1) == 0, log_star(2) == 1,
+/// log_star(4) == 2, log_star(16) == 3, log_star(65536) == 4.
+int log_star(double x);
+
+/// log2(log2(x)) clamped below at 0; convenience for plotting predictions.
+double log_log2(double x);
+
+/// Deterministic proxy for the hitting time Delta_r(k) from the paper
+/// (Section 2.1): the number of iterations of j -> r(j) needed to drive j
+/// from k down to `threshold` (a small constant), where r is the chain's
+/// rate bound.  For the Fig-1 rate r(j) = 2 log2 j + 5 this iteration count
+/// is Theta(log* k) -- the prediction the benches plot measurements against.
+/// Iteration also stops if the map stops contracting or `max_iters` is hit.
+int delta_iterations(std::uint64_t k, const std::function<double(double)>& rate,
+                     double threshold = 16.0, int max_iters = 256);
+
+/// The paper's Figure-1 performance parameter bound f(k) = 2*log2(k) + 6.
+double fig1_performance_bound(std::uint64_t k);
+
+}  // namespace rts::support

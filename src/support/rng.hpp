@@ -1,0 +1,93 @@
+// Randomness for the library.
+//
+// All algorithm randomness is drawn through the RandomSource interface so the
+// same algorithm code can run under
+//  * a fast deterministic PRNG (xoshiro256** seeded via SplitMix64), and
+//  * an *enumerating* source used by the model checker, which systematically
+//    explores every possible outcome of every coin flip.
+//
+// Algorithms must use the typed helpers (flip / uniform_below /
+// geometric_trunc) rather than raw bits, so each random decision is a single
+// enumerable branching point with a known arity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rts::support {
+
+/// SplitMix64 step; used for seeding and hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 -- fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Source of random decisions.  `draw(arity)` returns a value uniform in
+/// [0, arity); `geometric_trunc(ell)` returns i in [1, ell] with
+/// Pr(i) = 2^-i for i < ell and Pr(ell) = 2^-(ell-1) -- the distribution of
+/// line 3 of the paper's Figure 1.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  virtual std::uint64_t draw(std::uint64_t arity) = 0;
+  virtual std::uint64_t geometric_trunc(std::uint64_t ell) = 0;
+
+  /// Fair coin: 0 or 1.
+  std::uint64_t flip() { return draw(2); }
+};
+
+/// PRNG-backed RandomSource (the default for simulation and hardware runs).
+class PrngSource final : public RandomSource {
+ public:
+  explicit PrngSource(std::uint64_t seed) : rng_(seed) {}
+
+  std::uint64_t draw(std::uint64_t arity) override;
+  std::uint64_t geometric_trunc(std::uint64_t ell) override;
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Decision-tape RandomSource used by the exhaustive model checker.  The
+/// first `tape.size()` decisions replay the tape; any decision beyond the
+/// tape takes value 0 and records its arity, so the driver can later extend
+/// the tape to explore sibling outcomes.
+class TapeSource final : public RandomSource {
+ public:
+  struct Decision {
+    std::uint64_t arity = 0;
+    std::uint64_t value = 0;
+  };
+
+  explicit TapeSource(std::vector<Decision> tape) : tape_(std::move(tape)) {}
+
+  std::uint64_t draw(std::uint64_t arity) override;
+  std::uint64_t geometric_trunc(std::uint64_t ell) override;
+
+  /// Full decision history of this run: the replayed prefix plus every novel
+  /// decision (recorded with value 0).
+  const std::vector<Decision>& history() const { return history_; }
+
+ private:
+  std::uint64_t record(std::uint64_t arity);
+
+  std::vector<Decision> tape_;
+  std::vector<Decision> history_;
+  std::size_t pos_ = 0;
+};
+
+/// Derives a stable per-stream seed from a master seed and a stream id.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
+
+}  // namespace rts::support

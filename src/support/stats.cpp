@@ -1,0 +1,73 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rts::support {
+
+void Accumulator::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (keep_samples_) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+}
+
+double Accumulator::mean() const { return mean_; }
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return min_; }
+double Accumulator::max() const { return max_; }
+
+double Accumulator::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Accumulator::quantile(double q) const {
+  RTS_ASSERT(q >= 0.0 && q <= 1.0);
+  RTS_ASSERT_MSG(keep_samples_, "quantile() requires sample retention");
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Classic nearest-rank: the ceil(q*n)-th smallest sample (1-based).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+Summary summarize(const Accumulator& acc) {
+  Summary s;
+  s.n = acc.count();
+  if (s.n == 0) return s;
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = acc.quantile(0.5);
+  s.p95 = acc.quantile(0.95);
+  s.ci95 = acc.ci95_half_width();
+  return s;
+}
+
+}  // namespace rts::support

@@ -1,0 +1,55 @@
+// Sample statistics for the benchmark harness and the statistical tests:
+// online mean/variance (Welford), quantiles, and normal-approximation
+// confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rts::support {
+
+/// Online accumulator (Welford's algorithm) plus retained samples for
+/// quantile queries.  Retention can be disabled for huge streams.
+class Accumulator {
+ public:
+  explicit Accumulator(bool keep_samples = true) : keep_samples_(keep_samples) {}
+
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< unbiased sample variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the 95% confidence interval for the mean (normal approx).
+  double ci95_half_width() const;
+  /// q in [0,1]; nearest-rank quantile over retained samples.
+  double quantile(double q) const;
+
+ private:
+  bool keep_samples_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Compact summary of an accumulator, convenient for table rows.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;
+};
+
+Summary summarize(const Accumulator& acc);
+
+}  // namespace rts::support

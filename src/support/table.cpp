@@ -1,0 +1,74 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "support/assert.hpp"
+
+namespace rts::support {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  RTS_ASSERT(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RTS_ASSERT_MSG(cells.size() == columns_.size(),
+                 "row width does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  std::fprintf(out, "\n=== %s ===\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%-*s  ", static_cast<int>(width[c]), columns_[c].c_str());
+  }
+  std::fprintf(out, "\n");
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fflush(out);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%s%s", columns_[c].c_str(),
+                 c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", row[c].c_str(), c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  std::fflush(out);
+}
+
+std::string Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::num(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zu", value);
+  return buf;
+}
+
+}  // namespace rts::support

@@ -1,0 +1,36 @@
+// Minimal aligned-ASCII table printer used by the benchmark binaries to emit
+// paper-style result tables (and optional CSV for downstream plotting).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rts::support {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a title banner and aligned columns.
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders the same data as CSV (no banner).
+  void print_csv(std::FILE* out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimals, trimming noise.
+  static std::string num(double value, int digits = 2);
+  static std::string num(std::size_t value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rts::support

@@ -1,0 +1,79 @@
+// Shared scaffolding for algorithm tests: a kernel wrapper that spawns
+// processes running closures over sim Contexts, plus adversary factories
+// used by the parameterized property sweeps.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/sim_platform.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/kernel.hpp"
+#include "sim/runner.hpp"
+#include "support/rng.hpp"
+
+namespace rts::testing {
+
+inline std::unique_ptr<support::RandomSource> prng(std::uint64_t seed) {
+  return std::make_unique<support::PrngSource>(seed);
+}
+
+class SimHarness {
+ public:
+  explicit SimHarness(sim::Kernel::Options options = {}) : kernel_(options) {}
+
+  algo::SimPlatform::Arena arena() {
+    return algo::SimPlatform::Arena(kernel_.memory());
+  }
+
+  int add(std::function<void(sim::Context&)> body, std::uint64_t seed) {
+    return kernel_.add_process(std::move(body), prng(seed));
+  }
+
+  bool run(sim::Adversary& adversary) { return kernel_.run(adversary); }
+
+  sim::Kernel& kernel() { return kernel_; }
+
+ private:
+  sim::Kernel kernel_;
+};
+
+/// Adversary kinds used by the parameterized sweeps.
+enum class SchedKind : int {
+  kSequential = 0,
+  kRoundRobin = 1,
+  kRandom = 2,
+};
+
+inline std::string to_string(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kSequential:
+      return "sequential";
+    case SchedKind::kRoundRobin:
+      return "roundrobin";
+    case SchedKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<sim::Adversary> make_adversary(SchedKind kind,
+                                                      std::uint64_t seed) {
+  switch (kind) {
+    case SchedKind::kSequential:
+      return std::make_unique<sim::SequentialAdversary>();
+    case SchedKind::kRoundRobin:
+      return std::make_unique<sim::RoundRobinAdversary>();
+    case SchedKind::kRandom:
+      return std::make_unique<sim::UniformRandomAdversary>(seed);
+  }
+  return nullptr;
+}
+
+inline sim::AdversaryFactory adversary_factory(SchedKind kind) {
+  return [kind](std::uint64_t seed) { return make_adversary(kind, seed); };
+}
+
+}  // namespace rts::testing

@@ -1,0 +1,178 @@
+// Tests for the Alistarh-Aspnes construction (sifting + RatRace backup) and
+// the 2-process consensus reduction.
+//
+// The AA algorithm is the paper's reference point for "graceful
+// degradation": fast against weak adversaries, still O(log n) against the
+// adaptive attack (unlike the pure chains, which degrade to Theta(k)).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "algo/aa.hpp"
+#include "algo/attacks.hpp"
+#include "algo/consensus2.hpp"
+#include "algo/registry.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/model_check.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using P = SimPlatform;
+
+class AaSweep : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(AaSweep, ExactlyOneWinner) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r = sim::run_le_once(
+        sim_builder(AlgorithmId::kAaSiftRatRace), k, k, *adversary, seed);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_EQ(r.winners, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, AaSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16, 64),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Aa, GracefulDegradationUnderAttack) {
+  // The paper's observation: unlike the bare chains, AA degrades only to
+  // O(log n) against the adaptive adversary because RatRace does the work
+  // once sifting is neutralized.
+  const AttackResult aa_128 = run_attack(
+      AlgorithmId::kAaSiftRatRace, AttackKind::kGroupElectionNeutralizer,
+      128, 1);
+  const AttackResult chain_128 = run_attack(
+      AlgorithmId::kSiftChain, AttackKind::kGroupElectionNeutralizer, 128, 1);
+  EXPECT_TRUE(aa_128.violations.empty());
+  EXPECT_LT(aa_128.max_steps, 400u) << "logarithmic-ish, not linear";
+  EXPECT_LT(aa_128.max_steps * 3, chain_128.max_steps)
+      << "the bare sift chain must be much worse under the same attack";
+}
+
+TEST(Aa, SpaceIsLinear) {
+  SimHarness harness;
+  AaSiftRatRaceLe<P> le(harness.arena(), 256);
+  EXPECT_LE(le.declared_registers(), 60u * 256u);
+  EXPECT_GT(le.sift_rounds(), 1);
+  EXPECT_LE(le.sift_rounds(), 12);
+}
+
+// --- 2-process consensus ----------------------------------------------------
+
+TEST(Consensus2, SoloDecidesOwnValue) {
+  for (int side = 0; side < 2; ++side) {
+    SimHarness harness;
+    auto cons = std::make_shared<TwoProcessConsensus<P>>(harness.arena());
+    std::uint64_t decided = 99;
+    harness.add([cons, side, &decided](sim::Context& ctx) {
+      decided = cons->decide(ctx, side, 7);
+    }, 1);
+    sim::SequentialAdversary seq;
+    ASSERT_TRUE(harness.run(seq));
+    EXPECT_EQ(decided, 7u);
+  }
+}
+
+TEST(Consensus2, AgreementAndValidityUnderFuzz) {
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    SimHarness harness;
+    auto cons = std::make_shared<TwoProcessConsensus<P>>(harness.arena());
+    std::uint64_t decided[2] = {99, 99};
+    const std::uint64_t proposed[2] = {10 + seed % 3, 20 + seed % 5};
+    for (int side = 0; side < 2; ++side) {
+      harness.add(
+          [cons, side, &decided, &proposed](sim::Context& ctx) {
+            decided[side] = cons->decide(ctx, side, proposed[side]);
+          },
+          support::derive_seed(seed, side));
+    }
+    sim::UniformRandomAdversary adversary(support::derive_seed(seed, 42));
+    ASSERT_TRUE(harness.run(adversary));
+    EXPECT_EQ(decided[0], decided[1]) << "agreement, seed " << seed;
+    EXPECT_TRUE(decided[0] == proposed[0] || decided[0] == proposed[1])
+        << "validity, seed " << seed;
+  }
+}
+
+TEST(Consensus2, ExhaustiveAgreementModelCheck) {
+  std::uint64_t decided[2];
+  bool done[2];
+  const auto build = [&](sim::Kernel& kernel, support::RandomSource& coins) {
+    decided[0] = decided[1] = 0;
+    done[0] = done[1] = false;
+    P::Arena arena(kernel.memory());
+    auto cons = std::make_shared<TwoProcessConsensus<P>>(arena);
+    for (int side = 0; side < 2; ++side) {
+      kernel.add_process(
+          [cons, side, &decided, &done](sim::Context& ctx) {
+            decided[side] = cons->decide(
+                ctx, side, static_cast<std::uint64_t>(100 + side));
+            done[side] = true;
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto stepwise = [&](const sim::Kernel&) -> std::string {
+    if (done[0] && done[1] && decided[0] != decided[1]) {
+      return "disagreement";
+    }
+    for (int side = 0; side < 2; ++side) {
+      if (done[side] && decided[side] != 100 && decided[side] != 101) {
+        return "invalid decision value";
+      }
+    }
+    return "";
+  };
+  sim::ExploreOptions options;
+  options.max_decisions = 24;
+  options.max_runs = 400'000;
+  const auto result = sim::explore_all(
+      build, stepwise, [](const sim::Kernel&) { return std::string(); },
+      options);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 1000u);
+}
+
+TEST(Consensus2, ConstantExpectedSteps) {
+  support::Accumulator steps;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    SimHarness harness;
+    auto cons = std::make_shared<TwoProcessConsensus<P>>(harness.arena());
+    for (int side = 0; side < 2; ++side) {
+      harness.add(
+          [cons, side](sim::Context& ctx) { cons->decide(ctx, side, 1); },
+          support::derive_seed(seed, side));
+    }
+    sim::UniformRandomAdversary adversary(seed);
+    ASSERT_TRUE(harness.run(adversary));
+    steps.add(static_cast<double>(
+        std::max(harness.kernel().steps(0), harness.kernel().steps(1))));
+  }
+  EXPECT_LT(steps.mean(), 16.0);
+}
+
+TEST(Consensus2, UsesFourRegisters) {
+  SimHarness harness;
+  TwoProcessConsensus<P> cons(harness.arena());
+  EXPECT_EQ(harness.kernel().memory().allocated(),
+            TwoProcessConsensus<P>::kRegisters);
+}
+
+}  // namespace
+}  // namespace rts::algo

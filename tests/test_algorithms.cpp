@@ -1,0 +1,194 @@
+// Cross-cutting integration sweep: every algorithm in the registry, under
+// every scheduler kind, across contention levels and seeds -- exactly one
+// winner, no safety violations, sane space accounting.  This is the
+// library's broadest safety net (one parameterized suite covers the full
+// algorithm x adversary matrix).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "algo/registry.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+#include "support/math.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+
+class AlgorithmMatrix
+    : public ::testing::TestWithParam<std::tuple<AlgorithmId, int, SchedKind>> {
+};
+
+TEST_P(AlgorithmMatrix, ExactlyOneWinner) {
+  const auto [id, k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r = sim::run_le_once(sim_builder(id), k, k, *adversary, seed);
+    ASSERT_TRUE(r.violations.empty())
+        << info(id).name << ": " << r.violations.front() << " seed=" << seed;
+    EXPECT_EQ(r.winners, 1);
+    EXPECT_EQ(r.losers, k - 1);
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST_P(AlgorithmMatrix, PartialParticipationStillElectsOne) {
+  // Build for n but run only k=ceil(n/3) processes: adaptivity plumbing.
+  const auto [id, n, sched] = GetParam();
+  const int k = std::max(1, n / 3);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r = sim::run_le_once(sim_builder(id), n, k, *adversary, seed);
+    ASSERT_TRUE(r.violations.empty())
+        << info(id).name << ": " << r.violations.front();
+    EXPECT_EQ(r.winners, 1);
+  }
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<std::tuple<AlgorithmId, int, SchedKind>>&
+        param_info) {
+  const auto [id, k, sched] = param_info.param;
+  std::string name = info(id).name;
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_k" + std::to_string(k) + "_" +
+         rts::testing::to_string(sched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AlgorithmMatrix,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmId::kLogStarChain, AlgorithmId::kSiftChain,
+                          AlgorithmId::kSiftCascade, AlgorithmId::kRatRace,
+                          AlgorithmId::kRatRacePath,
+                          AlgorithmId::kCombinedLogStar,
+                          AlgorithmId::kCombinedSift,
+                          AlgorithmId::kTournament),
+        ::testing::Values(2, 7, 31),
+        ::testing::Values(SchedKind::kSequential, SchedKind::kRoundRobin,
+                          SchedKind::kRandom)),
+    matrix_name);
+
+TEST(Registry, FullyDeterministicGivenSeeds) {
+  // The reproducibility contract: algorithm + seed + adversary seed fully
+  // determine the execution -- winner, per-process step counts, total steps.
+  for (const AlgoInfo& algo : all_algorithms()) {
+    const auto run = [&](std::uint64_t seed) {
+      sim::UniformRandomAdversary adversary(seed);
+      return sim::run_le_once(sim_builder(algo.id), 12, 12, adversary, seed);
+    };
+    const auto a = run(1234);
+    const auto b = run(1234);
+    EXPECT_EQ(a.total_steps, b.total_steps) << algo.name;
+    EXPECT_EQ(a.steps, b.steps) << algo.name;
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i], b.outcomes[i]) << algo.name << " pid " << i;
+    }
+    // And a different seed gives a different execution (overwhelmingly).
+    const auto c = run(5678);
+    EXPECT_TRUE(c.total_steps != a.total_steps || c.steps != a.steps)
+        << algo.name << ": suspiciously identical across seeds";
+  }
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (const AlgoInfo& algo : all_algorithms()) {
+    const auto parsed = parse_algorithm(algo.name);
+    ASSERT_TRUE(parsed.has_value()) << algo.name;
+    EXPECT_EQ(*parsed, algo.id);
+    EXPECT_EQ(info(algo.id).name, std::string(algo.name));
+  }
+  EXPECT_FALSE(parse_algorithm("nonsense").has_value());
+}
+
+TEST(Registry, EveryAlgorithmDeclaresSpace) {
+  for (const AlgoInfo& algo : all_algorithms()) {
+    sim::Kernel kernel;
+    const auto built = sim_builder(algo.id)(kernel, 64);
+    EXPECT_GT(built.declared_registers, 0u) << algo.name;
+    // Declared is an upper bound on what construction actually allocated.
+    EXPECT_GE(built.declared_registers, kernel.memory().allocated())
+        << algo.name;
+  }
+}
+
+TEST(Registry, SpaceComplexityOrdering) {
+  // The paper's space story at n = 128: RatRace original is Theta(n^3);
+  // everything this paper contributes is O(n); the lower bound says you
+  // cannot go below Omega(log n).
+  constexpr int n = 128;
+  const auto declared = [&](AlgorithmId id) {
+    sim::Kernel kernel;
+    return sim_builder(id)(kernel, n).declared_registers;
+  };
+  const auto cubic = declared(AlgorithmId::kRatRace);
+  const auto path = declared(AlgorithmId::kRatRacePath);
+  const auto logstar = declared(AlgorithmId::kLogStarChain);
+  EXPECT_GT(cubic, static_cast<std::size_t>(n) * n * n);
+  EXPECT_LT(path, 100u * n);
+  EXPECT_LT(logstar, 100u * n);
+  EXPECT_GE(logstar, static_cast<std::size_t>(
+                         support::log2_ceil(n)));  // Thm 5.1 lower bound
+}
+
+class AlgorithmCrashMatrix : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(AlgorithmCrashMatrix, AtMostOneWinnerUnderCrashes) {
+  // Failure injection across the whole registry: random crashes at random
+  // points must never produce two winners, for any algorithm.
+  const AlgorithmId id = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    sim::RoundRobinAdversary inner;
+    sim::CrashInjectingAdversary adversary(inner, seed, /*crash_prob=*/0.03,
+                                           /*max_crashes=*/4);
+    const auto r = sim::run_le_once(sim_builder(id), 20, 20, adversary, seed);
+    EXPECT_LE(r.winners, 1) << info(id).name << " seed=" << seed;
+    for (const auto& v : r.violations) {
+      EXPECT_EQ(v.find("safety"), std::string::npos)
+          << info(id).name << ": " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Crashes, AlgorithmCrashMatrix,
+    ::testing::Values(AlgorithmId::kLogStarChain, AlgorithmId::kSiftChain,
+                      AlgorithmId::kSiftCascade, AlgorithmId::kRatRace,
+                      AlgorithmId::kRatRacePath,
+                      AlgorithmId::kCombinedLogStar,
+                      AlgorithmId::kCombinedSift, AlgorithmId::kTournament,
+                      AlgorithmId::kAaSiftRatRace),
+    [](const auto& param_info) {
+      std::string name = rts::algo::info(param_info.param).name;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Runner, StarvationOfAllButOneStillTerminates) {
+  // Degenerate fixed schedule: only process 0 is ever scheduled; everyone
+  // else is starved forever (equivalent to crashing them at the start).
+  // Process 0 must win and terminate -- this is solo termination in situ.
+  for (const AlgoInfo& algo : all_algorithms()) {
+    sim::Kernel kernel;
+    auto built = sim_builder(algo.id)(kernel, 8);
+    std::vector<sim::Outcome> out(4, sim::Outcome::kUnknown);
+    for (int p = 0; p < 4; ++p) {
+      kernel.add_process(
+          [&built, &out, p](sim::Context& ctx) { out[p] = built.elect(ctx); },
+          std::make_unique<support::PrngSource>(p + 1));
+    }
+    kernel.start();
+    while (kernel.runnable(0)) kernel.grant(0);
+    EXPECT_EQ(out[0], sim::Outcome::kWin) << algo.name;
+  }
+}
+
+}  // namespace
+}  // namespace rts::algo

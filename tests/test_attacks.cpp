@@ -1,0 +1,101 @@
+// Tests of the adaptive attack drivers -- empirical Section-4 motivation:
+//  * the group-election neutralizer forces Theta(k) individual steps on the
+//    log* chain and the sifting chain (which are only safe against weak
+//    adversaries),
+//  * the same adversary cannot slow RatRace or the combiner beyond O(log k),
+//  * safety (at most one winner) holds under attack for every algorithm.
+#include <gtest/gtest.h>
+
+#include "algo/attacks.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+TEST(Attack, SafetyHoldsUnderAttackForAllAlgorithms) {
+  for (const AlgoInfo& algo : all_algorithms()) {
+    const AttackResult r = run_attack(
+        algo.id, AttackKind::kGroupElectionNeutralizer, /*k=*/24, /*seed=*/3);
+    EXPECT_TRUE(r.violations.empty())
+        << algo.name << ": " << r.violations.front();
+    EXPECT_TRUE(r.completed) << algo.name;
+    EXPECT_EQ(r.winners, 1) << algo.name;
+  }
+}
+
+TEST(Attack, LogStarChainDegradesLinearly) {
+  // Under the neutralizer the chain's cohort shrinks by ~1 per stage, so
+  // max individual steps grow linearly in k: doubling k should roughly
+  // double the max steps (we assert a conservative 1.6x) and far exceed the
+  // round-robin baseline.
+  const AttackResult at_32 =
+      run_attack(AlgorithmId::kLogStarChain,
+                 AttackKind::kGroupElectionNeutralizer, 32, 1);
+  const AttackResult at_64 =
+      run_attack(AlgorithmId::kLogStarChain,
+                 AttackKind::kGroupElectionNeutralizer, 64, 1);
+  const AttackResult at_128 =
+      run_attack(AlgorithmId::kLogStarChain,
+                 AttackKind::kGroupElectionNeutralizer, 128, 1);
+  EXPECT_GE(at_64.max_steps, static_cast<std::uint64_t>(
+                                 static_cast<double>(at_32.max_steps) * 1.6));
+  EXPECT_GE(at_128.max_steps, static_cast<std::uint64_t>(
+                                  static_cast<double>(at_64.max_steps) * 1.6));
+  // Far above the benign baseline at the same contention.
+  const AttackResult benign =
+      run_attack(AlgorithmId::kLogStarChain, AttackKind::kRoundRobin, 128, 1);
+  EXPECT_GE(at_128.max_steps, 4 * benign.max_steps);
+  // And the absolute scale is right: at least ~2 steps per stage per the
+  // final climber's k two-process elections.
+  EXPECT_GE(at_128.max_steps, 128u);
+}
+
+TEST(Attack, SiftChainDegradesLinearly) {
+  const AttackResult at_32 = run_attack(
+      AlgorithmId::kSiftChain, AttackKind::kGroupElectionNeutralizer, 32, 1);
+  const AttackResult at_128 = run_attack(
+      AlgorithmId::kSiftChain, AttackKind::kGroupElectionNeutralizer, 128, 1);
+  EXPECT_GE(at_128.max_steps,
+            static_cast<std::uint64_t>(
+                static_cast<double>(at_32.max_steps) * 2.5));
+  EXPECT_GE(at_128.max_steps, 128u);
+}
+
+TEST(Attack, RatRaceResistsTheAttack) {
+  // RatRace is adaptive-adversary-safe: the neutralizer (whose GE rules are
+  // vacuous here) must not push it beyond a logarithmic-ish step count.
+  const AttackResult at_32 = run_attack(
+      AlgorithmId::kRatRacePath, AttackKind::kGroupElectionNeutralizer, 32, 1);
+  const AttackResult at_128 =
+      run_attack(AlgorithmId::kRatRacePath,
+                 AttackKind::kGroupElectionNeutralizer, 128, 1);
+  EXPECT_LT(at_128.max_steps, 4 * at_32.max_steps + 64);
+  EXPECT_LT(at_128.max_steps, 400u);
+}
+
+TEST(Attack, CombinerNeutralizesTheAttack) {
+  // Theorem 4.1 empirically: the combined algorithm under the very attack
+  // that breaks its weak component stays closer to RatRace than to Theta(k).
+  const AttackResult combined_128 =
+      run_attack(AlgorithmId::kCombinedLogStar,
+                 AttackKind::kGroupElectionNeutralizer, 128, 1);
+  const AttackResult chain_128 =
+      run_attack(AlgorithmId::kLogStarChain,
+                 AttackKind::kGroupElectionNeutralizer, 128, 1);
+  EXPECT_LT(combined_128.max_steps, chain_128.max_steps / 2)
+      << "the combiner must beat its unprotected weak component";
+  EXPECT_LT(combined_128.max_steps, 800u);
+}
+
+TEST(Attack, ScalesAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const AttackResult r = run_attack(
+        AlgorithmId::kLogStarChain, AttackKind::kGroupElectionNeutralizer, 48,
+        seed);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GE(r.max_steps, 48u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rts::algo

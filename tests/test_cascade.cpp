@@ -1,0 +1,111 @@
+// Tests for the Theorem-2.4 sifting cascade: level sizing, correctness
+// sweeps, the final 2-process funnel, and adaptivity in k (the property the
+// cascade exists for: small contention resolves in the small levels).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "algo/cascade.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using P = SimPlatform;
+
+sim::LeBuilder cascade_builder() {
+  return [](sim::Kernel& kernel, int n) -> sim::BuiltLe {
+    SimPlatform::Arena arena(kernel.memory());
+    auto le = std::make_shared<SiftCascadeLe<P>>(arena, n);
+    sim::BuiltLe built;
+    built.keepalive = le;
+    built.declared_registers = le->declared_registers();
+    built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    return built;
+  };
+}
+
+TEST(Cascade, LevelCountGrowsTripleLogarithmically) {
+  SimHarness h1;
+  SiftCascadeLe<P> tiny(h1.arena(), 4);
+  EXPECT_EQ(tiny.num_levels(), 1);
+
+  SimHarness h2;
+  SiftCascadeLe<P> small(h2.arena(), 64);
+  EXPECT_GE(small.num_levels(), 2);
+  EXPECT_LE(small.num_levels(), 4);
+
+  SimHarness h3;
+  SiftCascadeLe<P> big(h3.arena(), 4096);
+  EXPECT_LE(big.num_levels(), 4) << "log log log n is at most 4 here";
+}
+
+TEST(Cascade, SpaceIsLinear) {
+  for (const int n : {64, 256, 1024}) {
+    SimHarness harness;
+    SiftCascadeLe<P> cascade(harness.arena(), n);
+    EXPECT_LE(cascade.declared_registers(), static_cast<std::size_t>(8 * n))
+        << "n=" << n;
+  }
+}
+
+class CascadeSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(CascadeSweep, ExactlyOneWinner) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r =
+        sim::run_le_once(cascade_builder(), k, k, *adversary, seed);
+    EXPECT_TRUE(r.violations.empty())
+        << r.violations.front() << " seed=" << seed;
+    EXPECT_EQ(r.winners, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, CascadeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9, 20, 64, 150),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Cascade, AdaptiveInContention) {
+  // Theorem 2.4's point: with the object sized for n = 4096 but contention
+  // only k, low-contention runs must resolve in the early (tiny) levels --
+  // their step counts stay near the k-sized object's, not the n-sized one's.
+  constexpr int n = 4096;
+  const auto measure = [&](int k) {
+    const auto agg = sim::run_le_many(
+        cascade_builder(), n, k,
+        rts::testing::adversary_factory(SchedKind::kRandom), 30, 17);
+    EXPECT_EQ(agg.violation_runs, 0);
+    return agg.max_steps.mean();
+  };
+  const double at_2 = measure(2);
+  const double at_64 = measure(64);
+  EXPECT_LT(at_2, 25.0) << "two processes must resolve in the 4-sized level";
+  EXPECT_LT(at_64, at_2 * 12.0);
+}
+
+TEST(Cascade, CrashSafety) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    sim::RoundRobinAdversary inner;
+    sim::CrashInjectingAdversary adversary(inner, seed, 0.03, 3);
+    const auto r = sim::run_le_once(cascade_builder(), 32, 32, adversary, seed);
+    EXPECT_LE(r.winners, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,172 @@
+// Tests of the Section-2.1 leader-election chain: correctness under every
+// scheduler sweep, the log*-shaped step complexity of the Fig-1 chain
+// (Theorem 2.3), space accounting for the truncated construction, and the
+// kForward semantics the Theorem-2.4 cascade depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "algo/chain.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+#include "support/math.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using sim::Outcome;
+using P = SimPlatform;
+
+sim::LeBuilder logstar_builder() {
+  return [](sim::Kernel& kernel, int n) -> sim::BuiltLe {
+    SimPlatform::Arena arena(kernel.memory());
+    auto le = std::make_shared<GeChainLe<P>>(
+        arena, n, fig1_truncated_factory<P>(n, default_live_prefix(n)));
+    sim::BuiltLe built;
+    built.keepalive = le;
+    built.declared_registers = le->declared_registers();
+    built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    return built;
+  };
+}
+
+class ChainSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(ChainSweep, ExactlyOneWinnerNoViolations) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const sim::LeRunResult r =
+        sim::run_le_once(logstar_builder(), k, k, *adversary, seed);
+    EXPECT_TRUE(r.violations.empty())
+        << r.violations.front() << " (seed " << seed << ")";
+    EXPECT_EQ(r.winners, 1);
+    EXPECT_EQ(r.losers, k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, ChainSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9, 17, 64, 200),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Chain, SoloRunnerWinsFast) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    sim::SequentialAdversary seq;
+    const sim::LeRunResult r =
+        sim::run_le_once(logstar_builder(), /*n=*/64, /*k=*/1, seq, seed);
+    EXPECT_EQ(r.winners, 1);
+    EXPECT_LE(r.max_steps, 16u);
+  }
+}
+
+TEST(Chain, StepComplexityGrowsLikeLogStar) {
+  // Theorem 2.3 shape check: the mean max-steps over weak (random oblivious)
+  // schedules should be nearly flat in k -- log* k is <= 4 for every k here,
+  // so between k = 8 and k = 512 the mean may grow only by a small constant
+  // factor, far below the log k growth of a tournament.
+  const auto measure = [](int k) {
+    const sim::LeAggregate agg = sim::run_le_many(
+        logstar_builder(), k, k,
+        rts::testing::adversary_factory(SchedKind::kRandom),
+        /*trials=*/60, /*seed0=*/99);
+    EXPECT_EQ(agg.violation_runs, 0);
+    return agg.max_steps.mean();
+  };
+  const double at_8 = measure(8);
+  const double at_512 = measure(512);
+  EXPECT_GT(at_8, 0.0);
+  EXPECT_LT(at_512, at_8 + 25.0)
+      << "near-flat growth expected for a log* algorithm";
+}
+
+TEST(Chain, TruncatedSpaceIsLinear) {
+  // Theorem 2.3: O(n) registers.  The truncated chain must be well below the
+  // Theta(n log n) of a fully live chain and within a small constant of n.
+  for (const int n : {64, 256, 1024}) {
+    SimHarness harness;
+    GeChainLe<P> chain(harness.arena(), n,
+                       fig1_truncated_factory<P>(n, default_live_prefix(n)));
+    const auto regs = chain.declared_registers();
+    EXPECT_EQ(regs, harness.kernel().memory().allocated());
+    EXPECT_LE(regs, static_cast<std::size_t>(8 * n)) << "n=" << n;
+    const std::size_t full_live = static_cast<std::size_t>(n) *
+        (support::log2_ceil(static_cast<std::uint64_t>(n)) + 2);
+    EXPECT_LT(regs, full_live) << "truncation must beat the naive chain";
+  }
+}
+
+TEST(Chain, ForwardSemanticsForCascade) {
+  // With max_stage = 1 and a dummy GE (everyone elected), k processes reach
+  // the splitter; at most one stops (resolves) and at least one forwards
+  // under round-robin; nobody may be lost incorrectly... just validate the
+  // tri-state accounting: win + lose + forward == k and forward < k.
+  constexpr int k = 6;
+  SimHarness harness;
+  auto chain = std::make_shared<GeChainLe<P>>(
+      harness.arena(), 4,
+      [](SimPlatform::Arena& arena, int) -> std::unique_ptr<IGroupElect<P>> {
+        (void)arena;
+        return std::make_unique<DummyGroupElect<P>>();
+      });
+  int wins = 0;
+  int losses = 0;
+  int forwards = 0;
+  for (int p = 0; p < k; ++p) {
+    harness.add(
+        [chain, &wins, &losses, &forwards](sim::Context& ctx) {
+          switch (chain->run(ctx, 1)) {
+            case ChainOutcome::kWin:
+              ++wins;
+              break;
+            case ChainOutcome::kLose:
+              ++losses;
+              break;
+            case ChainOutcome::kForward:
+              ++forwards;
+              break;
+          }
+        },
+        static_cast<std::uint64_t>(p) + 5);
+  }
+  sim::RoundRobinAdversary rr;
+  ASSERT_TRUE(harness.run(rr));
+  EXPECT_EQ(wins + losses + forwards, k);
+  EXPECT_LE(wins, 1);
+  EXPECT_LT(forwards, k) << "the splitter resolves at least one process";
+}
+
+TEST(Chain, CrashInjectionNeverYieldsTwoWinners) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    sim::RoundRobinAdversary inner;
+    sim::CrashInjectingAdversary adversary(inner, seed, /*crash_prob=*/0.02,
+                                           /*max_crashes=*/3);
+    const sim::LeRunResult r =
+        sim::run_le_once(logstar_builder(), 32, 32, adversary, seed);
+    EXPECT_LE(r.winners, 1) << "seed " << seed;
+    for (const auto& v : r.violations) {
+      EXPECT_NE(v.find("safety"), 0u) << v;  // only liveness may be affected
+    }
+  }
+}
+
+TEST(Chain, DefaultLivePrefixIsLogarithmic) {
+  EXPECT_EQ(default_live_prefix(2), 2);      // clamped to n
+  EXPECT_EQ(default_live_prefix(1024), 28);  // 2*10 + 8
+  EXPECT_LE(default_live_prefix(1 << 20), 48);
+}
+
+}  // namespace
+}  // namespace rts::algo

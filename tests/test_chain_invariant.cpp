@@ -1,0 +1,84 @@
+// The Section-2.1 correctness invariant, observed on live executions:
+// if N_i processes enter stage i of the chain and N_i > 0, then at most
+// N_i - 1 enter stage i+1 (at least one elected process receives S or L at
+// the splitter).  We reconstruct N_i from published stage tags via the op
+// observer and check the whole cascade of inequalities.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "algo/chain.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/stages.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using P = SimPlatform;
+
+void check_shrinkage(int k, SchedKind sched, std::uint64_t seed) {
+  sim::Kernel kernel;
+  P::Arena arena(kernel.memory());
+  // Fully live chain so every stage publishes GE tags.
+  auto chain = std::make_shared<GeChainLe<P>>(
+      arena, k, fig1_truncated_factory<P>(k, k));
+
+  // entered[i] = set of pids that performed any op of stage i's splitter
+  // (every process that continues past GE_i must play SP_i; entering GE_i
+  // itself is tracked via the flag-read tag).
+  std::map<std::uint32_t, std::set<int>> entered_ge;
+  kernel.set_op_observer([&](const sim::OpRecord& record) {
+    const auto tag = kernel.stage(record.pid);
+    if (stage::kind_of(tag) == stage::kGeFlagRead) {
+      entered_ge[stage::index_of(tag)].insert(record.pid);
+    }
+  });
+
+  for (int pid = 0; pid < k; ++pid) {
+    kernel.add_process(
+        [chain](sim::Context& ctx) { chain->elect(ctx); },
+        std::make_unique<support::PrngSource>(
+            support::derive_seed(seed, pid)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  ASSERT_TRUE(kernel.run(*adversary));
+
+  ASSERT_FALSE(entered_ge.empty());
+  EXPECT_EQ(entered_ge[0].size(), static_cast<std::size_t>(k))
+      << "everyone enters stage 0";
+  for (const auto& [index, pids] : entered_ge) {
+    if (index == 0) continue;
+    const auto prev = entered_ge.find(index - 1);
+    ASSERT_NE(prev, entered_ge.end()) << "stage skipped?";
+    EXPECT_LE(pids.size() + 1, prev->second.size() + 0)
+        << "N_" << index << " must be at most N_" << index - 1 << " - 1";
+  }
+}
+
+class ChainShrinkage
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(ChainShrinkage, EveryStageEliminatesSomeone) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    check_shrinkage(k, sched, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChainShrinkage,
+    ::testing::Combine(::testing::Values(2, 4, 9, 21, 48),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,113 @@
+// API-contract tests: every public precondition that is documented to throw
+// rts::Error must actually throw (and not abort) on misuse, so downstream
+// users get diagnosable failures instead of undefined behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/chain.hpp"
+#include "algo/combined.hpp"
+#include "algo/elim_path.hpp"
+#include "algo/group_elect.hpp"
+#include "algo/renaming.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/tas.hpp"
+#include "lowerbound/two_proc.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+#include "support/assert.hpp"
+
+namespace rts {
+namespace {
+
+using algo::SimPlatform;
+using rts::testing::SimHarness;
+
+TEST(Contracts, KernelRejectsAddProcessAfterStart) {
+  sim::Kernel kernel;
+  const sim::RegId reg = kernel.memory().alloc("r");
+  kernel.add_process([reg](sim::Context& ctx) { ctx.read(reg); },
+                     std::make_unique<support::PrngSource>(1));
+  kernel.start();
+  EXPECT_THROW(kernel.add_process([](sim::Context&) {},
+                                  std::make_unique<support::PrngSource>(2)),
+               Error);
+}
+
+TEST(Contracts, KernelRejectsDoubleStart) {
+  sim::Kernel kernel;
+  kernel.add_process([](sim::Context&) {},
+                     std::make_unique<support::PrngSource>(1));
+  kernel.start();
+  EXPECT_THROW(kernel.start(), Error);
+}
+
+TEST(Contracts, RunnerRejectsBadParticipantCounts) {
+  sim::SequentialAdversary seq;
+  const auto builder = [](sim::Kernel& kernel, int) -> sim::BuiltLe {
+    kernel.memory().alloc("r");
+    sim::BuiltLe built;
+    built.elect = [](sim::Context&) { return sim::Outcome::kWin; };
+    return built;
+  };
+  EXPECT_THROW(sim::run_le_once(builder, /*n=*/4, /*k=*/5, seq, 1), Error);
+  EXPECT_THROW(sim::run_le_once(builder, /*n=*/4, /*k=*/0, seq, 1), Error);
+}
+
+TEST(Contracts, ChainRejectsNonPositiveLength) {
+  SimHarness harness;
+  EXPECT_THROW(algo::GeChainLe<SimPlatform> bad(
+                   harness.arena(), 0,
+                   algo::fig1_truncated_factory<SimPlatform>(4, 4)),
+               Error);
+}
+
+TEST(Contracts, ElimPathRejectsNonPositiveLength) {
+  SimHarness harness;
+  EXPECT_THROW(algo::ElimPath<SimPlatform> bad(harness.arena(), 0), Error);
+}
+
+TEST(Contracts, SiftRejectsBadProbability) {
+  SimHarness harness;
+  EXPECT_THROW(
+      algo::SiftGroupElect<SimPlatform> bad(harness.arena(), 0.0), Error);
+  EXPECT_THROW(
+      algo::SiftGroupElect<SimPlatform> bad(harness.arena(), 1.5), Error);
+}
+
+TEST(Contracts, TasRejectsNullElection) {
+  SimHarness harness;
+  EXPECT_THROW(algo::TasFromLe<SimPlatform> bad(harness.arena(), nullptr),
+               Error);
+}
+
+TEST(Contracts, CombinedRejectsNullInner) {
+  SimHarness harness;
+  EXPECT_THROW(
+      algo::CombinedLe<SimPlatform> bad(harness.arena(), 4, nullptr), Error);
+}
+
+TEST(Contracts, CrashAdversaryRejectsBadProbability) {
+  sim::RoundRobinAdversary inner;
+  EXPECT_THROW(sim::CrashInjectingAdversary bad(inner, 1, -0.5, 1), Error);
+  EXPECT_THROW(sim::CrashInjectingAdversary bad(inner, 1, 1.5, 1), Error);
+}
+
+TEST(Contracts, TwoProcLbRejectsOutOfRangeT) {
+  EXPECT_THROW(lb::run_two_proc_lb({0}, 1, 1, 1), Error);
+  EXPECT_THROW(lb::run_two_proc_lb({16}, 1, 1, 1), Error);
+}
+
+TEST(Contracts, ErrorsAreCatchableAsStdException) {
+  SimHarness harness;
+  try {
+    algo::ElimPath<SimPlatform> bad(harness.arena(), -1);
+    FAIL() << "expected an exception";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rts

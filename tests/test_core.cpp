@@ -1,0 +1,112 @@
+// Tests of the public facade: rts::TestAndSet and rts::LeaderElection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "core/rts.hpp"
+
+namespace rts {
+namespace {
+
+TEST(PublicApi, SingleCallerWinsTas) {
+  TestAndSet::Options options;
+  options.max_processes = 4;
+  TestAndSet tas(options);
+  EXPECT_EQ(tas.test_and_set(0), 0);
+}
+
+TEST(PublicApi, SequentialCallersGetOneZero) {
+  TestAndSet::Options options;
+  options.max_processes = 8;
+  TestAndSet tas(options);
+  int zeros = 0;
+  for (int pid = 0; pid < 8; ++pid) {
+    if (tas.test_and_set(pid) == 0) ++zeros;
+  }
+  EXPECT_EQ(zeros, 1);
+}
+
+TEST(PublicApi, ConcurrentCallersGetExactlyOneZero) {
+  for (const Algorithm algorithm :
+       {Algorithm::kCombinedLogStar, Algorithm::kLogStarChain,
+        Algorithm::kRatRacePath, Algorithm::kTournament}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      TestAndSet::Options options;
+      options.max_processes = 8;
+      options.algorithm = algorithm;
+      options.seed = seed;
+      TestAndSet tas(options);
+      std::atomic<int> zeros{0};
+      std::barrier gate(8);
+      std::vector<std::jthread> threads;
+      for (int pid = 0; pid < 8; ++pid) {
+        threads.emplace_back([&, pid] {
+          gate.arrive_and_wait();
+          if (tas.test_and_set(pid) == 0) zeros.fetch_add(1);
+        });
+      }
+      threads.clear();
+      EXPECT_EQ(zeros.load(), 1)
+          << "algorithm " << static_cast<int>(algorithm) << " seed " << seed;
+    }
+  }
+}
+
+TEST(PublicApi, LeaderElectionElectsExactlyOne) {
+  LeaderElection::Options options;
+  options.max_processes = 6;
+  LeaderElection election(options);
+  int winners = 0;
+  for (int pid = 0; pid < 6; ++pid) {
+    if (election.elect(pid)) ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(PublicApi, RejectsBadConfiguration) {
+  LeaderElection::Options options;
+  options.max_processes = 0;
+  EXPECT_THROW(LeaderElection bad(options), Error);
+
+  options.max_processes = 2;
+  options.algorithm = Algorithm::kNativeAtomic;
+  EXPECT_THROW(LeaderElection bad(options), Error);
+}
+
+TEST(PublicApi, EnforcesOneShotPerPid) {
+  LeaderElection::Options options;
+  options.max_processes = 2;
+  LeaderElection election(options);
+  election.elect(0);
+  EXPECT_THROW(election.elect(0), Error);
+  EXPECT_THROW(election.elect(7), Error);
+}
+
+TEST(PublicApi, DeclaredRegistersAreLinearForDefault) {
+  TestAndSet::Options options;
+  options.max_processes = 256;
+  TestAndSet tas(options);
+  EXPECT_LT(tas.declared_registers(), 80u * 256u)
+      << "the default algorithm must be the Theta(n)-space combination";
+}
+
+TEST(PublicApi, RepeatableWithSameSeed) {
+  const auto winner_with_seed = [](std::uint64_t seed) {
+    LeaderElection::Options options;
+    options.max_processes = 5;
+    options.seed = seed;
+    LeaderElection election(options);
+    int winner = -1;
+    for (int pid = 0; pid < 5; ++pid) {
+      if (election.elect(pid)) winner = pid;
+    }
+    return winner;
+  };
+  EXPECT_EQ(winner_with_seed(42), winner_with_seed(42));
+}
+
+}  // namespace
+}  // namespace rts

@@ -1,0 +1,193 @@
+// Additional bounded-exhaustive verification beyond test_le2/test_splitter:
+// the 3-process leader election, the randomized splitter, the Figure-1
+// group election, and a 2-process end-to-end chain -- each checked over
+// every schedule and coin outcome within a decision budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algo/chain.hpp"
+#include "algo/group_elect.hpp"
+#include "algo/le3.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/splitter.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/model_check.hpp"
+#include "sim/trace.hpp"
+
+namespace rts::algo {
+namespace {
+
+using sim::Outcome;
+using P = SimPlatform;
+
+TEST(ExhaustiveLe3, ThreeRolesAtMostOneWinner) {
+  Outcome outcomes[3];
+  const auto build = [&outcomes](sim::Kernel& kernel,
+                                 support::RandomSource& coins) {
+    outcomes[0] = outcomes[1] = outcomes[2] = Outcome::kUnknown;
+    P::Arena arena(kernel.memory());
+    auto le = std::make_shared<Le3<P>>(arena);
+    for (int role = 0; role < 3; ++role) {
+      kernel.add_process(
+          [le, role, &outcomes](sim::Context& ctx) {
+            outcomes[role] = le->elect(ctx, role);
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto stepwise = [&outcomes](const sim::Kernel&) -> std::string {
+    int winners = 0;
+    for (const Outcome o : outcomes) winners += (o == Outcome::kWin) ? 1 : 0;
+    if (winners > 1) return "two winners in LE3";
+    return "";
+  };
+  const auto terminal = [&outcomes](const sim::Kernel&) -> std::string {
+    int winners = 0;
+    for (const Outcome o : outcomes) winners += (o == Outcome::kWin) ? 1 : 0;
+    if (winners != 1) return "LE3 completed without exactly one winner";
+    return "";
+  };
+  sim::ExploreOptions options;
+  options.max_decisions = 20;
+  options.max_runs = 400'000;
+  const auto result = sim::explore_all(build, stepwise, terminal, options);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 500u);
+}
+
+TEST(ExhaustiveRSplitter, TwoProcessAtMostOneStop) {
+  SplitResult results[2];
+  const auto build = [&results](sim::Kernel& kernel,
+                                support::RandomSource& coins) {
+    results[0] = results[1] = SplitResult::kLeft;
+    P::Arena arena(kernel.memory());
+    auto rs = std::make_shared<RSplitter<P>>(arena);
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [rs, &results, p](sim::Context& ctx) { results[p] = rs->split(ctx); },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto terminal = [&results](const sim::Kernel&) -> std::string {
+    int stops = 0;
+    for (const SplitResult r : results) {
+      stops += (r == SplitResult::kStop) ? 1 : 0;
+    }
+    if (stops > 1) return "two stops in rsplitter";
+    return "";
+  };
+  const auto result = sim::explore_all(
+      build, [](const sim::Kernel&) { return std::string(); }, terminal);
+  EXPECT_TRUE(result.exhausted) << "rsplitter space is finite";
+  EXPECT_FALSE(result.violation_found) << result.violation;
+}
+
+TEST(ExhaustiveFig1, SomeoneAlwaysElected) {
+  // Fig-1 group election with 2 processes, every schedule and every level
+  // choice: at least one participant must be elected in every complete run.
+  int elected_count = 0;
+  int finished = 0;
+  const auto build = [&](sim::Kernel& kernel, support::RandomSource& coins) {
+    elected_count = 0;
+    finished = 0;
+    P::Arena arena(kernel.memory());
+    auto ge = std::make_shared<Fig1GroupElect<P>>(arena, /*n=*/4);
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [ge, &elected_count, &finished](sim::Context& ctx) {
+            if (ge->elect(ctx)) ++elected_count;
+            ++finished;
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto terminal = [&](const sim::Kernel&) -> std::string {
+    if (finished == 2 && elected_count < 1) return "nobody elected";
+    return "";
+  };
+  const auto result = sim::explore_all(
+      build, [](const sim::Kernel&) { return std::string(); }, terminal);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 50u);
+}
+
+TEST(ExhaustiveChain, TwoProcessEndToEnd) {
+  // A tiny full chain (length 2, live Fig-1 stages) with 2 processes:
+  // exhaustively verify exactly-one-winner across every interleaving within
+  // the budget.
+  Outcome outcomes[2];
+  const auto build = [&outcomes](sim::Kernel& kernel,
+                                 support::RandomSource& coins) {
+    outcomes[0] = outcomes[1] = Outcome::kUnknown;
+    P::Arena arena(kernel.memory());
+    auto chain = std::make_shared<GeChainLe<P>>(
+        arena, 2, fig1_truncated_factory<P>(2, 2));
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [chain, &outcomes, p](sim::Context& ctx) {
+            outcomes[p] = chain->elect(ctx);
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto stepwise = [&outcomes](const sim::Kernel&) -> std::string {
+    if (outcomes[0] == Outcome::kWin && outcomes[1] == Outcome::kWin) {
+      return "two winners in chain";
+    }
+    return "";
+  };
+  const auto terminal = [&outcomes](const sim::Kernel&) -> std::string {
+    const int winners = (outcomes[0] == Outcome::kWin ? 1 : 0) +
+                        (outcomes[1] == Outcome::kWin ? 1 : 0);
+    if (winners != 1) return "chain completed without exactly one winner";
+    return "";
+  };
+  sim::ExploreOptions options;
+  options.max_decisions = 26;
+  options.max_runs = 600'000;
+  const auto result = sim::explore_all(build, stepwise, terminal, options);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 1000u);
+}
+
+TEST(Trace, FormatsEventLog) {
+  sim::Kernel::Options options;
+  options.track_events = true;
+  sim::Kernel kernel(options);
+  const sim::RegId reg = kernel.memory().alloc("demo.reg");
+  kernel.add_process(
+      [reg](sim::Context& ctx) {
+        ctx.write(reg, 5);
+        ctx.read(reg);
+      },
+      std::make_unique<support::PrngSource>(1));
+  sim::SequentialAdversary seq;
+  ASSERT_TRUE(kernel.run(seq));
+  const std::string trace = sim::format_trace(kernel);
+  EXPECT_NE(trace.find("WRITE"), std::string::npos);
+  EXPECT_NE(trace.find("READ"), std::string::npos);
+  EXPECT_NE(trace.find("demo.reg"), std::string::npos);
+  EXPECT_NE(trace.find("saw p0"), std::string::npos);
+}
+
+TEST(Trace, TruncatesLongLogs) {
+  sim::Kernel::Options options;
+  options.track_events = true;
+  sim::Kernel kernel(options);
+  const sim::RegId reg = kernel.memory().alloc("r");
+  kernel.add_process(
+      [reg](sim::Context& ctx) {
+        for (int i = 0; i < 50; ++i) ctx.read(reg);
+      },
+      std::make_unique<support::PrngSource>(1));
+  sim::SequentialAdversary seq;
+  ASSERT_TRUE(kernel.run(seq));
+  const std::string trace = sim::format_trace(kernel, 10);
+  EXPECT_NE(trace.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rts::algo

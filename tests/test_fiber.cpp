@@ -1,0 +1,146 @@
+// Tests for the ucontext fiber substrate: symmetric switching, completion
+// routing, nesting (fiber switching into fiber), and bulk creation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fiber/fiber.hpp"
+#include "fiber/stack.hpp"
+
+namespace rts::fiber {
+namespace {
+
+TEST(Stack, AllocatesUsableMemory) {
+  MmapStack stack(64 * 1024);
+  ASSERT_NE(stack.base(), nullptr);
+  EXPECT_GE(stack.size(), 64u * 1024u);
+  // Touch the full usable range; the guard page is below base().
+  auto* bytes = static_cast<char*>(stack.base());
+  bytes[0] = 1;
+  bytes[stack.size() - 1] = 2;
+  EXPECT_EQ(bytes[0], 1);
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+  MmapStack a(16 * 1024);
+  void* base = a.base();
+  MmapStack b(std::move(a));
+  EXPECT_EQ(b.base(), base);
+  EXPECT_EQ(a.base(), nullptr);  // NOLINT(bugprone-use-after-move): asserted
+}
+
+TEST(Fiber, PingPong) {
+  ExecutionContext main_ctx;
+  std::vector<std::string> log;
+  Fiber* fib_ptr = nullptr;
+  Fiber fib([&] {
+    log.push_back("in-1");
+    switch_context(*fib_ptr, main_ctx);
+    log.push_back("in-2");
+  });
+  fib_ptr = &fib;
+  fib.set_return_to(&main_ctx);
+
+  log.push_back("out-1");
+  switch_context(main_ctx, fib);  // runs until fiber yields
+  log.push_back("out-2");
+  switch_context(main_ctx, fib);  // fiber finishes
+  log.push_back("out-3");
+
+  EXPECT_TRUE(fib.finished());
+  const std::vector<std::string> expected = {"out-1", "in-1", "out-2", "in-2",
+                                             "out-3"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Fiber, CompletionRoutesToReturnContext) {
+  ExecutionContext main_ctx;
+  int value = 0;
+  Fiber fib([&] { value = 42; });
+  fib.set_return_to(&main_ctx);
+  switch_context(main_ctx, fib);
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(fib.finished());
+}
+
+TEST(Fiber, NestedFiberSwitches) {
+  // parent fiber spawns a child fiber; control weaves
+  // main -> parent -> child -> parent -> main.
+  ExecutionContext main_ctx;
+  std::vector<int> order;
+
+  Fiber* parent_ptr = nullptr;
+  Fiber parent([&] {
+    order.push_back(1);
+    Fiber* child_ptr = nullptr;
+    Fiber child([&] {
+      order.push_back(2);
+      switch_context(*child_ptr, *parent_ptr);  // yield to parent
+      order.push_back(4);
+    });
+    child_ptr = &child;
+    child.set_return_to(parent_ptr);
+    switch_context(*parent_ptr, child);
+    order.push_back(3);
+    switch_context(*parent_ptr, child);  // let child finish
+    order.push_back(5);
+  });
+  parent_ptr = &parent;
+  parent.set_return_to(&main_ctx);
+
+  switch_context(main_ctx, parent);
+  EXPECT_TRUE(parent.finished());
+  const std::vector<int> expected = {1, 2, 3, 4, 5};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Fiber, ManyFibersRoundRobin) {
+  constexpr int kFibers = 200;
+  constexpr int kRounds = 10;
+  ExecutionContext main_ctx;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<int> counters(kFibers, 0);
+  fibers.reserve(kFibers);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(nullptr);  // placeholder for index stability
+  }
+  for (int i = 0; i < kFibers; ++i) {
+    fibers[i] = std::make_unique<Fiber>([&, i] {
+      for (int r = 0; r < kRounds; ++r) {
+        ++counters[i];
+        switch_context(*fibers[i], main_ctx);
+      }
+    });
+    fibers[i]->set_return_to(&main_ctx);
+  }
+  for (int r = 0; r <= kRounds; ++r) {
+    for (int i = 0; i < kFibers; ++i) {
+      if (!fibers[i]->finished()) switch_context(main_ctx, *fibers[i]);
+    }
+  }
+  for (int i = 0; i < kFibers; ++i) {
+    EXPECT_TRUE(fibers[i]->finished());
+    EXPECT_EQ(counters[i], kRounds);
+  }
+}
+
+TEST(Fiber, AbandonedFiberIsSafelyDestroyed) {
+  ExecutionContext main_ctx;
+  Fiber* fib_ptr = nullptr;
+  {
+    Fiber fib([&] {
+      switch_context(*fib_ptr, main_ctx);
+      ADD_FAILURE() << "abandoned fiber must never be resumed";
+    });
+    fib_ptr = &fib;
+    fib.set_return_to(&main_ctx);
+    switch_context(main_ctx, fib);
+    EXPECT_FALSE(fib.finished());
+    // fib goes out of scope while suspended: stack is released, no resume.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rts::fiber

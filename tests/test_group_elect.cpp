@@ -1,0 +1,222 @@
+// Tests for the group-election objects: the Figure-1 construction
+// (Lemma 2.2), the Alistarh-Aspnes sifting step, and the dummy.
+//
+// Key statistical check: the Fig-1 performance parameter f(k) -- the
+// expected number of elected processes -- must respect 2*log2(k) + 6 for
+// every schedule we throw at it, and the sift must respect p*k + 1/p + 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/group_elect.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim_harness.hpp"
+#include "support/math.hpp"
+#include "support/stats.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SimHarness;
+using rts::testing::SchedKind;
+using P = SimPlatform;
+
+template <class MakeGe>
+int run_group_election(int k, SchedKind sched, std::uint64_t seed,
+                       const MakeGe& make_ge, std::uint64_t* steps_max = nullptr) {
+  SimHarness harness;
+  auto ge = make_ge(harness);
+  std::vector<std::uint8_t> elected(static_cast<std::size_t>(k), 0);
+  for (int p = 0; p < k; ++p) {
+    harness.add(
+        [ge, &elected, p](sim::Context& ctx) {
+          elected[static_cast<std::size_t>(p)] = ge->elect(ctx) ? 1 : 0;
+        },
+        support::derive_seed(seed, static_cast<std::uint64_t>(p)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  EXPECT_TRUE(harness.run(*adversary));
+  if (steps_max != nullptr) {
+    *steps_max = 0;
+    for (int p = 0; p < k; ++p) {
+      *steps_max = std::max(*steps_max, harness.kernel().steps(p));
+    }
+  }
+  int count = 0;
+  for (const auto e : elected) count += e;
+  return count;
+}
+
+class Fig1Sweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(Fig1Sweep, AtLeastOneElectedAndConstantSteps) {
+  const auto [k, sched] = GetParam();
+  const auto make = [k = k](SimHarness& h) {
+    return std::make_shared<Fig1GroupElect<P>>(h.arena(), k);
+  };
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::uint64_t steps_max = 0;
+    const int elected = run_group_election(k, sched, seed, make, &steps_max);
+    EXPECT_GE(elected, 1) << "at least one process must be elected";
+    EXPECT_LE(elected, k);
+    EXPECT_LE(steps_max, 4u) << "Fig-1 elect() is at most 4 shared steps";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, Fig1Sweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 6, 16, 64, 256),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Fig1, PerformanceParameterWithinLemma22Bound) {
+  // E[#elected] <= 2 log2 k + 6 against any location-oblivious adversary.
+  // Round-robin and uniform-random schedules are both location-oblivious.
+  for (const int k : {4, 16, 64, 256, 1024}) {
+    const auto make = [k](SimHarness& h) {
+      return std::make_shared<Fig1GroupElect<P>>(h.arena(), k);
+    };
+    for (const SchedKind sched : {SchedKind::kRoundRobin, SchedKind::kRandom}) {
+      support::Accumulator elected;
+      const int trials = 300;
+      for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        elected.add(run_group_election(k, sched, seed, make));
+      }
+      const double bound = support::fig1_performance_bound(
+          static_cast<std::uint64_t>(k));
+      EXPECT_LT(elected.mean() - 3 * elected.ci95_half_width(), bound)
+          << "k=" << k << " sched=" << rts::testing::to_string(sched);
+      // And the bound is not vacuous: elections do grow with k.
+      if (k >= 64) {
+      EXPECT_GT(elected.mean(), 2.0);
+    }
+    }
+  }
+}
+
+TEST(Fig1, SoloCallerIsElected) {
+  const auto make = [](SimHarness& h) {
+    return std::make_shared<Fig1GroupElect<P>>(h.arena(), 8);
+  };
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_EQ(run_group_election(1, SchedKind::kSequential, seed, make), 1);
+  }
+}
+
+TEST(Fig1, LateArriversSeeFlagAndLose) {
+  // Sequential schedule: the first process writes the flag; every later
+  // process reads flag = 1 in line 1 and is not elected.
+  const auto make = [](SimHarness& h) {
+    return std::make_shared<Fig1GroupElect<P>>(h.arena(), 16);
+  };
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const int elected =
+        run_group_election(8, SchedKind::kSequential, seed, make);
+    EXPECT_EQ(elected, 1);
+  }
+}
+
+TEST(Fig1, DeclaredRegistersMatchEllPlusTwo) {
+  SimHarness harness;
+  Fig1GroupElect<P> ge(harness.arena(), 256);
+  EXPECT_EQ(ge.ell(), 8);
+  EXPECT_EQ(ge.declared_registers(), 10u);
+  EXPECT_EQ(harness.kernel().memory().allocated(), 10u);
+}
+
+// --- Sifting ---------------------------------------------------------------
+
+class SiftSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(SiftSweep, AtLeastOneElectedSingleStep) {
+  const auto [k, sched] = GetParam();
+  const auto make = [](SimHarness& h) {
+    return std::make_shared<SiftGroupElect<P>>(h.arena(), 0.25);
+  };
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    std::uint64_t steps_max = 0;
+    const int elected = run_group_election(k, sched, seed, make, &steps_max);
+    EXPECT_GE(elected, 1);
+    EXPECT_LE(steps_max, 1u) << "sifting is a single shared-memory op";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, SiftSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 32, 128),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Sift, ElectedCountRespectsPkPlusInverseP) {
+  // E[elected] <= p*k + 1/p (+1 slack for the quantization of p).
+  for (const int k : {16, 64, 256}) {
+    for (const double p : {0.05, 0.125, 1.0 / std::sqrt(k)}) {
+      const auto make = [p](SimHarness& h) {
+        return std::make_shared<SiftGroupElect<P>>(h.arena(), p);
+      };
+      support::Accumulator elected;
+      for (std::uint64_t seed = 0; seed < 400; ++seed) {
+        elected.add(
+            run_group_election(k, SchedKind::kRandom, seed, make));
+      }
+      const double bound = p * k + 1.0 / p + 1.0;
+      EXPECT_LT(elected.mean() - 3 * elected.ci95_half_width(), bound)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(Sift, WriterFirstScheduleElectsOnlySubsequentWriters) {
+  // If a writer goes first, every reader afterwards reads 1 and loses; the
+  // elected set is exactly the writers.  With p = 1 everyone writes.
+  const auto make = [](SimHarness& h) {
+    return std::make_shared<SiftGroupElect<P>>(h.arena(), 1.0);
+  };
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_EQ(run_group_election(16, SchedKind::kSequential, seed, make), 16);
+  }
+}
+
+TEST(Sift, ScheduleLengthIsLogLog) {
+  EXPECT_LE(sift_schedule(16).size(), 6u);
+  EXPECT_LE(sift_schedule(1 << 20).size(), 10u);
+  // Doubly-logarithmic growth: going from 2^10 to 2^20 adds at most 2 rounds.
+  EXPECT_LE(sift_schedule(1 << 20).size(), sift_schedule(1 << 10).size() + 2);
+  // Probabilities decrease then the final cleanup round is 1/2.
+  const auto schedule = sift_schedule(4096);
+  EXPECT_NEAR(schedule.front(), 1.0 / 64.0, 1e-9);
+  EXPECT_DOUBLE_EQ(schedule.back(), 0.5);
+}
+
+// --- Dummy ------------------------------------------------------------------
+
+TEST(DummyGe, ElectsEveryoneWithZeroSteps) {
+  const auto make = [](SimHarness& h) {
+    (void)h;
+    return std::make_shared<DummyGroupElect<P>>();
+  };
+  std::uint64_t steps_max = 99;
+  const int elected =
+      run_group_election(12, SchedKind::kRoundRobin, 1, make, &steps_max);
+  EXPECT_EQ(elected, 12);
+  EXPECT_EQ(steps_max, 0u);
+}
+
+}  // namespace
+}  // namespace rts::algo

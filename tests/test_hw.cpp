@@ -1,0 +1,96 @@
+// Hardware-platform tests: the same algorithm templates on real threads and
+// std::atomic registers.  Stress: exactly one winner across many trials for
+// every algorithm; ops accounting; the combiner's nested fibers inside
+// ordinary threads.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hw/harness.hpp"
+#include "hw/platform.hpp"
+
+namespace rts::hw {
+namespace {
+
+TEST(HwPlatform, RegisterPoolStableAddresses) {
+  RegisterPool pool;
+  RegisterCell* first = pool.alloc();
+  for (int i = 0; i < 1000; ++i) pool.alloc();
+  EXPECT_EQ(pool.allocated(), 1001u);
+  first->value.store(7);
+  EXPECT_EQ(first->value.load(), 7u);
+}
+
+TEST(HwPlatform, ContextCountsOps) {
+  RegisterPool pool;
+  HwPlatform::Arena arena(pool);
+  support::PrngSource rng(1);
+  HwPlatform::Context ctx(0, rng);
+  HwPlatform::Reg reg = arena.reg("r");
+  reg.write(ctx, 42);
+  EXPECT_EQ(reg.read(ctx), 42u);
+  EXPECT_EQ(ctx.ops(), 2u);
+}
+
+class HwAlgorithms : public ::testing::TestWithParam<HwAlgorithmId> {};
+
+TEST_P(HwAlgorithms, SingleThreadWins) {
+  const HwRunResult r = run_hw_le(GetParam(), /*k=*/1, /*seed=*/1);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.winners, 1);
+  EXPECT_EQ(r.outcomes[0], sim::Outcome::kWin);
+}
+
+TEST_P(HwAlgorithms, ManyThreadsExactlyOneWinner) {
+  const int hw_threads =
+      std::max(2u, std::thread::hardware_concurrency());
+  for (const int k : {2, 4, hw_threads * 2}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const HwRunResult r = run_hw_le(GetParam(), k, seed);
+      ASSERT_TRUE(r.violations.empty())
+          << to_string(GetParam()) << " k=" << k << " seed=" << seed << ": "
+          << r.violations.front();
+      EXPECT_EQ(r.winners, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, HwAlgorithms,
+    ::testing::Values(HwAlgorithmId::kLogStarChain, HwAlgorithmId::kSiftChain,
+                      HwAlgorithmId::kSiftCascade,
+                      HwAlgorithmId::kRatRacePath,
+                      HwAlgorithmId::kCombinedLogStar,
+                      HwAlgorithmId::kTournament,
+                      HwAlgorithmId::kNativeAtomic),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(HwHarness, StressCombinedManyTrials) {
+  // The combiner exercises nested fibers inside real threads; hammer it.
+  const HwAggregate agg =
+      run_hw_many(HwAlgorithmId::kCombinedLogStar, /*k=*/4, /*trials=*/50, 3);
+  EXPECT_EQ(agg.runs, 50);
+  EXPECT_EQ(agg.violation_runs, 0);
+  EXPECT_GT(agg.mean_max_ops, 0.0);
+}
+
+TEST(HwHarness, OpsScaleWithAlgorithm) {
+  // The native baseline is 1 op; register-based algorithms cost more.
+  const HwRunResult native = run_hw_le(HwAlgorithmId::kNativeAtomic, 4, 1);
+  const HwRunResult logstar = run_hw_le(HwAlgorithmId::kLogStarChain, 4, 1);
+  std::uint64_t native_max = 0;
+  std::uint64_t logstar_max = 0;
+  for (const auto ops : native.ops) native_max = std::max(native_max, ops);
+  for (const auto ops : logstar.ops) logstar_max = std::max(logstar_max, ops);
+  EXPECT_EQ(native_max, 1u);
+  EXPECT_GT(logstar_max, 1u);
+}
+
+}  // namespace
+}  // namespace rts::hw

@@ -1,0 +1,273 @@
+// Verification of the 2-process leader-election building block -- the
+// library's substitute for the Tromp-Vitanyi object.  This is the one
+// primitive everything else (LE3, chains, RatRace, tournaments) leans on,
+// so it gets the heaviest treatment:
+//   * deterministic solo behaviour,
+//   * bounded *exhaustive* model checking over schedules x coins,
+//   * randomized deep-schedule fuzzing,
+//   * step-complexity statistics (O(1) expected steps),
+//   * crash/starvation safety.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algo/le2.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/model_check.hpp"
+#include "sim_harness.hpp"
+#include "support/stats.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SimHarness;
+using rts::testing::SchedKind;
+using sim::Outcome;
+using P = SimPlatform;
+
+TEST(Le2, SoloCallerWinsBothSides) {
+  for (int side = 0; side < 2; ++side) {
+    SimHarness harness;
+    auto le = std::make_shared<Le2<P>>(harness.arena());
+    Outcome out = Outcome::kUnknown;
+    harness.add([le, side, &out](sim::Context& ctx) {
+      out = le->elect(ctx, side);
+    }, 1);
+    sim::SequentialAdversary seq;
+    ASSERT_TRUE(harness.run(seq));
+    EXPECT_EQ(out, Outcome::kWin) << "solo caller on side " << side;
+    EXPECT_LE(harness.kernel().steps(0), 8u)
+        << "solo termination must be constant-step";
+  }
+}
+
+TEST(Le2, SequentialSecondArriverLoses) {
+  SimHarness harness;
+  auto le = std::make_shared<Le2<P>>(harness.arena());
+  Outcome out[2] = {Outcome::kUnknown, Outcome::kUnknown};
+  for (int side = 0; side < 2; ++side) {
+    harness.add([le, side, &out](sim::Context& ctx) {
+      out[side] = le->elect(ctx, side);
+    }, static_cast<std::uint64_t>(side) + 10);
+  }
+  sim::SequentialAdversary seq;  // side 0 runs to completion first
+  ASSERT_TRUE(harness.run(seq));
+  EXPECT_EQ(out[0], Outcome::kWin);
+  EXPECT_EQ(out[1], Outcome::kLose);
+}
+
+// The heart of the file: bounded-exhaustive safety.  Every interleaving and
+// every coin outcome within the decision budget is explored; after every
+// single step at most one side may have won, and every completed execution
+// has exactly one winner.
+TEST(Le2ModelCheck, ExhaustiveSafetyWithinBudget) {
+  Outcome outcomes[2];
+  const auto build = [&outcomes](sim::Kernel& kernel,
+                                 support::RandomSource& coins) {
+    outcomes[0] = outcomes[1] = Outcome::kUnknown;
+    SimPlatform::Arena arena(kernel.memory());
+    auto le = std::make_shared<Le2<P>>(arena);
+    for (int side = 0; side < 2; ++side) {
+      kernel.add_process(
+          [le, side, &outcomes](sim::Context& ctx) {
+            outcomes[side] = le->elect(ctx, side);
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto stepwise = [&outcomes](const sim::Kernel&) -> std::string {
+    const int winners = (outcomes[0] == Outcome::kWin ? 1 : 0) +
+                        (outcomes[1] == Outcome::kWin ? 1 : 0);
+    if (winners > 1) return "two winners";
+    return "";
+  };
+  const auto terminal = [&outcomes](const sim::Kernel&) -> std::string {
+    const int winners = (outcomes[0] == Outcome::kWin ? 1 : 0) +
+                        (outcomes[1] == Outcome::kWin ? 1 : 0);
+    if (winners != 1) return "completed without exactly one winner";
+    return "";
+  };
+
+  sim::ExploreOptions options;
+  // Depth 22 covers every interleaving of the first full round plus the
+  // start of round 2 -- all the single-round races the safety argument
+  // worries about.  (Deeper coverage: the fuzz test below and the bench
+  // bench_model_check, which runs a larger budget offline.)
+  options.max_decisions = 22;
+  options.max_runs = 250'000;
+  const auto result = sim::explore_all(build, stepwise, terminal, options);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 1000u);
+  RecordProperty("runs", static_cast<int>(result.runs));
+}
+
+TEST(Le2, RandomScheduleFuzzAlwaysOneWinner) {
+  support::Accumulator max_steps;
+  for (std::uint64_t seed = 0; seed < 3000; ++seed) {
+    SimHarness harness;
+    auto le = std::make_shared<Le2<P>>(harness.arena());
+    Outcome out[2] = {Outcome::kUnknown, Outcome::kUnknown};
+    for (int side = 0; side < 2; ++side) {
+      harness.add([le, side, &out](sim::Context& ctx) {
+        out[side] = le->elect(ctx, side);
+      }, support::derive_seed(seed, static_cast<std::uint64_t>(side)));
+    }
+    sim::UniformRandomAdversary adversary(support::derive_seed(seed, 77));
+    ASSERT_TRUE(harness.run(adversary));
+    const int winners =
+        (out[0] == Outcome::kWin ? 1 : 0) + (out[1] == Outcome::kWin ? 1 : 0);
+    ASSERT_EQ(winners, 1) << "seed " << seed;
+    max_steps.add(static_cast<double>(std::max(harness.kernel().steps(0),
+                                               harness.kernel().steps(1))));
+  }
+  // O(1) expected steps: the empirical mean must be a small constant and the
+  // distribution must have a light (geometric) tail.
+  EXPECT_LT(max_steps.mean(), 12.0);
+  EXPECT_LT(max_steps.quantile(0.99), 40.0);
+}
+
+TEST(Le2, StepTailDecaysGeometrically) {
+  // O(1) expected steps comes from a geometric round tail: each extra round
+  // survives with probability <= 1/2.  Measure the empirical tail of max
+  // steps and check the decay across one round width (8 ops).
+  std::vector<std::uint64_t> samples;
+  constexpr int kTrials = 6000;
+  samples.reserve(kTrials);
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    SimHarness harness;
+    auto le = std::make_shared<Le2<P>>(harness.arena());
+    for (int side = 0; side < 2; ++side) {
+      harness.add([le, side](sim::Context& ctx) { le->elect(ctx, side); },
+                  support::derive_seed(seed, static_cast<std::uint64_t>(side)));
+    }
+    sim::UniformRandomAdversary adversary(support::derive_seed(seed, 1234));
+    ASSERT_TRUE(harness.run(adversary));
+    samples.push_back(
+        std::max(harness.kernel().steps(0), harness.kernel().steps(1)));
+  }
+  const auto tail = [&samples](std::uint64_t t) {
+    int count = 0;
+    for (const auto s : samples) count += (s >= t) ? 1 : 0;
+    return static_cast<double>(count) / static_cast<double>(samples.size());
+  };
+  // One extra round (8 shared ops across the pair, <= 4 own ops) must cut
+  // the tail by at least ~2x; allow generous slack for small-sample noise.
+  const double at_12 = tail(12);
+  const double at_20 = tail(20);
+  const double at_28 = tail(28);
+  EXPECT_GT(at_12, 0.0) << "some runs do reach a second round";
+  if (at_20 > 0.01) {
+    EXPECT_LT(at_28, at_20 * 0.75) << "tail must keep decaying";
+  }
+  EXPECT_LT(at_28, 0.05);
+}
+
+TEST(Le2, SurvivorWinsAfterPeerCrash) {
+  for (int crash_side = 0; crash_side < 2; ++crash_side) {
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      SimHarness harness;
+      auto le = std::make_shared<Le2<P>>(harness.arena());
+      Outcome out[2] = {Outcome::kUnknown, Outcome::kUnknown};
+      for (int side = 0; side < 2; ++side) {
+        harness.add([le, side, &out](sim::Context& ctx) {
+          out[side] = le->elect(ctx, side);
+        }, support::derive_seed(seed, static_cast<std::uint64_t>(side)));
+      }
+      auto& kernel = harness.kernel();
+      kernel.start();
+      // Let the victim take a few steps, then crash it; the survivor runs
+      // alone and must terminate with a decision (win or lose -- both are
+      // legal depending on what the victim's registers say).
+      support::PrngSource sched(seed);
+      const std::uint64_t victim_steps = sched.draw(6);
+      for (std::uint64_t i = 0;
+           i < victim_steps && kernel.runnable(crash_side); ++i) {
+        kernel.grant(crash_side);
+      }
+      if (kernel.runnable(crash_side)) kernel.crash(crash_side);
+      const int survivor = 1 - crash_side;
+      while (kernel.runnable(survivor)) kernel.grant(survivor);
+      ASSERT_EQ(kernel.state(survivor), sim::SimProcess::State::kFinished);
+      ASSERT_NE(out[survivor], Outcome::kUnknown);
+      const int winners = (out[0] == Outcome::kWin ? 1 : 0) +
+                          (out[1] == Outcome::kWin ? 1 : 0);
+      EXPECT_LE(winners, 1);
+    }
+  }
+}
+
+TEST(Le2, UsesExactlyTwoRegisters) {
+  SimHarness harness;
+  auto le = std::make_shared<Le2<P>>(harness.arena());
+  EXPECT_EQ(harness.kernel().memory().allocated(), Le2<P>::kRegisters);
+}
+
+// Design-choice regression (DESIGN.md D1): the naive "race on rounds and
+// win-by-lag" protocol that Le2 deliberately does NOT use is unsafe -- the
+// model checker finds a two-winner execution.  This documents why the
+// commit-adopt structure is necessary.
+template <class PP>
+class NaiveRacingLe {
+ public:
+  explicit NaiveRacingLe(typename PP::Arena arena) {
+    reg_[0] = arena.reg("naive.R0");
+    reg_[1] = arena.reg("naive.R1");
+  }
+
+  Outcome elect(typename PP::Context& ctx, int side) {
+    const auto s = static_cast<std::uint64_t>(side);
+    std::uint64_t r = 1;
+    for (;;) {
+      const std::uint64_t coin = ctx.flip();
+      reg_[s].write(ctx, (r << 1) | coin);
+      const std::uint64_t other = reg_[1 - s].read(ctx);
+      const std::uint64_t other_round = other >> 1;
+      const std::uint64_t other_coin = other & 1;
+      if (other_round < r) return Outcome::kWin;   // UNSAFE win-by-lag
+      if (other_round > r) return Outcome::kLose;
+      if (other_coin != coin) {
+        return coin == 1 ? Outcome::kWin : Outcome::kLose;
+      }
+      ++r;
+    }
+  }
+
+ private:
+  typename PP::Reg reg_[2];
+};
+
+TEST(Le2ModelCheck, NaiveRacingProtocolIsRefuted) {
+  Outcome outcomes[2];
+  const auto build = [&outcomes](sim::Kernel& kernel,
+                                 support::RandomSource& coins) {
+    outcomes[0] = outcomes[1] = Outcome::kUnknown;
+    SimPlatform::Arena arena(kernel.memory());
+    auto le = std::make_shared<NaiveRacingLe<P>>(arena);
+    for (int side = 0; side < 2; ++side) {
+      kernel.add_process(
+          [le, side, &outcomes](sim::Context& ctx) {
+            outcomes[side] = le->elect(ctx, side);
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto stepwise = [&outcomes](const sim::Kernel&) -> std::string {
+    if (outcomes[0] == Outcome::kWin && outcomes[1] == Outcome::kWin) {
+      return "two winners";
+    }
+    return "";
+  };
+  sim::ExploreOptions options;
+  options.max_decisions = 22;
+  options.max_runs = 250'000;
+  const auto result = sim::explore_all(
+      build, stepwise, [](const sim::Kernel&) { return std::string(); },
+      options);
+  EXPECT_TRUE(result.violation_found)
+      << "the naive protocol should admit a two-winner execution";
+  EXPECT_EQ(result.violation, "two winners");
+}
+
+}  // namespace
+}  // namespace rts::algo

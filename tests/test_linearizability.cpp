@@ -1,0 +1,119 @@
+// Linearizability checks for the one-shot TAS built from leader election.
+//
+// For one-shot TAS the linearizability conditions reduce to:
+//   (L1) exactly one caller returns 0;
+//   (L2) no call that returns 1 may *complete* before the winning call
+//        *starts* -- otherwise the 1 it returned had no linearization point
+//        (the bit was still 0 for its entire duration).
+// We record call intervals in kernel-step time via an op observer and check
+// both conditions across adversaries, seeds, and algorithms.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/tas.hpp"
+#include "algo/tournament.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using P = SimPlatform;
+
+struct CallInterval {
+  std::uint64_t first_step = UINT64_MAX;
+  std::uint64_t last_step = 0;
+  int result = -1;
+};
+
+template <class MakeLe>
+void check_linearizability(const MakeLe& make_le, int k, SchedKind sched,
+                           std::uint64_t seed) {
+  sim::Kernel kernel;
+  P::Arena arena(kernel.memory());
+  auto tas = std::make_shared<TasFromLe<P>>(arena, make_le(arena, k));
+
+  std::vector<CallInterval> calls(static_cast<std::size_t>(k));
+  kernel.set_op_observer([&calls](const sim::OpRecord& record) {
+    auto& call = calls[static_cast<std::size_t>(record.pid)];
+    call.first_step = std::min(call.first_step, record.step);
+    call.last_step = std::max(call.last_step, record.step);
+  });
+
+  for (int pid = 0; pid < k; ++pid) {
+    kernel.add_process(
+        [tas, &calls, pid](sim::Context& ctx) {
+          calls[static_cast<std::size_t>(pid)].result = tas->tas(ctx);
+        },
+        std::make_unique<support::PrngSource>(
+            support::derive_seed(seed, pid)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  ASSERT_TRUE(kernel.run(*adversary));
+
+  // (L1) exactly one zero.
+  int winner = -1;
+  for (int pid = 0; pid < k; ++pid) {
+    ASSERT_NE(calls[static_cast<std::size_t>(pid)].result, -1);
+    if (calls[static_cast<std::size_t>(pid)].result == 0) {
+      EXPECT_EQ(winner, -1) << "two zeros";
+      winner = pid;
+    }
+  }
+  ASSERT_NE(winner, -1) << "no zero";
+
+  // (L2) every returned 1 must be concurrent with or after the winner's
+  // call: loser.last_step >= winner.first_step.
+  const auto& wcall = calls[static_cast<std::size_t>(winner)];
+  for (int pid = 0; pid < k; ++pid) {
+    if (pid == winner) continue;
+    const auto& call = calls[static_cast<std::size_t>(pid)];
+    EXPECT_GE(call.last_step, wcall.first_step)
+        << "process " << pid << " returned 1 but completed before the "
+        << "winner started -- not linearizable";
+  }
+}
+
+std::unique_ptr<ILeaderElect<P>> make_chain(P::Arena arena, int n) {
+  return std::make_unique<GeChainLe<P>>(
+      arena, n, fig1_truncated_factory<P>(n, default_live_prefix(n)));
+}
+
+std::unique_ptr<ILeaderElect<P>> make_tournament(P::Arena arena, int n) {
+  return std::make_unique<TournamentLe<P>>(arena, n);
+}
+
+class TasLinearizability
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(TasLinearizability, ChainBased) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    check_linearizability(make_chain, k, sched, seed);
+  }
+}
+
+TEST_P(TasLinearizability, TournamentBased) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    check_linearizability(make_tournament, k, sched, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TasLinearizability,
+    ::testing::Combine(::testing::Values(2, 3, 8, 24),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,157 @@
+// Tests of the lower-bound drivers.
+//
+// Covering argument (Theorem 5.1): the construction must complete against
+// our leader-election algorithms and end with at least log2(n) - 1 distinct
+// covered registers -- the paper's bound, witnessed on real executions.
+//
+// Two-process time bound (Theorem 6.1): max-over-schedules probability of
+// needing t steps must dominate 1/4^t.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "lowerbound/covering.hpp"
+#include "lowerbound/two_proc.hpp"
+#include "support/math.hpp"
+
+namespace rts::lb {
+namespace {
+
+class CoveringOnAlgorithms
+    : public ::testing::TestWithParam<algo::AlgorithmId> {};
+
+TEST_P(CoveringOnAlgorithms, WitnessesLogNBoundAtN16) {
+  const CoveringResult r = run_covering_argument(GetParam(), 16, /*seed=*/1);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.paper_bound, 3);
+  EXPECT_GE(r.covered_registers, r.paper_bound)
+      << "the construction must cover at least log2(n) - 1 registers";
+  EXPECT_GE(r.final_groups, 4 * (support::log2_ceil(16) - 1))
+      << "Lemma 5.4/Claim 5.5: m_{n-4} >= 4(log n - 1)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, CoveringOnAlgorithms,
+    ::testing::Values(algo::AlgorithmId::kLogStarChain,
+                      algo::AlgorithmId::kRatRacePath,
+                      algo::AlgorithmId::kTournament),
+    [](const auto& info) {
+      std::string name = algo::info(info.param).name;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Covering, BoundGrowsWithN) {
+  int previous_covered = 0;
+  for (const int n : {8, 16, 32}) {
+    const CoveringResult r =
+        run_covering_argument(algo::AlgorithmId::kLogStarChain, n, 7);
+    ASSERT_TRUE(r.ok) << "n=" << n << ": " << r.error;
+    EXPECT_GE(r.covered_registers,
+              support::log2_ceil(static_cast<std::uint64_t>(n)) - 1);
+    EXPECT_GE(r.covered_registers, previous_covered);
+    previous_covered = r.covered_registers;
+  }
+}
+
+TEST(Covering, MonotoneGroupHistory) {
+  const CoveringResult r =
+      run_covering_argument(algo::AlgorithmId::kLogStarChain, 16, 3);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_FALSE(r.m_history.empty());
+  EXPECT_EQ(r.m_history.front(), 16) << "m_0 = n";
+  for (std::size_t i = 1; i < r.m_history.size(); ++i) {
+    EXPECT_LE(r.m_history[i], r.m_history[i - 1])
+        << "groups only ever merge";
+  }
+}
+
+TEST(Covering, RejectsBadN) {
+  const CoveringResult odd =
+      run_covering_argument(algo::AlgorithmId::kLogStarChain, 12, 1);
+  EXPECT_FALSE(odd.ok);
+  const CoveringResult tiny =
+      run_covering_argument(algo::AlgorithmId::kLogStarChain, 4, 1);
+  EXPECT_FALSE(tiny.ok);
+}
+
+TEST(Covering, DifferentSeedsStillWitnessBound) {
+  // The proof fixes arbitrary coins; any seed must yield the bound.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const CoveringResult r =
+        run_covering_argument(algo::AlgorithmId::kLogStarChain, 16, seed);
+    ASSERT_TRUE(r.ok) << "seed " << seed << ": " << r.error;
+    EXPECT_GE(r.covered_registers, 3) << "seed " << seed;
+  }
+}
+
+TEST(Claim55, RecurrenceMatchesClosedForm) {
+  // The paper's Section-5 counting: f(0) = n, f(k+1) = f(k) - floor(f(k) /
+  // (n-k)) + 1.  Claim 5.5(a): for k in I(s) = [n - n/2^s, n - n/2^(s+1)),
+  // f(k) = n(s+1)/2^s - s(k - n + n/2^s); in particular f(n-4) =
+  // 4(log2 n - 1).  Verify the closed form against the recurrence directly.
+  for (const int n : {8, 16, 64, 256, 1024}) {
+    std::vector<std::int64_t> f(static_cast<std::size_t>(n));
+    f[0] = n;
+    for (int k = 0; k + 1 < n; ++k) {
+      f[static_cast<std::size_t>(k + 1)] =
+          f[static_cast<std::size_t>(k)] -
+          f[static_cast<std::size_t>(k)] / (n - k) + 1;
+    }
+    // Closed form on every k < n - 4.
+    for (int s = 0; (n >> s) >= 2; ++s) {
+      const int lo = n - (n >> s);
+      const int hi = n - (n >> (s + 1));  // exclusive
+      for (int k = lo; k < hi && k <= n - 4; ++k) {
+        const std::int64_t expected =
+            static_cast<std::int64_t>(n) * (s + 1) / (1LL << s) -
+            static_cast<std::int64_t>(s) * (k - n + (n >> s));
+        EXPECT_EQ(f[static_cast<std::size_t>(k)], expected)
+            << "n=" << n << " s=" << s << " k=" << k;
+      }
+    }
+    EXPECT_EQ(f[static_cast<std::size_t>(n - 4)],
+              4 * (support::log2_ceil(static_cast<std::uint64_t>(n)) - 1))
+        << "f(n-4) = 4(log n - 1) at n=" << n;
+  }
+}
+
+// --- Theorem 6.1 ------------------------------------------------------------
+
+TEST(TwoProcLb, MaxProbabilityDominatesBound) {
+  const auto rows =
+      run_two_proc_lb({1, 2, 3, 4, 5}, /*trials_per_schedule=*/60,
+                      /*max_schedules=*/1000, /*seed=*/5);
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.exhaustive) << "t=" << row.t;
+    EXPECT_GE(row.max_prob, row.bound)
+        << "t=" << row.t
+        << ": the theorem guarantees some schedule reaches 1/4^t";
+    EXPECT_LE(row.min_prob, row.max_prob);
+  }
+  // t = 1 is trivially certain: every TAS call takes at least one step.
+  EXPECT_DOUBLE_EQ(rows.front().max_prob, 1.0);
+}
+
+TEST(TwoProcLb, SampledSchedulesForLargerT) {
+  const auto rows = run_two_proc_lb({8}, /*trials_per_schedule=*/40,
+                                    /*max_schedules=*/64, /*seed=*/9);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows.front().exhaustive);
+  EXPECT_EQ(rows.front().schedules, 64);
+  EXPECT_GE(rows.front().max_prob, rows.front().bound);
+}
+
+TEST(TwoProcLb, ProbabilityDecaysWithT) {
+  const auto rows = run_two_proc_lb({4, 10, 14}, 200, 128, 11);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GE(rows[0].max_prob, rows[2].max_prob)
+      << "needing more steps must not become more likely";
+}
+
+}  // namespace
+}  // namespace rts::lb

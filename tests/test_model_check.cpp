@@ -1,0 +1,160 @@
+// Tests for the bounded exhaustive explorer itself: that it really
+// enumerates every schedule and coin outcome, finds planted violations, and
+// reports exhaustion correctly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/model_check.hpp"
+#include "support/rng.hpp"
+
+namespace rts::sim {
+namespace {
+
+std::string ok(const Kernel&) { return ""; }
+
+TEST(ModelCheck, EnumeratesAllInterleavingsOfTwoWriters) {
+  // Two processes, two writes each to a shared register; final value
+  // identifies (part of) the interleaving.  There are C(4,2) = 6 schedules.
+  std::set<std::uint64_t> finals;
+  int runs = 0;
+  const auto build = [&](Kernel& kernel, support::RandomSource& coins) {
+    const RegId reg = kernel.memory().alloc("r");
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [reg, p](Context& ctx) {
+            ctx.write(reg, static_cast<std::uint64_t>(10 * (p + 1)));
+            ctx.write(reg, static_cast<std::uint64_t>(10 * (p + 1) + 1));
+          },
+          std::make_unique<SharedSource>(coins));
+    }
+    (void)runs;
+  };
+  const auto terminal = [&](const Kernel& kernel) -> std::string {
+    finals.insert(kernel.memory().slot(0).value);
+    ++runs;
+    return "";
+  };
+  const ExploreResult result = explore_all(build, ok, terminal);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_EQ(result.runs, 6u);
+  // The last write is 11 or 21 depending on who finishes last.
+  const std::set<std::uint64_t> expected = {11, 21};
+  EXPECT_EQ(finals, expected);
+}
+
+TEST(ModelCheck, ExploresCoinOutcomes) {
+  // One process, two coin flips: all four outcomes must be visited.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  const auto build = [&](Kernel& kernel, support::RandomSource& coins) {
+    kernel.add_process(
+        [&seen](Context& ctx) {
+          const auto a = ctx.flip();
+          const auto b = ctx.flip();
+          seen.insert({a, b});
+          ctx.write(0, a * 2 + b);
+        },
+        std::make_unique<SharedSource>(coins));
+    kernel.memory().alloc("r");
+  };
+  const ExploreResult result = explore_all(build, ok, ok);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.runs, 4u);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ModelCheck, FindsPlantedRaceViolation) {
+  // Classic lost-update shape: each process reads then writes read+1.  Some
+  // interleaving ends with value 1 instead of 2 -- the checker must find it.
+  const auto build = [](Kernel& kernel, support::RandomSource& coins) {
+    const RegId reg = kernel.memory().alloc("counter");
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [reg](Context& ctx) {
+            const auto v = ctx.read(reg);
+            ctx.write(reg, v + 1);
+          },
+          std::make_unique<SharedSource>(coins));
+    }
+  };
+  const auto terminal = [](const Kernel& kernel) -> std::string {
+    if (kernel.memory().slot(0).value != 2) return "lost update";
+    return "";
+  };
+  const ExploreResult result = explore_all(build, ok, terminal);
+  EXPECT_TRUE(result.violation_found);
+  EXPECT_EQ(result.violation, "lost update");
+  EXPECT_FALSE(result.violating_tape.empty());
+}
+
+TEST(ModelCheck, StepwiseCheckSeesPrefixes) {
+  // The stepwise check fires on a transient state that no terminal state
+  // exhibits: register value 1 is later overwritten by 2.
+  const auto build = [](Kernel& kernel, support::RandomSource& coins) {
+    const RegId reg = kernel.memory().alloc("r");
+    kernel.add_process(
+        [reg](Context& ctx) {
+          ctx.write(reg, 1);
+          ctx.write(reg, 2);
+        },
+        std::make_unique<SharedSource>(coins));
+  };
+  const auto stepwise = [](const Kernel& kernel) -> std::string {
+    if (kernel.memory().slot(0).value == 1) return "transient seen";
+    return "";
+  };
+  const ExploreResult result = explore_all(build, stepwise, ok);
+  EXPECT_TRUE(result.violation_found);
+  EXPECT_EQ(result.violation, "transient seen");
+}
+
+TEST(ModelCheck, TruncatesRunsBeyondDecisionBudget) {
+  // A process that flips coins forever can never complete; exploration must
+  // terminate via truncation and report zero completed runs.
+  const auto build = [](Kernel& kernel, support::RandomSource& coins) {
+    const RegId reg = kernel.memory().alloc("r");
+    kernel.add_process(
+        [reg](Context& ctx) {
+          for (;;) {
+            ctx.flip();
+            ctx.read(reg);
+          }
+        },
+        std::make_unique<SharedSource>(coins));
+  };
+  ExploreOptions options;
+  options.max_decisions = 6;
+  options.max_runs = 1000;
+  const ExploreResult result = explore_all(build, ok, ok, options);
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_GT(result.truncated_runs, 0u);
+  EXPECT_EQ(result.completed_runs, 0u);
+}
+
+TEST(ModelCheck, UnfairSchedulesCoverCrashes) {
+  // Safety predicate: "if process 1 ever observes the flag it must be after
+  // process 0 wrote it" is violated only in executions where process 0 is
+  // starved (the crash-equivalent schedule).  The explorer must reach it.
+  const auto build = [](Kernel& kernel, support::RandomSource& coins) {
+    const RegId flag = kernel.memory().alloc("flag");
+    const RegId out = kernel.memory().alloc("out");
+    kernel.add_process([flag](Context& ctx) { ctx.write(flag, 1); },
+                       std::make_unique<SharedSource>(coins));
+    kernel.add_process(
+        [flag, out](Context& ctx) {
+          const auto v = ctx.read(flag);
+          ctx.write(out, v == 0 ? 1 : 0);  // records "saw no writer"
+        },
+        std::make_unique<SharedSource>(coins));
+  };
+  const auto stepwise = [](const Kernel& kernel) -> std::string {
+    if (kernel.memory().slot(1).value == 1) return "starvation reached";
+    return "";
+  };
+  const ExploreResult result = explore_all(build, stepwise, ok);
+  EXPECT_TRUE(result.violation_found);
+}
+
+}  // namespace
+}  // namespace rts::sim

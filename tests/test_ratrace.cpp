@@ -1,0 +1,257 @@
+// Tests for the elimination path (Claim 3.1), the original RatRace baseline,
+// and the Section-3 space-efficient RatRacePath: correctness sweeps, space
+// accounting (Theta(n^3) vs Theta(n)), the leaf-loading statistics of
+// Claim 3.2, and crash robustness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "algo/elim_path.hpp"
+#include "algo/ratrace.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/runner.hpp"
+#include "sim_harness.hpp"
+#include "support/math.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using sim::Outcome;
+using P = SimPlatform;
+
+// --- Elimination path -------------------------------------------------------
+
+struct PathTally {
+  int win = 0;
+  int lose = 0;
+  int forward = 0;
+};
+
+PathTally run_path(int k, int length, SchedKind sched, std::uint64_t seed) {
+  SimHarness harness;
+  auto path = std::make_shared<ElimPath<P>>(harness.arena(), length);
+  PathTally tally;
+  for (int p = 0; p < k; ++p) {
+    harness.add(
+        [path, &tally](sim::Context& ctx) {
+          switch (path->run(ctx)) {
+            case ChainOutcome::kWin:
+              ++tally.win;
+              break;
+            case ChainOutcome::kLose:
+              ++tally.lose;
+              break;
+            case ChainOutcome::kForward:
+              ++tally.forward;
+              break;
+          }
+        },
+        support::derive_seed(seed, static_cast<std::uint64_t>(p)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  EXPECT_TRUE(harness.run(*adversary));
+  return tally;
+}
+
+class ElimPathSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(ElimPathSweep, Claim31NoFallOffWhenSized) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const PathTally t = run_path(k, /*length=*/k, sched, seed);
+    EXPECT_EQ(t.forward, 0)
+        << "Claim 3.1: k <= length means nobody falls off";
+    EXPECT_EQ(t.win, 1) << "exactly one path winner";
+    EXPECT_EQ(t.lose, k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, ElimPathSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16, 48),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(ElimPath, OverflowForwardsInsteadOfBreaking) {
+  // More entrants than nodes: forwards are allowed, but never two winners.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const PathTally t = run_path(/*k=*/12, /*length=*/3,
+                                 SchedKind::kRandom, seed);
+    EXPECT_LE(t.win, 1);
+    EXPECT_EQ(t.win + t.lose + t.forward, 12);
+  }
+}
+
+TEST(ElimPath, SpaceIsFourPerNode) {
+  SimHarness harness;
+  ElimPath<P> path(harness.arena(), 10);
+  EXPECT_EQ(path.declared_registers(), 40u);
+  EXPECT_EQ(harness.kernel().memory().allocated(), 40u);
+}
+
+// --- RatRace (both variants) ------------------------------------------------
+
+template <class RR>
+sim::LeBuilder ratrace_builder() {
+  return [](sim::Kernel& kernel, int n) -> sim::BuiltLe {
+    SimPlatform::Arena arena(kernel.memory());
+    auto le = std::make_shared<RR>(arena, n);
+    sim::BuiltLe built;
+    built.keepalive = le;
+    built.declared_registers = le->declared_registers();
+    built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    return built;
+  };
+}
+
+class RatRaceSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(RatRaceSweep, OriginalExactlyOneWinner) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r = sim::run_le_once(ratrace_builder<RatRaceOriginal<P>>(), k,
+                                    k, *adversary, seed);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_EQ(r.winners, 1);
+  }
+}
+
+TEST_P(RatRaceSweep, PathVariantExactlyOneWinner) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    const auto r = sim::run_le_once(ratrace_builder<RatRacePath<P>>(), k, k,
+                                    *adversary, seed);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_EQ(r.winners, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, RatRaceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 6, 13, 32, 100),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(RatRace, SpaceCubicVsLinear) {
+  // The headline of Section 3: Theta(n^3) declared registers for the
+  // original, Theta(n) for the path variant.
+  for (const int n : {16, 64, 256}) {
+    SimHarness h_orig;
+    RatRaceOriginal<P> orig(h_orig.arena(), n);
+    SimHarness h_path;
+    RatRacePath<P> path(h_path.arena(), n);
+
+    const auto nn = static_cast<std::size_t>(n);
+    EXPECT_GE(orig.declared_registers(), 2 * nn * nn * nn)
+        << "tree of height 3 log n alone has ~2 n^3 nodes";
+    EXPECT_LE(path.declared_registers(), 60 * nn)
+        << "path variant must be linear with a modest constant";
+  }
+}
+
+TEST(RatRace, LazyMaterializationTouchesFewRegisters) {
+  // Although the original declares Theta(n^3) registers, a real run only
+  // materializes what it touches -- and the run must touch O(k log k)-ish
+  // counts, far below the declared size.
+  constexpr int k = 32;
+  sim::UniformRandomAdversary adversary(7);
+  const auto r = sim::run_le_once(ratrace_builder<RatRaceOriginal<P>>(), k, k,
+                                  adversary, 7);
+  EXPECT_EQ(r.winners, 1);
+  EXPECT_GT(r.declared_registers, static_cast<std::size_t>(2 * k * k * k));
+  EXPECT_LT(r.regs_allocated, 4000u);
+}
+
+TEST(RatRace, StepComplexityIsLogarithmicIsh) {
+  // O(log k) expected steps: going from k=8 to k=128 (16x) should grow the
+  // mean max-steps by far less than 16x.
+  const auto measure = [](int k) {
+    const auto agg = sim::run_le_many(
+        ratrace_builder<RatRacePath<P>>(), k, k,
+        rts::testing::adversary_factory(SchedKind::kRandom), 40, 11);
+    EXPECT_EQ(agg.violation_runs, 0);
+    return agg.max_steps.mean();
+  };
+  const double at_8 = measure(8);
+  const double at_128 = measure(128);
+  EXPECT_LT(at_128, at_8 * 6.0);
+}
+
+TEST(RatRace, WonSplitterIsTrackedForCombiner) {
+  constexpr int k = 8;
+  SimHarness harness;
+  auto rr = std::make_shared<RatRacePath<P>>(harness.arena(), k);
+  std::vector<Outcome> out(k, Outcome::kUnknown);
+  for (int p = 0; p < k; ++p) {
+    harness.add([rr, &out, p](sim::Context& ctx) { out[p] = rr->elect(ctx); },
+                static_cast<std::uint64_t>(p));
+  }
+  sim::UniformRandomAdversary adversary(3);
+  ASSERT_TRUE(harness.run(adversary));
+  // The winner must have won some splitter on its way.
+  for (int p = 0; p < k; ++p) {
+    if (out[p] == Outcome::kWin) EXPECT_TRUE(rr->won_splitter(p));
+  }
+}
+
+TEST(RatRace, Claim32LeafLoading) {
+  // Claim 3.2: for a fixed group of log n leaves, with probability 1 - 1/n^2
+  // at most 4 log n processes reach those leaves.  We measure the max path
+  // group loading across many trials of the tree's random descent.
+  constexpr int n = 64;
+  const int log_n = support::log2_ceil(n);
+  const int bound = 4 * log_n;
+  int overloaded_trials = 0;
+  constexpr int kTrials = 300;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    // Simulate the bit-string model of the claim directly: each process's
+    // fall-off leaf is determined by log n fair coin flips.
+    support::PrngSource rng(seed);
+    std::vector<int> group_load(
+        static_cast<std::size_t>((n + log_n - 1) / log_n), 0);
+    for (int p = 0; p < n; ++p) {
+      const auto leaf = rng.draw(n);
+      ++group_load[static_cast<std::size_t>(leaf) /
+                   static_cast<std::size_t>(log_n)];
+    }
+    for (const int load : group_load) {
+      if (load > bound) {
+        ++overloaded_trials;
+        break;
+      }
+    }
+  }
+  // 1/n^2 = 1/4096 per trial; over 300 trials expect ~0.07 -- allow a little.
+  EXPECT_LE(overloaded_trials, 3);
+}
+
+TEST(RatRace, CrashInjectionKeepsSafety) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    sim::RoundRobinAdversary inner;
+    sim::CrashInjectingAdversary adversary(inner, seed, 0.02, 4);
+    const auto r = sim::run_le_once(ratrace_builder<RatRacePath<P>>(), 24, 24,
+                                    adversary, seed);
+    EXPECT_LE(r.winners, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,140 @@
+// Tests for the renaming component: uniqueness, adaptivity of the name
+// range (max name < k regardless of capacity), crash tolerance (crashed
+// processes may strand names but never cause duplicates), and behaviour on
+// both platforms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <barrier>
+#include <memory>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "algo/renaming.hpp"
+#include "algo/sim_platform.hpp"
+#include "hw/platform.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using P = SimPlatform;
+
+std::vector<int> run_renaming(int capacity, int k, SchedKind sched,
+                              std::uint64_t seed, bool* completed = nullptr) {
+  SimHarness harness;
+  auto renaming = std::make_shared<Renaming<P>>(harness.arena(), capacity);
+  std::vector<int> names(static_cast<std::size_t>(k), -2);
+  for (int pid = 0; pid < k; ++pid) {
+    harness.add(
+        [renaming, &names, pid](sim::Context& ctx) {
+          names[static_cast<std::size_t>(pid)] = renaming->acquire(ctx);
+        },
+        support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  const bool ok = harness.run(*adversary);
+  if (completed != nullptr) *completed = ok;
+  EXPECT_TRUE(ok);
+  return names;
+}
+
+class RenamingSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(RenamingSweep, NamesAreUniqueAndAdaptive) {
+  const auto [k, sched] = GetParam();
+  const int capacity = 2 * k;  // more slots than participants
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto names = run_renaming(capacity, k, sched, seed);
+    std::set<int> seen;
+    for (const int name : names) {
+      EXPECT_GE(name, 0);
+      EXPECT_LT(name, capacity);
+      EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    }
+    // Adaptivity: k participants never walk past the first k slots.
+    EXPECT_LT(*std::max_element(names.begin(), names.end()), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RenamingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 12, 24),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Renaming, ExactCapacityStillUnique) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto names = run_renaming(8, 8, SchedKind::kRandom, seed);
+    std::set<int> seen(names.begin(), names.end());
+    EXPECT_EQ(seen.size(), 8u);
+    EXPECT_EQ(*seen.rbegin(), 7);  // all 8 slots used
+  }
+}
+
+TEST(Renaming, CrashesNeverCauseDuplicates) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    SimHarness harness;
+    auto renaming = std::make_shared<Renaming<P>>(harness.arena(), 16);
+    std::vector<int> names(12, -2);
+    for (int pid = 0; pid < 12; ++pid) {
+      harness.add(
+          [renaming, &names, pid](sim::Context& ctx) {
+            names[static_cast<std::size_t>(pid)] = renaming->acquire(ctx);
+          },
+          support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+    }
+    sim::RoundRobinAdversary inner;
+    sim::CrashInjectingAdversary adversary(inner, seed, 0.02, 4);
+    ASSERT_TRUE(harness.run(adversary));
+    std::set<int> seen;
+    for (const int name : names) {
+      if (name < 0) continue;  // crashed before acquiring
+      EXPECT_TRUE(seen.insert(name).second) << "duplicate under crashes";
+    }
+  }
+}
+
+TEST(Renaming, HardwareThreads) {
+  constexpr int kThreads = 8;
+  hw::RegisterPool pool;
+  hw::HwPlatform::Arena arena(pool);
+  Renaming<hw::HwPlatform> renaming(arena, kThreads);
+  std::vector<int> names(kThreads, -2);
+  std::barrier gate(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int pid = 0; pid < kThreads; ++pid) {
+      threads.emplace_back([&, pid] {
+        support::PrngSource rng(support::derive_seed(99, pid));
+        hw::HwPlatform::Context ctx(pid, rng);
+        gate.arrive_and_wait();
+        names[static_cast<std::size_t>(pid)] = renaming.acquire(ctx);
+      });
+    }
+  }
+  std::set<int> seen(names.begin(), names.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads));
+  for (const int name : names) {
+    EXPECT_GE(name, 0);
+    EXPECT_LT(name, kThreads);
+  }
+}
+
+TEST(Renaming, RejectsBadCapacity) {
+  SimHarness harness;
+  EXPECT_THROW(Renaming<P> bad(harness.arena(), 0), Error);
+}
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,125 @@
+// Tests for decision-tape serialization and single-run replay: a violating
+// tape found by explore_all must reproduce the identical violation when
+// replayed (after a serialization round trip), and the memory usage
+// breakdown must attribute registers to the components that allocated them.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/chain.hpp"
+#include "algo/sim_platform.hpp"
+#include "sim/model_check.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::sim {
+namespace {
+
+// The lost-update scenario from test_model_check: known to have violating
+// interleavings, ideal for replay testing.
+void lost_update_build(Kernel& kernel, support::RandomSource& coins) {
+  const RegId reg = kernel.memory().alloc("counter");
+  for (int p = 0; p < 2; ++p) {
+    kernel.add_process(
+        [reg](Context& ctx) {
+          const auto v = ctx.read(reg);
+          ctx.write(reg, v + 1);
+        },
+        std::make_unique<SharedSource>(coins));
+  }
+}
+
+std::string lost_update_terminal(const Kernel& kernel) {
+  if (kernel.memory().slot(0).value != 2) return "lost update";
+  return "";
+}
+
+std::string no_check(const Kernel&) { return ""; }
+
+TEST(Replay, ViolatingTapeReproducesViolation) {
+  const ExploreResult explored =
+      explore_all(lost_update_build, no_check, lost_update_terminal);
+  ASSERT_TRUE(explored.violation_found);
+
+  const ReplayResult replayed =
+      replay_tape(lost_update_build, no_check, lost_update_terminal,
+                  ExploreOptions{}, explored.violating_tape);
+  EXPECT_TRUE(replayed.completed);
+  EXPECT_EQ(replayed.violation, "lost update");
+}
+
+TEST(Replay, SerializationRoundTrip) {
+  const ExploreResult explored =
+      explore_all(lost_update_build, no_check, lost_update_terminal);
+  ASSERT_TRUE(explored.violation_found);
+
+  const std::string text = format_tape(explored.violating_tape);
+  EXPECT_FALSE(text.empty());
+  const auto parsed = parse_tape(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), explored.violating_tape.size());
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].value, explored.violating_tape[i].value);
+    EXPECT_EQ((*parsed)[i].arity, explored.violating_tape[i].arity);
+  }
+
+  const ReplayResult replayed = replay_tape(
+      lost_update_build, no_check, lost_update_terminal, ExploreOptions{},
+      *parsed);
+  EXPECT_EQ(replayed.violation, "lost update");
+}
+
+TEST(Replay, NonViolatingTapeIsClean) {
+  // The all-zeros tape (first DFS path) is sequential: process 0 runs to
+  // completion first, so both increments land and there is no violation.
+  const ReplayResult replayed = replay_tape(
+      lost_update_build, no_check, lost_update_terminal, ExploreOptions{}, {});
+  EXPECT_TRUE(replayed.completed);
+  EXPECT_TRUE(replayed.violation.empty());
+}
+
+TEST(Replay, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_tape("1-2").has_value());
+  EXPECT_FALSE(parse_tape("abc/2").has_value());
+  EXPECT_FALSE(parse_tape("3/2").has_value()) << "value must be < arity";
+  EXPECT_FALSE(parse_tape("1/0").has_value()) << "arity must be positive";
+  const auto empty = parse_tape("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  const auto good = parse_tape("0/2 1/3");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->size(), 2u);
+}
+
+TEST(MemoryUsage, BreakdownByComponentPrefix) {
+  rts::testing::SimHarness harness;
+  algo::GeChainLe<algo::SimPlatform> chain(
+      harness.arena(), 8, algo::fig1_truncated_factory<algo::SimPlatform>(8, 3));
+  sim::Outcome out = sim::Outcome::kUnknown;
+  harness.add([&](Context& ctx) { out = chain.elect(ctx); }, 1);
+  SequentialAdversary seq;
+  ASSERT_TRUE(harness.run(seq));
+
+  const auto usage = harness.kernel().memory().usage_by_prefix();
+  ASSERT_FALSE(usage.empty());
+  std::size_t total = 0;
+  bool saw_ge = false;
+  bool saw_splitter = false;
+  bool saw_le2 = false;
+  for (const auto& row : usage) {
+    total += row.registers;
+    if (row.prefix == "ge") saw_ge = true;
+    if (row.prefix == "splitter") saw_splitter = true;
+    if (row.prefix == "le2") saw_le2 = true;
+  }
+  EXPECT_EQ(total, harness.kernel().memory().allocated());
+  EXPECT_TRUE(saw_ge);
+  EXPECT_TRUE(saw_splitter);
+  EXPECT_TRUE(saw_le2);
+  // Sorted descending by register count.
+  for (std::size_t i = 1; i < usage.size(); ++i) {
+    EXPECT_GE(usage[i - 1].registers, usage[i].registers);
+  }
+}
+
+}  // namespace
+}  // namespace rts::sim

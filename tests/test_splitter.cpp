@@ -1,0 +1,147 @@
+// Property tests for deterministic and randomized splitters, swept over
+// contention levels, schedulers, and seeds (TEST_P), plus an exhaustive
+// model check of the 2-process deterministic splitter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "algo/sim_platform.hpp"
+#include "algo/splitter.hpp"
+#include "sim/model_check.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SimHarness;
+using rts::testing::SchedKind;
+using P = SimPlatform;
+
+struct Tally {
+  int left = 0;
+  int right = 0;
+  int stop = 0;
+};
+
+template <class S>
+Tally run_splitter(int k, SchedKind sched, std::uint64_t seed) {
+  SimHarness harness;
+  auto splitter = std::make_shared<S>(harness.arena());
+  std::vector<SplitResult> results(static_cast<std::size_t>(k),
+                                   SplitResult::kLeft);
+  for (int p = 0; p < k; ++p) {
+    harness.add(
+        [splitter, &results, p](sim::Context& ctx) {
+          results[static_cast<std::size_t>(p)] = splitter->split(ctx);
+        },
+        support::derive_seed(seed, static_cast<std::uint64_t>(p)));
+  }
+  auto adversary = rts::testing::make_adversary(sched, seed);
+  EXPECT_TRUE(harness.run(*adversary));
+  Tally tally;
+  for (const SplitResult r : results) {
+    if (r == SplitResult::kLeft) ++tally.left;
+    if (r == SplitResult::kRight) ++tally.right;
+    if (r == SplitResult::kStop) ++tally.stop;
+  }
+  return tally;
+}
+
+class SplitterSweep
+    : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {};
+
+TEST_P(SplitterSweep, DeterministicSplitterProperties) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Tally t = run_splitter<Splitter<P>>(k, sched, seed);
+    EXPECT_EQ(t.left + t.right + t.stop, k);
+    EXPECT_LE(t.stop, 1) << "at most one process wins a splitter";
+    EXPECT_LE(t.left, k - 1) << "not everyone goes left";
+    EXPECT_LE(t.right, k - 1) << "not everyone goes right";
+    if (k == 1) {
+      EXPECT_EQ(t.stop, 1) << "a solo caller always wins";
+    }
+  }
+}
+
+TEST_P(SplitterSweep, RandomizedSplitterProperties) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Tally t = run_splitter<RSplitter<P>>(k, sched, seed);
+    EXPECT_EQ(t.left + t.right + t.stop, k);
+    EXPECT_LE(t.stop, 1);
+    if (k == 1) {
+      EXPECT_EQ(t.stop, 1);
+    }
+    // Note: unlike the deterministic splitter, all non-winners may end up on
+    // the same side -- that is the point of the randomized variant.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, SplitterSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 40),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(RSplitter, DirectionsAreRoughlyUniform) {
+  int left = 0;
+  int right = 0;
+  for (std::uint64_t seed = 0; seed < 600; ++seed) {
+    const Tally t = run_splitter<RSplitter<P>>(4, SchedKind::kRoundRobin, seed);
+    left += t.left;
+    right += t.right;
+  }
+  const double total = left + right;
+  ASSERT_GT(total, 0.0);
+  EXPECT_NEAR(left / total, 0.5, 0.06);
+}
+
+TEST(SplitterModelCheck, TwoProcessExhaustive) {
+  // Every schedule of two processes through the deterministic splitter:
+  // at most one S, at most one L, at most one R (k-1 = 1), and -- once both
+  // finished -- not both L, not both R.
+  SplitResult results[2];
+  const auto build = [&results](sim::Kernel& kernel,
+                                support::RandomSource& coins) {
+    results[0] = results[1] = SplitResult::kLeft;
+    SimPlatform::Arena arena(kernel.memory());
+    auto splitter = std::make_shared<Splitter<P>>(arena);
+    for (int p = 0; p < 2; ++p) {
+      kernel.add_process(
+          [splitter, &results, p](sim::Context& ctx) {
+            results[p] = splitter->split(ctx);
+          },
+          std::make_unique<sim::SharedSource>(coins));
+    }
+  };
+  const auto terminal = [&results](const sim::Kernel&) -> std::string {
+    int stop = 0;
+    int left = 0;
+    int right = 0;
+    for (const SplitResult r : results) {
+      if (r == SplitResult::kStop) ++stop;
+      if (r == SplitResult::kLeft) ++left;
+      if (r == SplitResult::kRight) ++right;
+    }
+    if (stop > 1) return "two stops";
+    if (left > 1) return "both left";
+    if (right > 1) return "both right";
+    return "";
+  };
+  const auto result = sim::explore_all(
+      build, [](const sim::Kernel&) { return std::string(); }, terminal);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_GT(result.completed_runs, 0u);
+}
+
+}  // namespace
+}  // namespace rts::algo

@@ -1,0 +1,142 @@
+// Tests for the TAS adapter (leader election + one register): exactly one
+// caller gets 0, late arrivals fast-path on the Done register, and the
+// adapter costs at most elect + read + write extra steps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "algo/chain.hpp"
+#include "algo/sim_platform.hpp"
+#include "algo/tas.hpp"
+#include "algo/tournament.hpp"
+#include "sim_harness.hpp"
+
+namespace rts::algo {
+namespace {
+
+using rts::testing::SchedKind;
+using rts::testing::SimHarness;
+using P = SimPlatform;
+
+std::shared_ptr<TasFromLe<P>> make_tas(SimHarness& harness, int n) {
+  auto arena = harness.arena();
+  return std::make_shared<TasFromLe<P>>(
+      arena, std::make_unique<GeChainLe<P>>(
+                 arena, n, fig1_truncated_factory<P>(n, default_live_prefix(n))));
+}
+
+class TasSweep : public ::testing::TestWithParam<std::tuple<int, SchedKind>> {
+};
+
+TEST_P(TasSweep, ExactlyOneZero) {
+  const auto [k, sched] = GetParam();
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    SimHarness harness;
+    auto tas = make_tas(harness, k);
+    std::vector<int> results(static_cast<std::size_t>(k), -1);
+    for (int p = 0; p < k; ++p) {
+      harness.add(
+          [tas, &results, p](sim::Context& ctx) {
+            results[static_cast<std::size_t>(p)] = tas->tas(ctx);
+          },
+          support::derive_seed(seed, static_cast<std::uint64_t>(p)));
+    }
+    auto adversary = rts::testing::make_adversary(sched, seed);
+    ASSERT_TRUE(harness.run(*adversary));
+    int zeros = 0;
+    for (const int r : results) {
+      ASSERT_NE(r, -1);
+      if (r == 0) ++zeros;
+    }
+    EXPECT_EQ(zeros, 1) << "TAS must hand out exactly one 0";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, TasSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 32),
+                       ::testing::Values(SchedKind::kSequential,
+                                         SchedKind::kRoundRobin,
+                                         SchedKind::kRandom)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_" +
+             rts::testing::to_string(std::get<1>(info.param));
+    });
+
+TEST(Tas, LateArriverFastPathIsOneStep) {
+  SimHarness harness;
+  auto tas = make_tas(harness, 4);
+  std::vector<int> results(2, -1);
+  for (int p = 0; p < 2; ++p) {
+    harness.add(
+        [tas, &results, p](sim::Context& ctx) {
+          results[static_cast<std::size_t>(p)] = tas->tas(ctx);
+        },
+        static_cast<std::uint64_t>(p));
+  }
+  sim::SequentialAdversary seq;  // process 0 completes before 1 starts
+  ASSERT_TRUE(harness.run(seq));
+  EXPECT_EQ(results[0], 0);
+  EXPECT_EQ(results[1], 1);
+  EXPECT_EQ(harness.kernel().steps(1), 1u)
+      << "a late arriver reads Done=1 and returns immediately";
+}
+
+TEST(Tas, WinnerPaysOneReadOneWriteOverElect) {
+  // Solo run: the winner's TAS is elect() plus exactly 2 steps.
+  SimHarness tas_harness;
+  auto tas = make_tas(tas_harness, 4);
+  int result = -1;
+  tas_harness.add([tas, &result](sim::Context& ctx) { result = tas->tas(ctx); },
+                  7);
+  sim::SequentialAdversary seq1;
+  ASSERT_TRUE(tas_harness.run(seq1));
+  const auto tas_steps = tas_harness.kernel().steps(0);
+
+  SimHarness le_harness;
+  auto arena = le_harness.arena();
+  auto le = std::make_shared<GeChainLe<P>>(
+      arena, 4, fig1_truncated_factory<P>(4, default_live_prefix(4)));
+  le_harness.add([le](sim::Context& ctx) { le->elect(ctx); }, 7);
+  sim::SequentialAdversary seq2;
+  ASSERT_TRUE(le_harness.run(seq2));
+  const auto le_steps = le_harness.kernel().steps(0);
+
+  EXPECT_EQ(result, 0);
+  EXPECT_EQ(tas_steps, le_steps + 2);
+}
+
+TEST(Tas, WorksOverTournament) {
+  constexpr int k = 16;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SimHarness harness;
+    auto arena = harness.arena();
+    auto tas = std::make_shared<TasFromLe<P>>(
+        arena, std::make_unique<TournamentLe<P>>(arena, k));
+    std::vector<int> results(static_cast<std::size_t>(k), -1);
+    for (int p = 0; p < k; ++p) {
+      harness.add(
+          [tas, &results, p](sim::Context& ctx) {
+            results[static_cast<std::size_t>(p)] = tas->tas(ctx);
+          },
+          support::derive_seed(seed, static_cast<std::uint64_t>(p)));
+    }
+    sim::UniformRandomAdversary adversary(seed);
+    ASSERT_TRUE(harness.run(adversary));
+    int zeros = 0;
+    for (const int r : results) zeros += (r == 0) ? 1 : 0;
+    EXPECT_EQ(zeros, 1);
+  }
+}
+
+TEST(Tas, DeclaredRegistersAddOne) {
+  SimHarness harness;
+  auto tas = make_tas(harness, 8);
+  EXPECT_EQ(tas->declared_registers(),
+            harness.kernel().memory().allocated());
+}
+
+}  // namespace
+}  // namespace rts::algo
