@@ -1,39 +1,46 @@
 // Experiment E5 (Theorem 4.1 / Corollary 4.2): the adversary matrix.
 //
-// Rows: algorithms.  Columns: a weak (uniformly random = oblivious)
-// scheduler vs the adaptive group-election-neutralizer attack.  The paper's
-// claims, visible as shapes:
+// The weak-scheduler column is campaign preset "combined-weak"; this binary
+// runs it, then drives the white-box group-election-neutralizer attack
+// (which must decode algorithm phases, so it cannot be a black-box campaign
+// adversary) and prints the matrix: weak vs attack, per algorithm and k.
+// The paper's claims, visible as shapes:
 //  * the log* chain is fast under the weak scheduler but Theta(k) under the
 //    attack;
 //  * RatRace is O(log k) under both;
 //  * the combiner inherits the best column of both: log*-fast when the
 //    scheduler is weak AND O(log k) under the attack.
+#include <algorithm>
 #include <cstdio>
 
 #include "algo/attacks.hpp"
-#include "algo/registry.hpp"
 #include "bench_util.hpp"
+#include "campaign/cli.hpp"
 #include "support/math.hpp"
 
-int main() {
-  using namespace rts;
-  bench::banner("E5: adversary matrix (weak vs adaptive attack)",
-                "combined = O(C_A(k)) vs weak adversary and O(log k) vs "
-                "adaptive (Theorem 4.1, Corollary 4.2)");
+namespace {
 
-  constexpr int kTrials = 60;
-  const algo::AlgorithmId algorithms[] = {
-      algo::AlgorithmId::kLogStarChain,
-      algo::AlgorithmId::kSiftCascade,
-      algo::AlgorithmId::kAaSiftRatRace,
-      algo::AlgorithmId::kRatRacePath,
-      algo::AlgorithmId::kCombinedLogStar,
-      algo::AlgorithmId::kCombinedSift,
-  };
+using namespace rts;
+
+const campaign::CellResult* find_cell(const campaign::CampaignResult& result,
+                                      algo::AlgorithmId algorithm, int k) {
+  for (const campaign::CellResult& cell : result.cells) {
+    if (cell.cell.algorithm == algorithm && cell.cell.k == k) return &cell;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  campaign::ExecutorOptions parallel;
+  parallel.workers = 0;
+  const campaign::CampaignResult weak =
+      campaign::run_preset("combined-weak", parallel);
 
   for (const int k : {32, 128, 512}) {
     support::Table table(
-        "k = " + std::to_string(k) + " (log2 k = " +
+        "attack matrix, k = " + std::to_string(k) + " (log2 k = " +
             support::Table::num(static_cast<std::size_t>(
                 support::log2_ceil(static_cast<std::uint64_t>(k)))) +
             ", log* k = " +
@@ -41,17 +48,18 @@ int main() {
                 static_cast<std::size_t>(support::log_star(k))) + ")",
         {"algorithm", "weak E[max steps]", "attack max steps",
          "attack/weak"});
-    for (const auto id : algorithms) {
-      const auto agg = sim::run_le_many(algo::sim_builder(id), k, k,
-                                        bench::random_adversary(), kTrials, 3);
+    for (const algo::AlgorithmId id : weak.spec.algorithms) {
+      const campaign::CellResult* cell = find_cell(weak, id, k);
+      if (cell == nullptr) continue;
       const auto attack = algo::run_attack(
           id, algo::AttackKind::kGroupElectionNeutralizer, k, 3);
       table.add_row(
-          {algo::info(id).name, bench::fmt_mean_ci(agg.max_steps),
+          {algo::info(id).name, bench::fmt_mean_ci(cell->agg.max_steps),
            support::Table::num(static_cast<std::size_t>(attack.max_steps)),
-           support::Table::num(static_cast<double>(attack.max_steps) /
-                                   std::max(1.0, agg.max_steps.mean()),
-                               1)});
+           support::Table::num(
+               static_cast<double>(attack.max_steps) /
+                   std::max(1.0, cell->agg.max_steps.mean()),
+               1)});
     }
     table.print();
   }

@@ -2,6 +2,10 @@
 // parameter f(k) = E[#elected] stays below 2*log2(k) + 6 under
 // location-oblivious scheduling, and the election costs <= 4 steps.
 //
+// This table measures a group election's f(k), not a leader election's step
+// count, so it is not an (algorithm x adversary x k) campaign grid and stays
+// a bespoke driver rather than an rts_bench preset.
+//
 // Includes ablation D2: the truncation level ell.  The paper sets
 // ell = ceil(log2 n); halving it (more tail mass at the top bucket) or
 // doubling it (longer array) must not change the shape, only constants --
@@ -13,6 +17,7 @@
 #include "algo/group_elect.hpp"
 #include "algo/sim_platform.hpp"
 #include "bench_util.hpp"
+#include "sim/adversaries.hpp"
 #include "sim/kernel.hpp"
 #include "support/math.hpp"
 

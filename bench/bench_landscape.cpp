@@ -1,42 +1,20 @@
 // Experiment E9: the introduction's complexity landscape in one table.
 //
-// Every algorithm in the registry, swept over contention under its intended
-// (weak) scheduling, with the paper-claimed complexity next to the measured
-// step counts and declared space:
+// Fully subsumed by campaign preset "landscape": every algorithm in the
+// registry, swept over contention under its intended (weak) scheduling, with
+// measured step counts and declared space next to the paper-claimed
+// complexity (`rts_bench --list` prints the claims).
 //   AGTV tournament   O(log n)   | RatRace (orig/path)  O(log k)
 //   AA sift chain     O(loglog n)| cascade              O(log log k)
 //   Fig-1 chain       O(log* k)  | combined             best of both
 #include <cstdio>
 
-#include "algo/registry.hpp"
-#include "bench_util.hpp"
-#include "support/math.hpp"
+#include "campaign/cli.hpp"
 
 int main() {
-  using namespace rts;
-  bench::banner("E9: step-complexity landscape",
-                "the introduction's table: log n vs log k vs log log k vs "
-                "log* k, with space");
-
-  constexpr int kTrials = 80;
-  support::Table table(
-      "All algorithms, E[max steps] under weak scheduling",
-      {"algorithm", "claimed", "k=8", "k=64", "k=512", "k=2048",
-       "regs @ n=512"});
-  for (const algo::AlgoInfo& algo : algo::all_algorithms()) {
-    std::vector<std::string> row = {algo.name, algo.complexity};
-    for (const int k : {8, 64, 512, 2048}) {
-      const auto agg =
-          sim::run_le_many(algo::sim_builder(algo.id), k, k,
-                           bench::random_adversary(), kTrials, 31);
-      row.push_back(support::Table::num(agg.max_steps.mean(), 1));
-    }
-    sim::Kernel kernel;
-    const auto built = algo::sim_builder(algo.id)(kernel, 512);
-    row.push_back(support::Table::num(built.declared_registers));
-    table.add_row(row);
-  }
-  table.print();
+  rts::campaign::ExecutorOptions parallel;
+  parallel.workers = 0;
+  rts::campaign::run_preset("landscape", parallel);
 
   std::printf(
       "\nReading: tournament grows with every doubling (log n); ratrace "

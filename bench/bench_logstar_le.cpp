@@ -2,13 +2,18 @@
 // under weak (location-oblivious) scheduling grows like log* k -- essentially
 // flat -- while using O(n) registers.
 //
-// Includes ablation D3: space of the truncated chain (live prefix
-// Theta(log n) + dummy tail) vs a fully live chain (Theta(n log n)).
+// The step-complexity sweep is campaign preset "logstar"
+// (`rts_bench --preset logstar` regenerates it standalone); this binary
+// keeps ablation D3, which needs a bespoke builder: space of the truncated
+// chain (live prefix Theta(log n) + dummy tail) vs a fully live chain
+// (Theta(n log n)).
 #include <cstdio>
 
 #include "algo/chain.hpp"
 #include "algo/registry.hpp"
 #include "bench_util.hpp"
+#include "campaign/cli.hpp"
+#include "sim/kernel.hpp"
 #include "support/math.hpp"
 
 namespace {
@@ -32,30 +37,9 @@ sim::LeBuilder full_live_builder() {
 }  // namespace
 
 int main() {
-  bench::banner("E2: O(log* k) leader election (Fig-1 chain)",
-                "expected step complexity O(log* k) vs location-oblivious "
-                "adversary, O(n) registers (Theorem 2.3)");
-
-  constexpr int kTrials = 120;
-  const auto builder = algo::sim_builder(algo::AlgorithmId::kLogStarChain);
-
-  support::Table steps("Chain step complexity vs contention k",
-                       {"k", "log*(k)", "E[max steps]", "p95", "max",
-                        "E[mean steps]", "violations"});
-  for (const int k : bench::contention_sweep()) {
-    const auto agg = sim::run_le_many(builder, k, k,
-                                      bench::random_adversary(), kTrials, 42);
-    steps.add_row({support::Table::num(static_cast<std::size_t>(k)),
-                   support::Table::num(
-                       static_cast<std::size_t>(support::log_star(k))),
-                   bench::fmt_mean_ci(agg.max_steps),
-                   support::Table::num(agg.max_steps.quantile(0.95), 1),
-                   support::Table::num(agg.max_steps.max(), 0),
-                   support::Table::num(agg.mean_steps.mean(), 2),
-                   support::Table::num(
-                       static_cast<std::size_t>(agg.violation_runs))});
-  }
-  steps.print();
+  campaign::ExecutorOptions parallel;
+  parallel.workers = 0;
+  campaign::run_preset("logstar", parallel);
 
   support::Table space("D3 ablation: registers, truncated vs fully live chain",
                        {"n", "truncated (Thm 2.3)", "fully live",

@@ -1,20 +1,24 @@
 // Experiment E4 + E8 (Section 3): RatRace space and time.
-//  * Space: original RatRace declares Theta(n^3) registers; the paper's
-//    elimination-path variant declares Theta(n); both touch little at
-//    runtime.
-//  * Time: both variants stay O(log k) expected steps under adversarial
-//    (adaptive random) scheduling.
+//
+// The grid tables (structure size sweep; O(log k) step complexity under
+// adversarial random scheduling) are campaign presets "ratrace-space" and
+// "ratrace" -- `rts_bench --preset ratrace` regenerates them standalone.
+// This binary drives those presets and keeps the two bespoke experiments
+// that are not (algorithm x adversary x k) grids:
 //  * Claim 3.2: a group of log n leaves receives more than 4 log n
 //    processes with probability <= 1/n^2 (ball-in-bins measurement).
 //  * Ablation D4: elimination-path length factor (2/4/8 x log n) vs overflow
 //    rate into the backup path.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "algo/elim_path.hpp"
-#include "algo/registry.hpp"
 #include "bench_util.hpp"
+#include "campaign/cli.hpp"
+#include "sim/adversaries.hpp"
 #include "support/math.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -44,65 +48,10 @@ double leaf_overload_rate(int n, int limit, int trials, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  bench::banner("E4/E8: RatRace original vs elimination-path variant",
-                "Theta(n^3) -> Theta(n) registers at equal O(log k) steps "
-                "(Section 3); leaf groups hold <= 4 log n processes w.p. "
-                "1 - 1/n^2 (Claim 3.2)");
-
-  {
-    support::Table space("Declared registers (structure size)",
-                         {"n", "original (n^3)", "path variant (n)",
-                          "ratio", "touched orig", "touched path"});
-    for (const int n : {16, 32, 64, 128, 256, 512}) {
-      sim::Kernel k1;
-      const auto orig =
-          algo::sim_builder(algo::AlgorithmId::kRatRace)(k1, n);
-      sim::Kernel k2;
-      const auto path =
-          algo::sim_builder(algo::AlgorithmId::kRatRacePath)(k2, n);
-      // Touched registers after one full contention-n run.
-      sim::UniformRandomAdversary a1(1);
-      const auto r1 = sim::run_le_once(
-          algo::sim_builder(algo::AlgorithmId::kRatRace), n, n, a1, 1);
-      sim::UniformRandomAdversary a2(1);
-      const auto r2 = sim::run_le_once(
-          algo::sim_builder(algo::AlgorithmId::kRatRacePath), n, n, a2, 1);
-      space.add_row(
-          {support::Table::num(static_cast<std::size_t>(n)),
-           support::Table::num(orig.declared_registers),
-           support::Table::num(path.declared_registers),
-           support::Table::num(static_cast<double>(orig.declared_registers) /
-                                   static_cast<double>(path.declared_registers),
-                               1),
-           support::Table::num(r1.regs_allocated),
-           support::Table::num(r2.regs_allocated)});
-    }
-    space.print();
-  }
-
-  {
-    constexpr int kTrials = 100;
-    support::Table steps("Step complexity vs k (adaptive-safe algorithms)",
-                         {"k", "log2 k", "orig E[max steps]",
-                          "path E[max steps]", "path p95"});
-    for (const int k : bench::contention_sweep()) {
-      const auto orig = sim::run_le_many(
-          algo::sim_builder(algo::AlgorithmId::kRatRace), k, k,
-          bench::random_adversary(), kTrials, 21);
-      const auto path = sim::run_le_many(
-          algo::sim_builder(algo::AlgorithmId::kRatRacePath), k, k,
-          bench::random_adversary(), kTrials, 21);
-      steps.add_row(
-          {support::Table::num(static_cast<std::size_t>(k)),
-           support::Table::num(
-               static_cast<std::size_t>(support::log2_ceil(
-                   static_cast<std::uint64_t>(std::max(2, k))))),
-           bench::fmt_mean_ci(orig.max_steps),
-           bench::fmt_mean_ci(path.max_steps),
-           support::Table::num(path.max_steps.quantile(0.95), 1)});
-    }
-    steps.print();
-  }
+  campaign::ExecutorOptions parallel;
+  parallel.workers = 0;  // all hardware threads; aggregates don't depend on it
+  campaign::run_preset("ratrace-space", parallel);
+  campaign::run_preset("ratrace", parallel);
 
   {
     support::Table claim("Claim 3.2: P(> c log n processes in log n leaves)",
@@ -161,8 +110,8 @@ int main() {
   }
 
   std::printf(
-      "\nReading: the ratio column is the paper's n^3 -> n improvement; "
-      "step columns grow with log k for both variants;\nclaim-3.2 rates sit "
+      "\nReading: declared regs show the paper's n^3 -> n improvement; step "
+      "columns grow with log k for both variants;\nclaim-3.2 rates sit "
       "at/below 1/n^2; 4 log n paths see no overflow at the loads Claim 3.2 "
       "guarantees.\n");
   return 0;

@@ -1,19 +1,23 @@
 // Experiment E3 (Section 2.3 / Theorem 2.4): sifting-based election.
-//  * Survivor decay: after round i of sifting, ~n^((1-eps)^i) processes
-//    survive (the Alistarh-Aspnes claim behind the O(log log n) bound).
-//  * The non-adaptive sift chain's steps grow like log log n.
-//  * The cascade is adaptive: its steps track log log k even when the object
-//    is built for much larger n.
+//
+// The two grid tables -- chain steps vs k, and the adaptivity comparison at
+// fixed n = 4096 -- are campaign presets "sifting" and "sifting-adaptive"
+// (`rts_bench --preset sifting,sifting-adaptive` regenerates them).  This
+// binary keeps the bespoke survivor-decay measurement, which instruments the
+// per-round survivor counts inside the chain rather than running it as a
+// black-box leader election.
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
 #include "algo/chain.hpp"
 #include "algo/group_elect.hpp"
-#include "algo/registry.hpp"
 #include "bench_util.hpp"
+#include "campaign/cli.hpp"
+#include "sim/adversaries.hpp"
 #include "sim/kernel.hpp"
 #include "support/math.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -84,46 +88,10 @@ int main() {
     decay.print();
   }
 
-  constexpr int kTrials = 120;
-  {
-    support::Table steps("Sift chain (built for n = k): steps vs k",
-                         {"k", "loglog k", "E[max steps]", "p95",
-                          "violations"});
-    const auto builder = algo::sim_builder(algo::AlgorithmId::kSiftChain);
-    for (const int k : bench::contention_sweep()) {
-      const auto agg = sim::run_le_many(
-          builder, k, k, bench::random_adversary(), kTrials, 11);
-      steps.add_row({support::Table::num(static_cast<std::size_t>(k)),
-                     support::Table::num(support::log_log2(k), 2),
-                     bench::fmt_mean_ci(agg.max_steps),
-                     support::Table::num(agg.max_steps.quantile(0.95), 1),
-                     support::Table::num(
-                         static_cast<std::size_t>(agg.violation_runs))});
-    }
-    steps.print();
-  }
-
-  {
-    // Adaptivity: object built for n = 4096, contention swept.  The cascade
-    // must track k, the plain chain pays its n-sized schedule regardless.
-    support::Table adaptive(
-        "Adaptivity at fixed n = 4096: cascade (Thm 2.4) vs plain sift chain",
-        {"k", "cascade E[max steps]", "chain E[max steps]", "loglog k"});
-    constexpr int n = 4096;
-    const auto cascade = algo::sim_builder(algo::AlgorithmId::kSiftCascade);
-    const auto chain = algo::sim_builder(algo::AlgorithmId::kSiftChain);
-    for (const int k : {2, 4, 8, 16, 64, 256, 1024, 4096}) {
-      const auto agg_cascade = sim::run_le_many(
-          cascade, n, k, bench::random_adversary(), kTrials, 13);
-      const auto agg_chain = sim::run_le_many(
-          chain, n, k, bench::random_adversary(), kTrials, 13);
-      adaptive.add_row({support::Table::num(static_cast<std::size_t>(k)),
-                        bench::fmt_mean_ci(agg_cascade.max_steps),
-                        bench::fmt_mean_ci(agg_chain.max_steps),
-                        support::Table::num(support::log_log2(k), 2)});
-    }
-    adaptive.print();
-  }
+  campaign::ExecutorOptions parallel;
+  parallel.workers = 0;
+  campaign::run_preset("sifting", parallel);
+  campaign::run_preset("sifting-adaptive", parallel);
 
   std::printf(
       "\nReading: survivors collapse doubly-exponentially; chain steps grow "

@@ -1,14 +1,16 @@
-// Shared scaffolding for the experiment binaries: standard contention
-// sweeps, adversary factories, and headline printing.  Each bench binary
-// regenerates one table of EXPERIMENTS.md.
+// Shared scaffolding for the experiment binaries.  The sweep constants and
+// adversary factories that used to be copy-pasted here live in the campaign
+// registry now (campaign/spec.hpp, algo/registry.hpp); this header only
+// forwards to them and keeps the banner/format helpers the bespoke
+// (non-grid) experiment sections still use.
 #pragma once
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "sim/adversaries.hpp"
+#include "algo/registry.hpp"
+#include "campaign/spec.hpp"
 #include "sim/runner.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -25,26 +27,21 @@ inline void banner(const char* experiment, const char* claim) {
 /// Weak-adversary factory used throughout: uniformly random scheduling,
 /// which is oblivious (hence also location-oblivious and R/W-oblivious).
 inline sim::AdversaryFactory random_adversary() {
-  return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
-    return std::make_unique<sim::UniformRandomAdversary>(seed);
-  };
+  return algo::adversary_factory(algo::AdversaryId::kUniformRandom);
 }
 
 inline sim::AdversaryFactory round_robin_adversary() {
-  return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
-    return std::make_unique<sim::RoundRobinAdversary>();
-  };
+  return algo::adversary_factory(algo::AdversaryId::kRoundRobin);
 }
 
 /// The default contention sweep: powers of two through the simulator's
 /// comfortable range.
 inline std::vector<int> contention_sweep() {
-  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+  return campaign::standard_contention_sweep();
 }
 
 inline std::string fmt_mean_ci(const support::Accumulator& acc) {
-  return support::Table::num(acc.mean(), 2) + " +-" +
-         support::Table::num(acc.ci95_half_width(), 2);
+  return support::fmt_mean_ci(acc);
 }
 
 }  // namespace rts::bench

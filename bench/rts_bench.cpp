@@ -1,0 +1,7 @@
+// The unified experiment driver: every campaign preset (and ad-hoc grids)
+// through the parallel executor.  `rts_bench --list` shows what it knows.
+#include "campaign/cli.hpp"
+
+int main(int argc, char** argv) {
+  return rts::campaign::run_cli(argc, argv);
+}

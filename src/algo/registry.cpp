@@ -6,6 +6,7 @@
 #include "algo/combined.hpp"
 #include "algo/ratrace.hpp"
 #include "algo/tournament.hpp"
+#include "sim/adversaries.hpp"
 #include "support/assert.hpp"
 
 namespace rts::algo {
@@ -52,6 +53,53 @@ std::optional<AlgorithmId> parse_algorithm(std::string_view name) {
     if (name == algo.name) return algo.id;
   }
   return std::nullopt;
+}
+
+const std::vector<AdversaryInfo>& all_adversaries() {
+  static const std::vector<AdversaryInfo> kAdversaries = {
+      {AdversaryId::kUniformRandom, "random",
+       "uniformly random among runnable processes; oblivious, so a valid "
+       "member of every adversary class"},
+      {AdversaryId::kRoundRobin, "roundrobin",
+       "cycles through pids; maximal benign interleaving"},
+      {AdversaryId::kSequential, "sequential",
+       "runs one process to completion at a time; zero overlap"},
+  };
+  return kAdversaries;
+}
+
+const AdversaryInfo& info(AdversaryId id) {
+  for (const AdversaryInfo& adversary : all_adversaries()) {
+    if (adversary.id == id) return adversary;
+  }
+  RTS_ASSERT_MSG(false, "unknown adversary id");
+  return all_adversaries().front();
+}
+
+std::optional<AdversaryId> parse_adversary(std::string_view name) {
+  for (const AdversaryInfo& adversary : all_adversaries()) {
+    if (name == adversary.name) return adversary.id;
+  }
+  return std::nullopt;
+}
+
+sim::AdversaryFactory adversary_factory(AdversaryId id) {
+  switch (id) {
+    case AdversaryId::kUniformRandom:
+      return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<sim::UniformRandomAdversary>(seed);
+      };
+    case AdversaryId::kRoundRobin:
+      return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<sim::RoundRobinAdversary>();
+      };
+    case AdversaryId::kSequential:
+      return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<sim::SequentialAdversary>();
+      };
+  }
+  RTS_ASSERT_MSG(false, "unknown adversary id");
+  return nullptr;
 }
 
 std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,

@@ -39,6 +39,30 @@ const std::vector<AlgoInfo>& all_algorithms();
 const AlgoInfo& info(AlgorithmId id);
 std::optional<AlgorithmId> parse_algorithm(std::string_view name);
 
+/// The black-box schedulers usable as trial adversaries, catalogued so the
+/// campaign engine can expand adversary grids by name.  (The white-box
+/// attack drivers in algo/attacks.hpp need to decode algorithm phases and
+/// are not black-box schedulers; they stay outside this catalogue.)
+enum class AdversaryId {
+  kUniformRandom,  // oblivious: uniformly random among runnable processes
+  kRoundRobin,     // oblivious: cycles through pids
+  kSequential,     // oblivious: one process at a time, in pid order
+};
+
+struct AdversaryInfo {
+  AdversaryId id;
+  const char* name;         // stable identifier, e.g. "random"
+  const char* description;
+};
+
+const std::vector<AdversaryInfo>& all_adversaries();
+const AdversaryInfo& info(AdversaryId id);
+std::optional<AdversaryId> parse_adversary(std::string_view name);
+
+/// Seeded factory for a catalogued adversary (seed is ignored by the
+/// deterministic schedulers).
+sim::AdversaryFactory adversary_factory(AdversaryId id);
+
 /// Builds the algorithm as a leader-election object for up to n processes
 /// inside the given simulator kernel.
 sim::LeBuilder sim_builder(AlgorithmId id);

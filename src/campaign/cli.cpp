@@ -1,0 +1,353 @@
+#include "campaign/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/reporter.hpp"
+#include "support/assert.hpp"
+
+namespace rts::campaign {
+
+namespace {
+
+std::vector<std::string> split_csv(std::string_view text) {
+  std::vector<std::string> parts;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    parts.emplace_back(text.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return parts;
+}
+
+void print_banner(const Preset& preset) {
+  std::printf("\n######################################################\n");
+  std::printf("# %s\n", preset.title);
+  std::printf("# Paper claim: %s\n", preset.claim);
+  std::printf("######################################################\n");
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "rts_bench -- unified experiment-campaign driver\n"
+               "\n"
+               "usage:\n"
+               "  rts_bench --list\n"
+               "  rts_bench --preset NAME[,NAME...] [options]\n"
+               "  rts_bench --algos A[,A...] [--adversaries S[,S...]]\n"
+               "            [--ks K[,K...]] [options]      (ad-hoc grid)\n"
+               "\n"
+               "options:\n"
+               "  --workers N       worker threads (0 = hardware, default 1)\n"
+               "  --trials N        override trials per cell\n"
+               "  --seed S          override campaign seed\n"
+               "  --ks K[,K...]     override the contention sweep\n"
+               "  --n N             fixed object capacity (default: n = k)\n"
+               "  --format F        stdout format: table | jsonl | csv\n"
+               "  --json PATH       also write JSONL to PATH ('-' = stdout)\n"
+               "  --csv PATH        also write CSV to PATH ('-' = stdout)\n"
+               "  --time-budget S   stop claiming trials after S seconds\n"
+               "  --step-limit N    per-trial kernel step budget\n"
+               "  --progress        live progress line on stderr\n"
+               "  --quiet           no banners\n"
+               "\n"
+               "Aggregates are a pure function of the spec: output bytes are\n"
+               "identical for any --workers value (absent --time-budget).\n");
+}
+
+void print_list() {
+  std::printf("presets:\n");
+  for (const Preset& preset : all_presets()) {
+    std::printf("  %-18s %s\n", preset.name, preset.title);
+  }
+  std::printf("\nalgorithms:\n");
+  for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
+    std::printf("  %-18s %-34s %s\n", algorithm.name, algorithm.complexity,
+                algorithm.description);
+  }
+  std::printf("\nadversaries:\n");
+  for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
+    std::printf("  %-18s %s\n", adversary.name, adversary.description);
+  }
+}
+
+struct CliArgs {
+  std::vector<std::string> presets;
+  std::vector<std::string> algos;
+  std::vector<std::string> adversaries;
+  std::vector<int> ks;
+  int fixed_n = 0;
+  std::optional<int> trials;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> step_limit;
+  int workers = 1;
+  double time_budget = 0.0;
+  ReportFormat format = ReportFormat::kTable;
+  std::string json_path;
+  std::string csv_path;
+  bool progress = false;
+  bool quiet = false;
+  bool list = false;
+  bool help = false;
+};
+
+/// Returns std::nullopt and prints a diagnostic on malformed input.
+std::optional<CliArgs> parse_args(int argc, char** argv) {
+  CliArgs args;
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "rts_bench: %s needs a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args.help = true;
+    } else if (arg == "--progress") {
+      args.progress = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (arg == "--preset") {
+      if ((value = need_value(i, "--preset")) == nullptr) return std::nullopt;
+      for (auto& name : split_csv(value)) args.presets.push_back(name);
+    } else if (arg == "--algos") {
+      if ((value = need_value(i, "--algos")) == nullptr) return std::nullopt;
+      args.algos = split_csv(value);
+    } else if (arg == "--adversaries") {
+      if ((value = need_value(i, "--adversaries")) == nullptr) {
+        return std::nullopt;
+      }
+      args.adversaries = split_csv(value);
+    } else if (arg == "--ks") {
+      if ((value = need_value(i, "--ks")) == nullptr) return std::nullopt;
+      for (auto& k : split_csv(value)) args.ks.push_back(std::atoi(k.c_str()));
+    } else if (arg == "--n") {
+      if ((value = need_value(i, "--n")) == nullptr) return std::nullopt;
+      args.fixed_n = std::atoi(value);
+    } else if (arg == "--trials") {
+      if ((value = need_value(i, "--trials")) == nullptr) return std::nullopt;
+      args.trials = std::atoi(value);
+    } else if (arg == "--seed") {
+      if ((value = need_value(i, "--seed")) == nullptr) return std::nullopt;
+      args.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--step-limit") {
+      if ((value = need_value(i, "--step-limit")) == nullptr) {
+        return std::nullopt;
+      }
+      args.step_limit = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--workers") {
+      if ((value = need_value(i, "--workers")) == nullptr) return std::nullopt;
+      args.workers = std::atoi(value);
+    } else if (arg == "--time-budget") {
+      if ((value = need_value(i, "--time-budget")) == nullptr) {
+        return std::nullopt;
+      }
+      args.time_budget = std::atof(value);
+    } else if (arg == "--format") {
+      if ((value = need_value(i, "--format")) == nullptr) return std::nullopt;
+      const auto format = parse_format(value);
+      if (!format) {
+        std::fprintf(stderr,
+                     "rts_bench: unknown format '%s' "
+                     "(expected table, jsonl, or csv)\n",
+                     value);
+        return std::nullopt;
+      }
+      args.format = *format;
+    } else if (arg == "--json") {
+      if ((value = need_value(i, "--json")) == nullptr) return std::nullopt;
+      args.json_path = value;
+    } else if (arg == "--csv") {
+      if ((value = need_value(i, "--csv")) == nullptr) return std::nullopt;
+      args.csv_path = value;
+    } else {
+      std::fprintf(stderr, "rts_bench: unknown option '%s'\n", argv[i]);
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+/// Builds the list of campaign specs the invocation asks for: the named
+/// presets, or one ad-hoc grid, with CLI overrides applied.
+bool collect_specs(const CliArgs& args, std::vector<CampaignSpec>* specs,
+                   std::vector<const Preset*>* preset_of) {
+  for (const std::string& name : args.presets) {
+    const Preset* preset = find_preset(name);
+    if (preset == nullptr) {
+      std::fprintf(stderr, "rts_bench: unknown preset '%s' (try --list)\n",
+                   name.c_str());
+      return false;
+    }
+    specs->push_back(preset->spec);
+    preset_of->push_back(preset);
+  }
+  if (!args.algos.empty()) {
+    CampaignSpec spec;
+    spec.name = "adhoc";
+    for (const std::string& name : args.algos) {
+      const auto id = algo::parse_algorithm(name);
+      if (!id) {
+        std::fprintf(stderr, "rts_bench: unknown algorithm '%s' (try --list)\n",
+                     name.c_str());
+        return false;
+      }
+      spec.algorithms.push_back(*id);
+    }
+    const std::vector<std::string> adversaries =
+        args.adversaries.empty() ? std::vector<std::string>{"random"}
+                                 : args.adversaries;
+    for (const std::string& name : adversaries) {
+      const auto id = algo::parse_adversary(name);
+      if (!id) {
+        std::fprintf(stderr, "rts_bench: unknown adversary '%s' (try --list)\n",
+                     name.c_str());
+        return false;
+      }
+      spec.adversaries.push_back(*id);
+    }
+    spec.ks = args.ks.empty() ? standard_contention_sweep() : args.ks;
+    spec.fixed_n = args.fixed_n;
+    specs->push_back(spec);
+    preset_of->push_back(nullptr);
+  }
+  // Apply overrides uniformly.
+  for (CampaignSpec& spec : *specs) {
+    if (args.trials) spec.trials = *args.trials;
+    if (args.seed) spec.seed = *args.seed;
+    if (args.step_limit) spec.step_limit = *args.step_limit;
+    if (!args.ks.empty()) spec.ks = args.ks;
+    if (args.fixed_n > 0) spec.fixed_n = args.fixed_n;
+  }
+  return true;
+}
+
+/// Opens PATH for writing; "-" means stdout (caller must not close it).
+std::FILE* open_sink(const std::string& path, bool* needs_close) {
+  if (path == "-") {
+    *needs_close = false;
+    return stdout;
+  }
+  *needs_close = true;
+  return std::fopen(path.c_str(), "w");
+}
+
+/// A file sink shared by every campaign of the invocation (so several
+/// presets append into one JSONL/CSV stream instead of clobbering it).
+class Sink {
+ public:
+  Sink(std::string path, ReportFormat format)
+      : path_(std::move(path)), format_(format) {}
+  ~Sink() {
+    if (file_ != nullptr && needs_close_) std::fclose(file_);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  bool write(const CampaignResult& result) {
+    if (!enabled()) return true;
+    if (file_ == nullptr) {
+      file_ = open_sink(path_, &needs_close_);
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "rts_bench: cannot open '%s' for writing\n",
+                     path_.c_str());
+        return false;
+      }
+    }
+    report(result, format_, file_);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  ReportFormat format_;
+  std::FILE* file_ = nullptr;
+  bool needs_close_ = false;
+};
+
+}  // namespace
+
+CampaignResult run_preset(std::string_view name,
+                          const ExecutorOptions& options) {
+  const Preset* preset = find_preset(name);
+  RTS_REQUIRE(preset != nullptr, "unknown campaign preset");
+  print_banner(*preset);
+  CampaignResult result = run_campaign(preset->spec, options);
+  report_table(result, stdout);
+  return result;
+}
+
+int run_cli(int argc, char** argv) {
+  const std::optional<CliArgs> parsed = parse_args(argc, argv);
+  if (!parsed) {
+    print_usage(stderr);
+    return 2;
+  }
+  const CliArgs& args = *parsed;
+  if (args.help) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (args.list) {
+    print_list();
+    return 0;
+  }
+  if (args.presets.empty() && args.algos.empty()) {
+    std::fprintf(stderr, "rts_bench: nothing to run\n\n");
+    print_usage(stderr);
+    return 2;
+  }
+
+  std::vector<CampaignSpec> specs;
+  std::vector<const Preset*> preset_of;
+  if (!collect_specs(args, &specs, &preset_of)) return 2;
+
+  Sink json_sink(args.json_path, ReportFormat::kJsonl);
+  Sink csv_sink(args.csv_path, ReportFormat::kCsv);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const CampaignSpec& spec = specs[i];
+    const std::string problem = validate(spec);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "rts_bench: invalid campaign '%s': %s\n",
+                   spec.name.c_str(), problem.c_str());
+      return 2;
+    }
+
+    ExecutorOptions options;
+    options.workers = args.workers;
+    options.time_budget_seconds = args.time_budget;
+    if (args.progress) options.on_progress = stderr_progress(spec.name.c_str());
+
+    if (!args.quiet && args.format == ReportFormat::kTable &&
+        preset_of[i] != nullptr) {
+      print_banner(*preset_of[i]);
+    }
+    const CampaignResult result = run_campaign(spec, options);
+    report(result, args.format, stdout);
+    if (!args.quiet) {
+      std::fprintf(stderr,
+                   "[%s] %zu cells, %d workers, %.2fs wall, "
+                   "%llu simulated steps%s\n",
+                   spec.name.c_str(), result.cells.size(),
+                   result.workers_used, result.wall_seconds,
+                   static_cast<unsigned long long>(result.sim_steps),
+                   result.truncated ? "  [TRUNCATED]" : "");
+    }
+    if (!json_sink.write(result)) return 1;
+    if (!csv_sink.write(result)) return 1;
+  }
+  return 0;
+}
+
+}  // namespace rts::campaign

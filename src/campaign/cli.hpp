@@ -1,0 +1,30 @@
+// The rts_bench command-line driver: one binary that runs any preset or an
+// ad-hoc grid through the parallel executor and any reporter.
+//
+//   rts_bench --list
+//   rts_bench --preset ratrace --workers 8
+//   rts_bench --preset logstar,sifting --json results.jsonl
+//   rts_bench --algos logstar,cascade --adversaries random,roundrobin
+//             --ks 4,16,64 --trials 50 --seed 9 --format csv
+//
+// Legacy bench binaries call run_preset() directly and keep only their
+// bespoke (non-grid) experiments.
+#pragma once
+
+#include <string_view>
+
+#include "campaign/executor.hpp"
+#include "campaign/presets.hpp"
+
+namespace rts::campaign {
+
+/// Runs one preset through the executor with default reporting to stdout:
+/// banner + ASCII table.  Used by the thin per-table bench binaries.
+/// Returns the result so callers can chain bespoke post-processing.
+CampaignResult run_preset(std::string_view name,
+                          const ExecutorOptions& options = {});
+
+/// Full CLI entry point for the rts_bench binary.
+int run_cli(int argc, char** argv);
+
+}  // namespace rts::campaign

@@ -1,0 +1,243 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace rts::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A worker's contiguous slice of the flattened trial index space.
+struct Slice {
+  std::size_t next = 0;
+  std::size_t end = 0;
+  std::size_t remaining() const { return end - next; }
+};
+
+/// Claims trial indices for one worker: first from its own slice, then by
+/// stealing the upper half of the fattest remaining slice.  One mutex guards
+/// all slices; a claim is two compares and an increment, while a trial is a
+/// whole simulated election, so the lock is never contended in practice.
+class WorkQueue {
+ public:
+  WorkQueue(std::size_t total, int workers) : slices_(workers) {
+    const auto n = static_cast<std::size_t>(workers);
+    // Deal out `total` in `workers` near-equal contiguous chunks.
+    std::size_t begin = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::size_t len = total / n + (w < total % n ? 1 : 0);
+      slices_[w] = {begin, begin + len};
+      begin += len;
+    }
+  }
+
+  /// Returns false when no work is left anywhere (or the budget expired).
+  bool claim(int worker, std::size_t* out, Clock::time_point deadline,
+             bool has_deadline) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (has_deadline && Clock::now() >= deadline) {
+      expired_ = true;
+      return false;
+    }
+    Slice& mine = slices_[static_cast<std::size_t>(worker)];
+    if (mine.next >= mine.end) {
+      Slice* victim = nullptr;
+      for (Slice& other : slices_) {
+        if (other.remaining() > (victim ? victim->remaining() : 0)) {
+          victim = &other;
+        }
+      }
+      if (victim == nullptr) return false;
+      const std::size_t steal = (victim->remaining() + 1) / 2;
+      mine.next = victim->end - steal;
+      mine.end = victim->end;
+      victim->end = mine.next;
+    }
+    *out = mine.next++;
+    return true;
+  }
+
+  bool expired() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return expired_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Slice> slices_;
+  bool expired_ = false;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const ExecutorOptions& options) {
+  const std::string problem = validate(spec);
+  RTS_REQUIRE(problem.empty(), ("invalid campaign: " + problem).c_str());
+
+  int workers = options.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+
+  CampaignResult result;
+  result.spec = spec;
+  result.workers_used = workers;
+
+  const std::vector<CellSpec> cells = expand(spec);
+  const auto trials = static_cast<std::size_t>(spec.trials);
+  const std::size_t total = cells.size() * trials;
+
+  // Per-cell factories, built once and shared read-only by all workers
+  // (invoking them constructs fresh per-trial objects).
+  std::vector<sim::LeBuilder> builders;
+  std::vector<sim::AdversaryFactory> adversaries;
+  builders.reserve(cells.size());
+  adversaries.reserve(cells.size());
+  for (const CellSpec& cell : cells) {
+    builders.push_back(algo::sim_builder(cell.algorithm));
+    adversaries.push_back(algo::adversary_factory(cell.adversary));
+  }
+
+  // Workers fill preallocated slots; nothing is aggregated concurrently.
+  std::vector<sim::LeTrialSummary> summaries(total);
+  std::vector<unsigned char> ran(total, 0);
+  std::vector<unsigned char> errored(total, 0);
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<int> active{workers};
+
+  WorkQueue queue(total, workers);
+  const Clock::time_point start = Clock::now();
+  const bool has_deadline = options.time_budget_seconds > 0.0;
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      has_deadline ? options.time_budget_seconds : 0.0));
+
+  const auto worker_body = [&](int worker) {
+    std::size_t g = 0;
+    while (queue.claim(worker, &g, deadline, has_deadline)) {
+      const CellSpec& cell = cells[g / trials];
+      const int trial = static_cast<int>(g % trials);
+      sim::Kernel::Options kernel_options;
+      kernel_options.step_limit = cell.step_limit;
+      sim::LeTrialSummary summary;
+      try {
+        summary = sim::summarize_trial(sim::run_le_trial(
+            builders[cell.index], cell.n, cell.k, adversaries[cell.index],
+            trial, cell.seed0, kernel_options));
+      } catch (const std::exception& error) {
+        summary.k = cell.k;
+        summary.first_violation = error.what();
+        errored[g] = 1;
+      }
+      summaries[g] = std::move(summary);
+      ran[g] = 1;
+      done.fetch_add(1, std::memory_order_relaxed);
+    }
+    active.fetch_sub(1, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body, w);
+
+  if (options.on_progress) {
+    const auto interval = std::chrono::duration<double>(
+        options.progress_interval_seconds > 0.0
+            ? options.progress_interval_seconds
+            : 0.5);
+    Clock::time_point last = start;
+    while (active.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(
+          std::min(std::chrono::duration<double>(0.05), interval));
+      // The post-join block below fires the final 100% callback; firing it
+      // here too would print the completion line twice.
+      const Clock::time_point now = Clock::now();
+      if (now - last >= interval &&
+          active.load(std::memory_order_acquire) > 0) {
+        last = now;
+        Progress progress;
+        progress.trials_done = done.load(std::memory_order_relaxed);
+        progress.trials_total = total;
+        progress.elapsed_seconds =
+            std::chrono::duration<double>(now - start).count();
+        options.on_progress(progress);
+      }
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (options.on_progress) {
+    Progress progress;
+    progress.trials_done = done.load(std::memory_order_relaxed);
+    progress.trials_total = total;
+    progress.elapsed_seconds = result.wall_seconds;
+    options.on_progress(progress);
+  }
+
+  // Sequential trial-order aggregation: the exact fold run_le_many performs,
+  // so the numbers cannot depend on how trials were scheduled above.
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult cell_result;
+    cell_result.cell = cells[c];
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::size_t g = c * trials + t;
+      if (!ran[g]) continue;
+      const sim::LeTrialSummary& summary = summaries[g];
+      ++cell_result.trials_run;
+      if (errored[g]) {
+        // Errored trials carry no step counts; folding them in would skew
+        // the statistics with synthetic zeros.  Count and report instead.
+        ++cell_result.error_runs;
+        if (cell_result.first_errors.size() < 3) {
+          cell_result.first_errors.push_back(summary.first_violation);
+        }
+        continue;
+      }
+      sim::accumulate_trial(cell_result.agg, summary);
+      if (!summary.completed) ++cell_result.incomplete_runs;
+      if (cell_result.declared_registers == 0) {
+        cell_result.declared_registers = summary.declared_registers;
+      }
+      result.sim_steps += summary.total_steps;
+    }
+    if (cell_result.trials_run < cells[c].trials) result.truncated = true;
+    result.cells.push_back(std::move(cell_result));
+  }
+  if (queue.expired()) result.truncated = true;
+  return result;
+}
+
+std::function<void(const Progress&)> stderr_progress(const char* label) {
+  const std::string tag = label != nullptr ? label : "campaign";
+  return [tag](const Progress& progress) {
+    const double rate = progress.elapsed_seconds > 0.0
+                            ? static_cast<double>(progress.trials_done) /
+                                  progress.elapsed_seconds
+                            : 0.0;
+    std::fprintf(stderr, "\r[%s] %llu/%llu trials  %.1fs  %.0f trials/s",
+                 tag.c_str(),
+                 static_cast<unsigned long long>(progress.trials_done),
+                 static_cast<unsigned long long>(progress.trials_total),
+                 progress.elapsed_seconds, rate);
+    if (progress.trials_done >= progress.trials_total) {
+      std::fputc('\n', stderr);
+    }
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace rts::campaign

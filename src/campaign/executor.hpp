@@ -1,0 +1,74 @@
+// Parallel campaign executor.
+//
+// Trials are deterministic and independent given their (cell, trial) seed --
+// the sim kernel is strictly single-threaded -- so a campaign is sharded
+// across std::thread workers at trial granularity with work stealing: each
+// worker owns a contiguous slice of the flattened trial index space and
+// steals the upper half of the largest remaining slice when its own runs
+// dry.
+//
+// Determinism: workers only *compute* trial summaries (into preallocated
+// slots); aggregation happens afterwards on the calling thread, in trial
+// order, via the same accumulate_trial fold run_le_many uses.  Aggregates --
+// and hence reporter output -- are therefore bitwise identical for any
+// worker count.  The one exception is a campaign cut short by the time
+// budget, where *which* trials ran depends on timing; such results are
+// flagged `truncated`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "sim/runner.hpp"
+
+namespace rts::campaign {
+
+struct Progress {
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  double elapsed_seconds = 0.0;
+};
+
+struct ExecutorOptions {
+  /// Worker thread count; <= 0 picks std::thread::hardware_concurrency().
+  int workers = 1;
+  /// Wall-clock budget in seconds; 0 means unlimited.  Workers stop claiming
+  /// trials once it expires (already-claimed trials finish).
+  double time_budget_seconds = 0.0;
+  /// Invoked roughly `progress_interval_seconds` apart from the calling
+  /// thread while workers run (and once at completion).  Null disables.
+  std::function<void(const Progress&)> on_progress;
+  double progress_interval_seconds = 0.5;
+};
+
+struct CellResult {
+  CellSpec cell;
+  /// Folded in trial order over the cell's *successful* trials; errored
+  /// trials are excluded (they carry no meaningful step counts).
+  sim::LeAggregate agg;
+  std::size_t declared_registers = 0;
+  int trials_run = 0;             ///< < cell.trials only when truncated
+  int incomplete_runs = 0;        ///< trials that hit the kernel step limit
+  int error_runs = 0;             ///< trials that threw instead of finishing
+  std::vector<std::string> first_errors;  ///< up to 3 error messages
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<CellResult> cells;  ///< in expansion order
+  int workers_used = 1;
+  double wall_seconds = 0.0;      ///< timing; never emitted by reporters
+  std::uint64_t sim_steps = 0;    ///< total simulated shared-memory steps
+  bool truncated = false;
+};
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const ExecutorOptions& options = {});
+
+/// Renders a one-line progress callback writing to stderr, suitable for
+/// ExecutorOptions::on_progress in interactive runs.
+std::function<void(const Progress&)> stderr_progress(const char* label);
+
+}  // namespace rts::campaign

@@ -1,0 +1,169 @@
+#include "campaign/presets.hpp"
+
+namespace rts::campaign {
+
+namespace {
+
+using algo::AdversaryId;
+using algo::AlgorithmId;
+
+std::vector<Preset> build_presets() {
+  std::vector<Preset> presets;
+
+  {
+    CampaignSpec spec;
+    spec.name = "logstar";
+    spec.algorithms = {AlgorithmId::kLogStarChain};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = standard_contention_sweep();
+    spec.trials = 120;
+    spec.seed = 42;
+    presets.push_back({"logstar",
+                       "E2: O(log* k) leader election (Fig-1 chain)",
+                       "expected step complexity O(log* k) vs "
+                       "location-oblivious adversary, O(n) registers "
+                       "(Theorem 2.3)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "sifting";
+    spec.algorithms = {AlgorithmId::kSiftChain};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = standard_contention_sweep();
+    spec.trials = 120;
+    spec.seed = 11;
+    presets.push_back({"sifting",
+                       "E3: sifting chain steps vs k",
+                       "O(log log n) steps non-adaptive vs R/W-oblivious "
+                       "adversary (Section 2.3)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "sifting-adaptive";
+    spec.algorithms = {AlgorithmId::kSiftCascade, AlgorithmId::kSiftChain};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {2, 4, 8, 16, 64, 256, 1024, 4096};
+    spec.fixed_n = 4096;
+    spec.trials = 120;
+    spec.seed = 13;
+    presets.push_back({"sifting-adaptive",
+                       "E3: adaptivity at fixed n = 4096 (cascade vs chain)",
+                       "cascade steps track O(log log k), the plain chain "
+                       "pays its n-sized schedule (Theorem 2.4)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "ratrace";
+    spec.algorithms = {AlgorithmId::kRatRace, AlgorithmId::kRatRacePath};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = standard_contention_sweep();
+    spec.trials = 100;
+    spec.seed = 21;
+    presets.push_back({"ratrace",
+                       "E4/E8: RatRace original vs elimination-path variant",
+                       "both variants stay O(log k) expected steps; the path "
+                       "variant needs Theta(n) instead of Theta(n^3) "
+                       "registers (Section 3)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "ratrace-space";
+    spec.algorithms = {AlgorithmId::kRatRace, AlgorithmId::kRatRacePath};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {16, 32, 64, 128, 256, 512};
+    spec.trials = 2;
+    spec.seed = 1;
+    presets.push_back({"ratrace-space",
+                       "E4: RatRace structure size at full contention",
+                       "declared registers Theta(n^3) -> Theta(n) at equal "
+                       "runtime footprint (Section 3)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "combined-weak";
+    spec.algorithms = {
+        AlgorithmId::kLogStarChain,   AlgorithmId::kSiftCascade,
+        AlgorithmId::kAaSiftRatRace,  AlgorithmId::kRatRacePath,
+        AlgorithmId::kCombinedLogStar, AlgorithmId::kCombinedSift,
+    };
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {32, 128, 512};
+    spec.trials = 60;
+    spec.seed = 3;
+    presets.push_back({"combined-weak",
+                       "E5: weak-adversary column of the adversary matrix",
+                       "the combiner inherits the weak-adversary speed of "
+                       "its fast component (Theorem 4.1, Corollary 4.2)",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "landscape";
+    for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
+      spec.algorithms.push_back(algorithm.id);
+    }
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {8, 64, 512, 2048};
+    spec.trials = 80;
+    spec.seed = 31;
+    presets.push_back({"landscape",
+                       "E9: step-complexity landscape",
+                       "the introduction's table: log n vs log k vs "
+                       "log log k vs log* k, with space",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "adversary-matrix";
+    for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
+      spec.algorithms.push_back(algorithm.id);
+    }
+    for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
+      spec.adversaries.push_back(adversary.id);
+    }
+    spec.ks = {16, 128};
+    spec.trials = 40;
+    spec.seed = 7;
+    spec.seed_policy = SeedPolicy::kPerCell;
+    presets.push_back({"adversary-matrix",
+                       "every algorithm under every catalogued scheduler",
+                       "safety (exactly one winner) holds under all "
+                       "schedules; step shapes persist across schedulers",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "quick";
+    spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kRatRacePath};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {4, 16};
+    spec.trials = 10;
+    spec.seed = 1;
+    presets.push_back({"quick",
+                       "smoke: two algorithms, two contentions, ten trials",
+                       "sanity only; not a paper table",
+                       spec});
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<Preset>& all_presets() {
+  static const std::vector<Preset> kPresets = build_presets();
+  return kPresets;
+}
+
+const Preset* find_preset(std::string_view name) {
+  for (const Preset& preset : all_presets()) {
+    if (name == preset.name) return &preset;
+  }
+  return nullptr;
+}
+
+}  // namespace rts::campaign

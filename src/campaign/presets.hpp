@@ -1,0 +1,27 @@
+// Named campaign presets.
+//
+// Each preset is a CampaignSpec frozen with the exact algorithm set, sweep,
+// trial count, and seed its originating bench table used, so
+// `rts_bench --preset <name>` regenerates that table's numbers -- and the
+// legacy per-table binaries shrink to thin drivers over this registry.
+// The preset -> paper-claim mapping is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace rts::campaign {
+
+struct Preset {
+  const char* name;   ///< stable CLI identifier, e.g. "ratrace"
+  const char* title;  ///< banner headline
+  const char* claim;  ///< the paper claim the table witnesses
+  CampaignSpec spec;
+};
+
+const std::vector<Preset>& all_presets();
+const Preset* find_preset(std::string_view name);
+
+}  // namespace rts::campaign

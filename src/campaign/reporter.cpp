@@ -1,0 +1,181 @@
+#include "campaign/reporter.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace rts::campaign {
+
+namespace {
+
+/// Deterministic shortest-ish double rendering for machine output.  %.10g is
+/// stable across runs of the same binary (the only determinism the JSON
+/// byte-identity guarantee needs) and keeps integral values integral.
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void print_summary_json(std::FILE* out, const char* key,
+                        const support::Accumulator& acc) {
+  const support::Summary s = support::summarize(acc);
+  std::fprintf(out,
+               "\"%s\":{\"mean\":%s,\"stddev\":%s,\"min\":%s,\"p50\":%s,"
+               "\"p95\":%s,\"max\":%s,\"ci95\":%s}",
+               key, fmt_double(s.mean).c_str(), fmt_double(s.stddev).c_str(),
+               fmt_double(s.min).c_str(), fmt_double(s.p50).c_str(),
+               fmt_double(s.p95).c_str(), fmt_double(s.max).c_str(),
+               fmt_double(s.ci95).c_str());
+}
+
+}  // namespace
+
+std::optional<ReportFormat> parse_format(std::string_view name) {
+  if (name == "table") return ReportFormat::kTable;
+  if (name == "jsonl" || name == "json") return ReportFormat::kJsonl;
+  if (name == "csv") return ReportFormat::kCsv;
+  return std::nullopt;
+}
+
+void report_table(const CampaignResult& result, std::FILE* out) {
+  for (const algo::AdversaryId adversary_id : result.spec.adversaries) {
+    const char* adversary = algo::info(adversary_id).name;
+    support::Table table(
+        result.spec.name + ": " + adversary + " scheduling" +
+            (result.truncated ? "  [TRUNCATED by budget]" : ""),
+        {"algorithm", "k", "n", "E[max steps]", "p50", "p95", "max",
+         "E[mean steps]", "E[regs touched]", "declared regs", "viol",
+         "trials"});
+    for (const CellResult& cell : result.cells) {
+      if (cell.cell.adversary != adversary_id) continue;
+      if (cell.trials_run == 0) continue;
+      table.add_row(
+          {algo::info(cell.cell.algorithm).name,
+           support::Table::num(static_cast<std::size_t>(cell.cell.k)),
+           support::Table::num(static_cast<std::size_t>(cell.cell.n)),
+           support::fmt_mean_ci(cell.agg.max_steps),
+           support::Table::num(cell.agg.max_steps.quantile(0.5), 1),
+           support::Table::num(cell.agg.max_steps.quantile(0.95), 1),
+           support::Table::num(cell.agg.max_steps.max(), 0),
+           support::Table::num(cell.agg.mean_steps.mean(), 2),
+           support::Table::num(cell.agg.regs_touched.mean(), 1),
+           support::Table::num(cell.declared_registers),
+           support::Table::num(static_cast<std::size_t>(
+               cell.agg.violation_runs)),
+           support::Table::num(static_cast<std::size_t>(cell.trials_run))});
+    }
+    table.print(out);
+  }
+}
+
+void report_jsonl(const CampaignResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "{\"type\":\"campaign\",\"name\":\"%s\",\"seed\":%llu,"
+               "\"trials\":%d,\"cells\":%zu,\"truncated\":%s}\n",
+               json_escape(result.spec.name).c_str(),
+               static_cast<unsigned long long>(result.spec.seed),
+               result.spec.trials, result.cells.size(),
+               result.truncated ? "true" : "false");
+  for (const CellResult& cell : result.cells) {
+    std::fprintf(
+        out,
+        "{\"type\":\"cell\",\"campaign\":\"%s\",\"algorithm\":\"%s\","
+        "\"adversary\":\"%s\",\"n\":%d,\"k\":%d,\"trials\":%d,"
+        "\"trials_run\":%d,\"seed0\":%llu,\"declared_registers\":%zu,"
+        "\"violation_runs\":%d,\"incomplete_runs\":%d,\"error_runs\":%d,",
+        json_escape(result.spec.name).c_str(),
+        algo::info(cell.cell.algorithm).name,
+        algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
+        cell.cell.trials, cell.trials_run,
+        static_cast<unsigned long long>(cell.cell.seed0),
+        cell.declared_registers, cell.agg.violation_runs,
+        cell.incomplete_runs, cell.error_runs);
+    print_summary_json(out, "max_steps", cell.agg.max_steps);
+    std::fputc(',', out);
+    print_summary_json(out, "mean_steps", cell.agg.mean_steps);
+    std::fputc(',', out);
+    print_summary_json(out, "total_steps", cell.agg.total_steps);
+    std::fputc(',', out);
+    print_summary_json(out, "regs_touched", cell.agg.regs_touched);
+    std::fprintf(out, "}\n");
+  }
+}
+
+void report_csv(const CampaignResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "campaign,algorithm,adversary,n,k,trials_run,seed0,"
+               "declared_registers,max_steps_mean,max_steps_ci95,"
+               "max_steps_p50,max_steps_p95,max_steps_max,mean_steps_mean,"
+               "total_steps_mean,regs_touched_mean,violation_runs,"
+               "incomplete_runs,error_runs\n");
+  for (const CellResult& cell : result.cells) {
+    const support::Summary max_steps = support::summarize(cell.agg.max_steps);
+    std::fprintf(out,
+                 "%s,%s,%s,%d,%d,%d,%llu,%zu,%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,"
+                 "%d\n",
+                 result.spec.name.c_str(),
+                 algo::info(cell.cell.algorithm).name,
+                 algo::info(cell.cell.adversary).name, cell.cell.n,
+                 cell.cell.k, cell.trials_run,
+                 static_cast<unsigned long long>(cell.cell.seed0),
+                 cell.declared_registers, fmt_double(max_steps.mean).c_str(),
+                 fmt_double(max_steps.ci95).c_str(),
+                 fmt_double(max_steps.p50).c_str(),
+                 fmt_double(max_steps.p95).c_str(),
+                 fmt_double(max_steps.max).c_str(),
+                 fmt_double(cell.agg.mean_steps.mean()).c_str(),
+                 fmt_double(cell.agg.total_steps.mean()).c_str(),
+                 fmt_double(cell.agg.regs_touched.mean()).c_str(),
+                 cell.agg.violation_runs, cell.incomplete_runs,
+                 cell.error_runs);
+  }
+}
+
+void report(const CampaignResult& result, ReportFormat format,
+            std::FILE* out) {
+  switch (format) {
+    case ReportFormat::kTable:
+      report_table(result, out);
+      return;
+    case ReportFormat::kJsonl:
+      report_jsonl(result, out);
+      return;
+    case ReportFormat::kCsv:
+      report_csv(result, out);
+      return;
+  }
+  RTS_ASSERT_MSG(false, "unknown report format");
+}
+
+std::string render_to_string(const CampaignResult& result,
+                             ReportFormat format) {
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* mem = open_memstream(&buffer, &size);
+  RTS_ASSERT_MSG(mem != nullptr, "open_memstream failed");
+  report(result, format, mem);
+  std::fclose(mem);
+  std::string out(buffer, size);
+  std::free(buffer);
+  return out;
+}
+
+}  // namespace rts::campaign

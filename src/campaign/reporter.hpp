@@ -1,0 +1,38 @@
+// Campaign output backends.
+//
+// Three renderings of the same CellResult data:
+//  * table  -- aligned ASCII via support/table, one table per adversary;
+//              the human-facing form the bench binaries print.
+//  * jsonl  -- one JSON object per line (a campaign header, then one line
+//              per cell); the machine-readable form consumed by perf
+//              trajectory tracking.  See EXPERIMENTS.md for the schema.
+//  * csv    -- one row per cell, flat columns, for spreadsheets/plotting.
+//
+// Reporters emit only data that is a deterministic function of the spec
+// (never wall-clock or worker counts), so the bytes are identical for any
+// worker count -- the property the determinism tests pin down.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string_view>
+
+#include "campaign/executor.hpp"
+
+namespace rts::campaign {
+
+enum class ReportFormat { kTable, kJsonl, kCsv };
+
+std::optional<ReportFormat> parse_format(std::string_view name);
+
+void report_table(const CampaignResult& result, std::FILE* out);
+void report_jsonl(const CampaignResult& result, std::FILE* out);
+void report_csv(const CampaignResult& result, std::FILE* out);
+
+void report(const CampaignResult& result, ReportFormat format, std::FILE* out);
+
+/// Renders a whole campaign through one reporter into a string (used by the
+/// determinism tests and the CLI's --json/--csv file sinks).
+std::string render_to_string(const CampaignResult& result, ReportFormat format);
+
+}  // namespace rts::campaign

@@ -1,0 +1,55 @@
+#include "campaign/spec.hpp"
+
+#include "support/rng.hpp"
+
+namespace rts::campaign {
+
+std::vector<CellSpec> expand(const CampaignSpec& spec) {
+  std::vector<CellSpec> cells;
+  cells.reserve(spec.algorithms.size() * spec.adversaries.size() *
+                spec.ks.size());
+  int index = 0;
+  for (const algo::AlgorithmId algorithm : spec.algorithms) {
+    for (const algo::AdversaryId adversary : spec.adversaries) {
+      for (const int k : spec.ks) {
+        CellSpec cell;
+        cell.index = index;
+        cell.algorithm = algorithm;
+        cell.adversary = adversary;
+        cell.k = k;
+        cell.n = spec.fixed_n > 0 ? spec.fixed_n : k;
+        cell.trials = spec.trials;
+        cell.seed0 = spec.seed_policy == SeedPolicy::kSharedBase
+                         ? spec.seed
+                         : support::derive_seed(
+                               spec.seed, static_cast<std::uint64_t>(index));
+        cell.step_limit = spec.step_limit;
+        cells.push_back(cell);
+        ++index;
+      }
+    }
+  }
+  return cells;
+}
+
+std::string validate(const CampaignSpec& spec) {
+  if (spec.algorithms.empty()) return "campaign has no algorithms";
+  if (spec.adversaries.empty()) return "campaign has no adversaries";
+  if (spec.ks.empty()) return "campaign has an empty contention sweep";
+  if (spec.trials < 1) return "campaign needs at least one trial per cell";
+  for (const int k : spec.ks) {
+    if (k < 1) return "contention values must be >= 1";
+    if (spec.fixed_n > 0 && k > spec.fixed_n) {
+      return "contention " + std::to_string(k) + " exceeds fixed n = " +
+             std::to_string(spec.fixed_n);
+    }
+  }
+  if (spec.step_limit == 0) return "step limit must be positive";
+  return {};
+}
+
+std::vector<int> standard_contention_sweep() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+}  // namespace rts::campaign

@@ -1,0 +1,86 @@
+// Declarative experiment campaigns.
+//
+// A CampaignSpec names a grid -- algorithms x adversaries x contention
+// sweep -- plus a trial count and a seed policy.  expand() flattens the grid
+// into CellSpecs; every cell is an independent stream of seeded trials, which
+// is what makes campaigns embarrassingly parallel (see executor.hpp).
+//
+// Seeds are derived per (cell, trial) only, never from scheduling, so a
+// campaign's aggregate numbers are a pure function of its spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+
+namespace rts::campaign {
+
+/// How per-cell base seeds derive from the campaign seed.
+enum class SeedPolicy {
+  /// Every cell uses the campaign seed directly.  This matches the
+  /// historical single-table bench binaries, where every k-column of a table
+  /// shared one seed stream.
+  kSharedBase,
+  /// Each cell gets its own stream derived from (seed, cell index), so no
+  /// two cells share trial seeds.
+  kPerCell,
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::vector<algo::AlgorithmId> algorithms;
+  std::vector<algo::AdversaryId> adversaries;
+  std::vector<int> ks;  ///< contention sweep: participants per cell
+  /// Object capacity the algorithm is built for; 0 means n = k per cell
+  /// (the "object sized for its load" convention of most tables).  A fixed
+  /// n > 0 with a k-sweep measures adaptivity (steps must track k, not n).
+  int fixed_n = 0;
+  int trials = 100;
+  std::uint64_t seed = 1;
+  SeedPolicy seed_policy = SeedPolicy::kSharedBase;
+  /// Per-trial kernel step budget (divergence abort knob).
+  std::uint64_t step_limit = 10'000'000;
+
+  // Fluent grid composition, so presets and ad-hoc CLI specs read as one
+  // expression.
+  CampaignSpec& with_algorithm(algo::AlgorithmId id) {
+    algorithms.push_back(id);
+    return *this;
+  }
+  CampaignSpec& with_adversary(algo::AdversaryId id) {
+    adversaries.push_back(id);
+    return *this;
+  }
+  CampaignSpec& with_ks(std::vector<int> sweep) {
+    ks = std::move(sweep);
+    return *this;
+  }
+};
+
+/// One grid point: a (algorithm, adversary, n, k) cell and its trial stream.
+struct CellSpec {
+  int index = 0;  ///< position in expansion order (stable across runs)
+  algo::AlgorithmId algorithm{};
+  algo::AdversaryId adversary{};
+  int n = 0;
+  int k = 0;
+  int trials = 0;
+  std::uint64_t seed0 = 0;  ///< base seed of the cell's trial stream
+  std::uint64_t step_limit = 0;
+};
+
+/// Flattens the grid in deterministic order: algorithms outermost, then
+/// adversaries, then the k sweep.
+std::vector<CellSpec> expand(const CampaignSpec& spec);
+
+/// Returns a human-readable description of the first problem with the spec,
+/// or an empty string if it is well-formed.
+std::string validate(const CampaignSpec& spec);
+
+/// The standard contention sweep shared by the bench tables: powers of two
+/// through the simulator's comfortable range.
+std::vector<int> standard_contention_sweep();
+
+}  // namespace rts::campaign

@@ -68,28 +68,53 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
   return result;
 }
 
+LeTrialSummary summarize_trial(const LeRunResult& result) {
+  LeTrialSummary trial;
+  trial.k = result.k;
+  trial.max_steps = result.max_steps;
+  trial.total_steps = result.total_steps;
+  trial.regs_touched = result.regs_touched;
+  trial.declared_registers = result.declared_registers;
+  trial.completed = result.completed;
+  if (!result.violations.empty()) trial.first_violation = result.violations.front();
+  return trial;
+}
+
+void accumulate_trial(LeAggregate& agg, const LeTrialSummary& trial) {
+  ++agg.runs;
+  agg.max_steps.add(static_cast<double>(trial.max_steps));
+  agg.mean_steps.add(static_cast<double>(trial.total_steps) /
+                     static_cast<double>(trial.k));
+  agg.total_steps.add(static_cast<double>(trial.total_steps));
+  agg.regs_touched.add(static_cast<double>(trial.regs_touched));
+  if (!trial.first_violation.empty()) {
+    ++agg.violation_runs;
+    if (agg.first_violations.size() < 5) {
+      agg.first_violations.push_back(trial.first_violation);
+    }
+  }
+}
+
+std::uint64_t trial_seed(std::uint64_t seed0, int trial) {
+  return support::derive_seed(seed0, static_cast<std::uint64_t>(trial));
+}
+
+LeRunResult run_le_trial(const LeBuilder& builder, int n, int k,
+                         const AdversaryFactory& adversary_factory, int trial,
+                         std::uint64_t seed0, Kernel::Options kernel_options) {
+  const std::uint64_t seed = trial_seed(seed0, trial);
+  auto adversary = adversary_factory(support::derive_seed(seed, 0xadUL));
+  return run_le_once(builder, n, k, *adversary, seed, kernel_options);
+}
+
 LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
                         const AdversaryFactory& adversary_factory, int trials,
                         std::uint64_t seed0, Kernel::Options kernel_options) {
   LeAggregate agg;
   for (int t = 0; t < trials; ++t) {
-    const std::uint64_t seed =
-        support::derive_seed(seed0, static_cast<std::uint64_t>(t));
-    auto adversary = adversary_factory(support::derive_seed(seed, 0xadUL));
-    LeRunResult r =
-        run_le_once(builder, n, k, *adversary, seed, kernel_options);
-    ++agg.runs;
-    agg.max_steps.add(static_cast<double>(r.max_steps));
-    agg.mean_steps.add(static_cast<double>(r.total_steps) /
-                       static_cast<double>(k));
-    agg.total_steps.add(static_cast<double>(r.total_steps));
-    agg.regs_touched.add(static_cast<double>(r.regs_touched));
-    if (!r.violations.empty()) {
-      ++agg.violation_runs;
-      if (agg.first_violations.size() < 5) {
-        agg.first_violations.push_back(r.violations.front());
-      }
-    }
+    accumulate_trial(agg, summarize_trial(run_le_trial(
+                              builder, n, k, adversary_factory, t, seed0,
+                              kernel_options)));
   }
   return agg;
 }

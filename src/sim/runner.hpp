@@ -74,6 +74,37 @@ struct LeAggregate {
   std::vector<std::string> first_violations;
 };
 
+/// The per-trial slice of an LeRunResult that feeds an LeAggregate.  Small
+/// enough to buffer for thousands of trials, so parallel executors can run
+/// trials out of order and still aggregate in trial order.
+struct LeTrialSummary {
+  int k = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t total_steps = 0;
+  std::size_t regs_touched = 0;
+  std::size_t declared_registers = 0;
+  bool completed = true;
+  std::string first_violation;  ///< empty when the trial was clean
+};
+
+LeTrialSummary summarize_trial(const LeRunResult& result);
+
+/// Folds one trial into the aggregate.  run_le_many is exactly a loop of
+/// run_le_trial + accumulate_trial, so any executor that calls these in
+/// trial order reproduces run_le_many's aggregates bit for bit.
+void accumulate_trial(LeAggregate& agg, const LeTrialSummary& trial);
+
+/// The seed run_le_many has always used for trial `t` of a stream seeded
+/// with `seed0`.
+std::uint64_t trial_seed(std::uint64_t seed0, int trial);
+
+/// Runs trial `trial` of the (builder, n, k, adversary_factory, seed0)
+/// stream: one election with the trial's derived seed and a fresh adversary.
+LeRunResult run_le_trial(const LeBuilder& builder, int n, int k,
+                         const AdversaryFactory& adversary_factory, int trial,
+                         std::uint64_t seed0,
+                         Kernel::Options kernel_options = {});
+
 LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
                         const AdversaryFactory& adversary_factory, int trials,
                         std::uint64_t seed0,

@@ -24,6 +24,40 @@ void Accumulator::add(double x) {
   }
 }
 
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    const bool keep = keep_samples_ && other.keep_samples_;
+    *this = other;
+    if (!keep) {
+      keep_samples_ = false;
+      samples_.clear();
+      samples_.shrink_to_fit();
+    }
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  // (na*ma + nb*mb) and (delta^2 * na*nb) are invariant under swapping the
+  // two operands, which is what makes merge() commutative at the bit level.
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2_ + other.m2_ + delta * delta * (na * nb / n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  if (keep_samples_ && other.keep_samples_) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  } else if (keep_samples_) {
+    keep_samples_ = false;
+    samples_.clear();
+    samples_.shrink_to_fit();
+  }
+}
+
 double Accumulator::mean() const { return mean_; }
 
 double Accumulator::variance() const {

@@ -16,6 +16,16 @@ class Accumulator {
 
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan et al. parallel moments).
+  /// The combined mean/m2 are computed from symmetric expressions, so
+  /// merging A into B yields bitwise the same summaries as merging B into A;
+  /// min/max/count and (retained) quantiles are exactly order-independent.
+  /// Sample retention survives only if both sides retain; merging a
+  /// non-retaining accumulator into a retaining one drops retention.
+  void merge(const Accumulator& other);
+
+  bool keeps_samples() const { return keep_samples_; }
+
   std::size_t count() const { return n_; }
   double mean() const;
   double variance() const;  ///< unbiased sample variance

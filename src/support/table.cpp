@@ -4,8 +4,14 @@
 #include <cinttypes>
 
 #include "support/assert.hpp"
+#include "support/stats.hpp"
 
 namespace rts::support {
+
+std::string fmt_mean_ci(const Accumulator& acc) {
+  return Table::num(acc.mean(), 2) + " +-" +
+         Table::num(acc.ci95_half_width(), 2);
+}
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {

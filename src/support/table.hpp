@@ -8,6 +8,11 @@
 
 namespace rts::support {
 
+class Accumulator;
+
+/// "mean +-ci95" cell text, the convention every results table uses.
+std::string fmt_mean_ci(const Accumulator& acc);
+
 class Table {
  public:
   Table(std::string title, std::vector<std::string> columns);

@@ -1,0 +1,167 @@
+// Unit tests for Accumulator::merge, the operation the parallel campaign
+// executor leans on.  The guarantees pinned down here:
+//  * count/min/max and retained-sample quantiles are EXACTLY independent of
+//    merge order (sets, not sequences);
+//  * mean/m2 merging is EXACTLY commutative (symmetric formulas), and
+//    any reassociation agrees to ~1 ulp.
+// (The executor does not even need the ulp caveat: it folds per-trial
+// summaries in trial order on one thread, so its aggregates are bitwise
+// reproducible by construction -- see test_campaign.cpp.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace rts::support {
+namespace {
+
+Accumulator from(const std::vector<double>& xs) {
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  return acc;
+}
+
+TEST(StatsMerge, MergeEmptySides) {
+  Accumulator empty;
+  Accumulator some = from({1.0, 2.0, 3.0});
+
+  Accumulator a = some;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.mean(), some.mean());
+  EXPECT_EQ(a.quantile(0.5), 2.0);
+
+  Accumulator b;
+  b.merge(some);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_EQ(b.mean(), some.mean());
+  EXPECT_EQ(b.max(), 3.0);
+  EXPECT_EQ(b.quantile(1.0), 3.0);
+}
+
+TEST(StatsMerge, MergeMatchesSerialAccumulation) {
+  // Integer step counts, the executor's actual payload.
+  const std::vector<double> left = {3, 7, 7, 12, 1};
+  const std::vector<double> right = {5, 5, 9, 2};
+  std::vector<double> all = left;
+  all.insert(all.end(), right.begin(), right.end());
+
+  Accumulator merged = from(left);
+  merged.merge(from(right));
+  const Accumulator serial = from(all);
+
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), serial.variance(), 1e-9);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), serial.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(StatsMerge, MergeIsExactlyCommutative) {
+  // Arbitrary (non-dyadic) values: A+B and B+A must still agree bitwise,
+  // because the combined mean/m2 are computed from operand-symmetric
+  // expressions.
+  PrngSource rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 37; ++i) xs.push_back(std::ldexp(rng.draw(1000), -3) / 7.0);
+  for (int i = 0; i < 11; ++i) ys.push_back(std::ldexp(rng.draw(1000), -2) / 3.0);
+
+  Accumulator ab = from(xs);
+  ab.merge(from(ys));
+  Accumulator ba = from(ys);
+  ba.merge(from(xs));
+
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.mean(), ba.mean());      // bitwise
+  EXPECT_EQ(ab.variance(), ba.variance());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(ab.quantile(q), ba.quantile(q));
+  }
+}
+
+TEST(StatsMerge, MergeOrderIndependentSummaries) {
+  // Folding three worker-shard accumulators into one in every possible
+  // order: count/min/max and quantiles must agree bitwise (they are
+  // set-functions of the sample multiset); mean/stddev may differ by FP
+  // rounding only in the last ulp.
+  PrngSource rng(7);
+  std::vector<std::vector<double>> chunks;
+  for (const int size : {4, 8, 5}) {
+    std::vector<double> chunk;
+    for (int i = 0; i < size; ++i) {
+      chunk.push_back(static_cast<double>(rng.draw(64)));
+    }
+    chunks.push_back(chunk);
+  }
+
+  const auto merge_in_order = [&](std::vector<int> order) {
+    Accumulator acc = from(chunks[static_cast<std::size_t>(order[0])]);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      acc.merge(from(chunks[static_cast<std::size_t>(order[i])]));
+    }
+    return summarize(acc);
+  };
+
+  const Summary reference = merge_in_order({0, 1, 2});
+  for (const std::vector<int>& order :
+       {std::vector<int>{0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1},
+        {2, 1, 0}}) {
+    const Summary summary = merge_in_order(order);
+    EXPECT_EQ(summary.n, reference.n);
+    EXPECT_EQ(summary.min, reference.min);  // bitwise: set-functions
+    EXPECT_EQ(summary.max, reference.max);
+    EXPECT_EQ(summary.p50, reference.p50);
+    EXPECT_EQ(summary.p95, reference.p95);
+    EXPECT_NEAR(summary.mean, reference.mean, 1e-12);
+    EXPECT_NEAR(summary.stddev, reference.stddev, 1e-12);
+  }
+}
+
+TEST(StatsMerge, MergeTreeShapeAgreesToOneUlp) {
+  // Non-dyadic regime: reassociating the merge tree may round differently,
+  // but only in the last ulp -- pinned here so a real drift would fail.
+  std::vector<std::vector<double>> chunks = {
+      {1.1, 2.2, 3.3}, {4.4, 5.5}, {6.6, 7.7, 8.8, 9.9}};
+  Accumulator left = from(chunks[0]);
+  left.merge(from(chunks[1]));
+  left.merge(from(chunks[2]));
+
+  Accumulator right_tail = from(chunks[1]);
+  right_tail.merge(from(chunks[2]));
+  Accumulator right = from(chunks[0]);
+  right.merge(right_tail);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-14);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-12);
+  EXPECT_EQ(left.quantile(0.5), right.quantile(0.5));  // still exact
+}
+
+TEST(StatsMerge, RetentionDropsWhenEitherSideDoesNotKeep) {
+  Accumulator keeping(true);
+  keeping.add(1.0);
+  Accumulator streaming(false);
+  streaming.add(2.0);
+  keeping.merge(streaming);
+  EXPECT_FALSE(keeping.keeps_samples());
+  EXPECT_EQ(keeping.count(), 2u);
+  EXPECT_NEAR(keeping.mean(), 1.5, 1e-15);
+
+  Accumulator fresh(false);
+  Accumulator kept(true);
+  kept.add(3.0);
+  fresh.merge(kept);
+  EXPECT_FALSE(fresh.keeps_samples());
+  EXPECT_EQ(fresh.count(), 1u);
+}
+
+}  // namespace
+}  // namespace rts::support
