@@ -1,24 +1,24 @@
-// Experiment E10: hardware microbenchmark (google-benchmark).
+// Experiment E10: hardware microbenchmark.
 //
-// The same algorithm templates on std::atomic registers and real threads:
-// one-shot leader-election latency vs thread count, against the native
-// atomic-exchange baseline.  Absolute numbers are machine-dependent; the
-// claims that travel are (a) every algorithm elects exactly one winner under
-// real hardware races, and (b) the register-based algorithms cost a small
-// constant factor over native TAS at laptop-scale thread counts.
+// The grid half (mean shared-ops per election across all hw-capable
+// algorithms vs the native atomic baseline) is the `hw-smoke` campaign
+// preset, run through the engine like every other table.  What stays
+// bespoke here is the google-benchmark latency section: one-shot election
+// wall time vs thread count, which needs google-benchmark's timing loop
+// rather than a trial grid.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <thread>
 
+#include "campaign/cli.hpp"
 #include "hw/harness.hpp"
-#include "support/table.hpp"
 
 namespace {
 
 using namespace rts;
 
-void bench_algorithm(benchmark::State& state, hw::HwAlgorithmId id) {
+void bench_algorithm(benchmark::State& state, algo::AlgorithmId id) {
   const int k = static_cast<int>(state.range(0));
   std::uint64_t seed = 1;
   std::uint64_t violations = 0;
@@ -33,14 +33,14 @@ void bench_algorithm(benchmark::State& state, hw::HwAlgorithmId id) {
 }
 
 void register_benchmarks() {
-  const hw::HwAlgorithmId ids[] = {
-      hw::HwAlgorithmId::kNativeAtomic,   hw::HwAlgorithmId::kTournament,
-      hw::HwAlgorithmId::kLogStarChain,   hw::HwAlgorithmId::kSiftCascade,
-      hw::HwAlgorithmId::kRatRacePath,    hw::HwAlgorithmId::kCombinedLogStar,
+  const algo::AlgorithmId ids[] = {
+      algo::AlgorithmId::kNativeAtomic,   algo::AlgorithmId::kTournament,
+      algo::AlgorithmId::kLogStarChain,   algo::AlgorithmId::kSiftCascade,
+      algo::AlgorithmId::kRatRacePath,    algo::AlgorithmId::kCombinedLogStar,
   };
   const unsigned hw_threads = std::max(2u, std::thread::hardware_concurrency());
   for (const auto id : ids) {
-    const std::string name = std::string("hw_le/") + hw::to_string(id);
+    const std::string name = std::string("hw_le/") + algo::info(id).name;
     auto* bench = benchmark::RegisterBenchmark(
         name.c_str(),
         [id](benchmark::State& state) { bench_algorithm(state, id); });
@@ -50,37 +50,10 @@ void register_benchmarks() {
   }
 }
 
-void print_ops_table() {
-  support::Table table(
-      "E10 companion: mean max shared-ops per election (not time)",
-      {"algorithm", "k=1", "k=2", "k=4", "k=8"});
-  const hw::HwAlgorithmId ids[] = {
-      hw::HwAlgorithmId::kNativeAtomic,   hw::HwAlgorithmId::kTournament,
-      hw::HwAlgorithmId::kLogStarChain,   hw::HwAlgorithmId::kSiftCascade,
-      hw::HwAlgorithmId::kRatRacePath,    hw::HwAlgorithmId::kCombinedLogStar,
-  };
-  for (const auto id : ids) {
-    std::vector<std::string> row = {hw::to_string(id)};
-    for (const int k : {1, 2, 4, 8}) {
-      const auto agg = hw::run_hw_many(id, k, /*trials=*/30, /*seed0=*/7);
-      row.push_back(support::Table::num(agg.mean_max_ops, 1) +
-                    (agg.violation_runs > 0 ? "!" : ""));
-    }
-    table.add_row(row);
-  }
-  table.print();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf(
-      "\n######################################################\n"
-      "# E10: hardware TAS / leader election (google-benchmark)\n"
-      "# Exactly-one-winner under real hardware contention; cost vs native "
-      "atomic baseline\n"
-      "######################################################\n");
-  print_ops_table();
+  campaign::run_preset("hw-smoke");
   register_benchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

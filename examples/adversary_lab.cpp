@@ -49,6 +49,11 @@ int trace_run(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
+  if (!algo::supports(*id, exec::Backend::kSim)) {
+    std::fprintf(stderr, "%s is hw-only; the trace lab drives the simulator\n",
+                 algo_name.c_str());
+    return 1;
+  }
   sim::Kernel::Options options;
   options.track_events = true;
   sim::Kernel kernel(options);
@@ -96,6 +101,14 @@ int main(int argc, char** argv) {
                  "[random|roundrobin|sequential|attack] [seed]\n"
                  "       %s --list\n",
                  argv[0], argv[0]);
+    return 1;
+  }
+
+  if (!algo::supports(*id, exec::Backend::kSim)) {
+    std::fprintf(stderr,
+                 "%s is hw-only; the lab drives the simulator "
+                 "(try rts_bench --backend hw)\n",
+                 algo_name.c_str());
     return 1;
   }
 

@@ -15,7 +15,7 @@
 
 #include <concepts>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "sim/types.hpp"
 
@@ -24,7 +24,7 @@ namespace rts::algo {
 template <class P>
 concept Platform = requires(typename P::Arena arena, typename P::Context& ctx,
                             typename P::Reg reg, std::uint64_t v,
-                            sim::OpTags tags, std::string name) {
+                            sim::OpTags tags, std::string_view name) {
   { arena.reg(name) } -> std::same_as<typename P::Reg>;
   { reg.read(ctx) } -> std::convertible_to<std::uint64_t>;
   { reg.read(ctx, tags) } -> std::convertible_to<std::uint64_t>;

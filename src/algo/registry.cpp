@@ -14,28 +14,37 @@ namespace rts::algo {
 const std::vector<AlgoInfo>& all_algorithms() {
   static const std::vector<AlgoInfo> kAlgorithms = {
       {AlgorithmId::kLogStarChain, "logstar", "O(log* k)",
-       "location-oblivious",
+       "location-oblivious", exec::kSimAndHw,
        "Thm 2.3: leader election from Figure-1 group elections"},
       {AlgorithmId::kSiftChain, "sift", "O(log log n)", "rw-oblivious",
+       exec::kSimAndHw,
        "Sec 2.3: Alistarh-Aspnes sifting chain (non-adaptive)"},
       {AlgorithmId::kSiftCascade, "cascade", "O(log log k)", "rw-oblivious",
+       exec::kSimAndHw,
        "Thm 2.4: cascade of doubly-exponentially sized sifting chains"},
       {AlgorithmId::kRatRace, "ratrace", "O(log k)", "adaptive",
+       exec::kSimAndHw,
        "Alistarh et al. 2010 baseline; Theta(n^3) registers"},
       {AlgorithmId::kRatRacePath, "ratrace-path", "O(log k)", "adaptive",
+       exec::kSimAndHw,
        "Sec 3: RatRace with elimination paths; Theta(n) registers"},
       {AlgorithmId::kCombinedLogStar, "combined-logstar",
-       "O(log* k) weak / O(log k) adaptive", "both",
+       "O(log* k) weak / O(log k) adaptive", "both", exec::kSimAndHw,
        "Cor 4.2: combiner of RatRacePath and the log* chain"},
       {AlgorithmId::kCombinedSift, "combined-sift",
-       "O(log log k) weak / O(log k) adaptive", "both",
+       "O(log log k) weak / O(log k) adaptive", "both", exec::kSimAndHw,
        "Cor 4.2: combiner of RatRacePath and the sifting cascade"},
       {AlgorithmId::kTournament, "tournament", "O(log n)", "adaptive",
+       exec::kSimAndHw,
        "Afek-Gafni-Tromp-Vitanyi 1992 tournament tree baseline"},
       {AlgorithmId::kAaSiftRatRace, "aa",
        "O(log log n) weak / O(log n) adaptive", "rw-oblivious",
+       exec::kSimAndHw,
        "Alistarh-Aspnes 2011: sifting rounds + RatRace backup (graceful "
        "degradation)"},
+      {AlgorithmId::kNativeAtomic, "native-atomic", "O(1)", "adaptive",
+       exec::kHwOnly,
+       "hardware baseline: one std::atomic exchange (not from registers)"},
   };
   return kAlgorithms;
 }
@@ -55,15 +64,22 @@ std::optional<AlgorithmId> parse_algorithm(std::string_view name) {
   return std::nullopt;
 }
 
+bool supports(AlgorithmId id, exec::Backend backend) {
+  return (info(id).backends & exec::backend_bit(backend)) != 0;
+}
+
 const std::vector<AdversaryInfo>& all_adversaries() {
   static const std::vector<AdversaryInfo> kAdversaries = {
-      {AdversaryId::kUniformRandom, "random",
+      {AdversaryId::kUniformRandom, "random", false,
        "uniformly random among runnable processes; oblivious, so a valid "
        "member of every adversary class"},
-      {AdversaryId::kRoundRobin, "roundrobin",
+      {AdversaryId::kRoundRobin, "roundrobin", false,
        "cycles through pids; maximal benign interleaving"},
-      {AdversaryId::kSequential, "sequential",
+      {AdversaryId::kSequential, "sequential", false,
        "runs one process to completion at a time; zero overlap"},
+      {AdversaryId::kCrashAfterOps, "crash", true,
+       "random scheduling that crashes each process once it exhausts a "
+       "seeded per-process op budget (always sparing a survivor)"},
   };
   return kAdversaries;
 }
@@ -96,6 +112,10 @@ sim::AdversaryFactory adversary_factory(AdversaryId id) {
     case AdversaryId::kSequential:
       return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
         return std::make_unique<sim::SequentialAdversary>();
+      };
+    case AdversaryId::kCrashAfterOps:
+      return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<sim::CrashAfterOpsAdversary>(seed);
       };
   }
   RTS_ASSERT_MSG(false, "unknown adversary id");
@@ -131,12 +151,16 @@ std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
       return std::make_unique<TournamentLe<P>>(arena, n);
     case AlgorithmId::kAaSiftRatRace:
       return std::make_unique<AaSiftRatRaceLe<P>>(arena, n);
+    case AlgorithmId::kNativeAtomic:
+      return nullptr;  // hw-only: no register-based simulator form
   }
   RTS_ASSERT_MSG(false, "unknown algorithm id");
   return nullptr;
 }
 
 sim::LeBuilder sim_builder(AlgorithmId id) {
+  RTS_REQUIRE(supports(id, exec::Backend::kSim),
+              "algorithm has no simulator backend");
   return [id](sim::Kernel& kernel, int n) -> sim::BuiltLe {
     SimPlatform::Arena arena(kernel.memory());
     std::shared_ptr<ILeaderElect<SimPlatform>> le =

@@ -1,6 +1,9 @@
 // Central catalogue of the leader-election algorithms in this library, with
-// type-erased factories for the simulator harness.  Benches, tests, and the
-// example binaries all enumerate algorithms through here.
+// type-erased factories for the simulator harness and per-backend capability
+// flags for the hardware harness.  Benches, tests, the campaign engine, and
+// the example binaries all enumerate algorithms through here; there is one
+// AlgorithmId namespace for both execution backends (see exec/backend.hpp,
+// hw/harness.hpp).
 #pragma once
 
 #include <memory>
@@ -11,6 +14,7 @@
 
 #include "algo/platform.hpp"
 #include "algo/sim_platform.hpp"
+#include "exec/backend.hpp"
 #include "sim/runner.hpp"
 
 namespace rts::algo {
@@ -25,6 +29,7 @@ enum class AlgorithmId {
   kCombinedSift,    // Cor 4.2: combiner(RatRacePath, sift cascade)
   kTournament,      // AGTV 1992 baseline, O(log n)
   kAaSiftRatRace,   // Alistarh-Aspnes 2011: sifting + RatRace backup
+  kNativeAtomic,    // hw-only baseline: one std::atomic exchange
 };
 
 struct AlgoInfo {
@@ -32,12 +37,17 @@ struct AlgoInfo {
   const char* name;         // stable identifier, e.g. "logstar"
   const char* complexity;   // expected step complexity, as claimed
   const char* adversary;    // adversary model the bound is proved for
+  exec::BackendMask backends;  // which backends can instantiate it
   const char* description;
 };
 
 const std::vector<AlgoInfo>& all_algorithms();
 const AlgoInfo& info(AlgorithmId id);
 std::optional<AlgorithmId> parse_algorithm(std::string_view name);
+
+/// Whether `id` can be instantiated on `backend` (the catalogue's capability
+/// flag; the factories construct exactly this set).
+bool supports(AlgorithmId id, exec::Backend backend);
 
 /// The black-box schedulers usable as trial adversaries, catalogued so the
 /// campaign engine can expand adversary grids by name.  (The white-box
@@ -47,11 +57,13 @@ enum class AdversaryId {
   kUniformRandom,  // oblivious: uniformly random among runnable processes
   kRoundRobin,     // oblivious: cycles through pids
   kSequential,     // oblivious: one process at a time, in pid order
+  kCrashAfterOps,  // failure injection: crashes processes after an op budget
 };
 
 struct AdversaryInfo {
   AdversaryId id;
-  const char* name;         // stable identifier, e.g. "random"
+  const char* name;  // stable identifier, e.g. "random"
+  bool crashes;      // whether this scheduler may crash processes
   const char* description;
 };
 
@@ -64,12 +76,13 @@ std::optional<AdversaryId> parse_adversary(std::string_view name);
 sim::AdversaryFactory adversary_factory(AdversaryId id);
 
 /// Builds the algorithm as a leader-election object for up to n processes
-/// inside the given simulator kernel.
+/// inside the given simulator kernel.  Requires supports(id, Backend::kSim).
 sim::LeBuilder sim_builder(AlgorithmId id);
 
 /// Constructs the algorithm directly (shared by sim_builder and by code that
 /// needs the concrete interface, e.g. the TAS adapter and the lower-bound
-/// drivers).
+/// drivers).  Returns nullptr for algorithms without a simulator factory
+/// (the hw-only native baseline).
 std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
                                                        SimPlatform::Arena arena,
                                                        int n);

@@ -1,8 +1,7 @@
 // Platform adapter binding the algorithm templates to the simulator.
 #pragma once
 
-#include <string>
-#include <utility>
+#include <string_view>
 
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
@@ -41,7 +40,7 @@ struct SimPlatform {
    public:
     explicit Arena(sim::SimMemory& memory) : memory_(&memory) {}
 
-    Reg reg(std::string name) { return Reg(memory_->alloc(std::move(name))); }
+    Reg reg(std::string_view name) { return Reg(memory_->alloc(name)); }
     std::size_t allocated() const { return memory_->allocated(); }
 
    private:

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +44,8 @@ void print_usage(std::FILE* out) {
                "            [--ks K[,K...]] [options]      (ad-hoc grid)\n"
                "\n"
                "options:\n"
+               "  --backend B[,B...] execution backends: sim | hw "
+               "(overrides preset)\n"
                "  --workers N       worker threads (0 = hardware, default 1)\n"
                "  --trials N        override trials per cell\n"
                "  --seed S          override campaign seed\n"
@@ -51,13 +54,18 @@ void print_usage(std::FILE* out) {
                "  --format F        stdout format: table | jsonl | csv\n"
                "  --json PATH       also write JSONL to PATH ('-' = stdout)\n"
                "  --csv PATH        also write CSV to PATH ('-' = stdout)\n"
+               "  --bench DIR       write a BENCH_<name>.json trajectory\n"
+               "                    summary per campaign into DIR\n"
                "  --time-budget S   stop claiming trials after S seconds\n"
                "  --step-limit N    per-trial kernel step budget\n"
                "  --progress        live progress line on stderr\n"
                "  --quiet           no banners\n"
                "\n"
-               "Aggregates are a pure function of the spec: output bytes are\n"
-               "identical for any --workers value (absent --time-budget).\n");
+               "Sim aggregates are a pure function of the spec: output bytes\n"
+               "are identical for any --workers value (absent --time-budget).\n"
+               "Hw cells run the same seeded trial streams on real threads\n"
+               "(one election at a time); their step counts carry genuine\n"
+               "scheduling noise.\n");
 }
 
 void print_list() {
@@ -67,19 +75,28 @@ void print_list() {
   }
   std::printf("\nalgorithms:\n");
   for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
-    std::printf("  %-18s %-34s %s\n", algorithm.name, algorithm.complexity,
-                algorithm.description);
+    const bool sim = algo::supports(algorithm.id, exec::Backend::kSim);
+    const bool hw = algo::supports(algorithm.id, exec::Backend::kHw);
+    const char* backends = sim && hw ? "sim+hw" : (sim ? "sim" : "hw");
+    std::printf("  %-18s %-7s %-34s %s\n", algorithm.name, backends,
+                algorithm.complexity, algorithm.description);
   }
-  std::printf("\nadversaries:\n");
+  std::printf("\nadversaries (sim backend; hw cells use the os scheduler):\n");
   for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
     std::printf("  %-18s %s\n", adversary.name, adversary.description);
   }
+  std::printf("\nbackends:\n");
+  std::printf("  %-18s %s\n", "sim",
+              "adversarial single-threaded simulator (deterministic)");
+  std::printf("  %-18s %s\n", "hw",
+              "real threads on std::atomic registers (os scheduler)");
 }
 
 struct CliArgs {
   std::vector<std::string> presets;
   std::vector<std::string> algos;
   std::vector<std::string> adversaries;
+  std::vector<exec::Backend> backends;  // empty: keep each spec's own
   std::vector<int> ks;
   int fixed_n = 0;
   std::optional<int> trials;
@@ -90,6 +107,7 @@ struct CliArgs {
   ReportFormat format = ReportFormat::kTable;
   std::string json_path;
   std::string csv_path;
+  std::string bench_dir;
   bool progress = false;
   bool quiet = false;
   bool list = false;
@@ -128,6 +146,21 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       args.adversaries = split_csv(value);
+    } else if (arg == "--backend" || arg == "--backends") {
+      if ((value = need_value(i, "--backend")) == nullptr) {
+        return std::nullopt;
+      }
+      for (const std::string& name : split_csv(value)) {
+        const auto backend = exec::parse_backend(name);
+        if (!backend) {
+          std::fprintf(stderr,
+                       "rts_bench: unknown backend '%s' "
+                       "(expected sim or hw)\n",
+                       name.c_str());
+          return std::nullopt;
+        }
+        args.backends.push_back(*backend);
+      }
     } else if (arg == "--ks") {
       if ((value = need_value(i, "--ks")) == nullptr) return std::nullopt;
       for (auto& k : split_csv(value)) args.ks.push_back(std::atoi(k.c_str()));
@@ -170,6 +203,9 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--csv") {
       if ((value = need_value(i, "--csv")) == nullptr) return std::nullopt;
       args.csv_path = value;
+    } else if (arg == "--bench") {
+      if ((value = need_value(i, "--bench")) == nullptr) return std::nullopt;
+      args.bench_dir = value;
     } else {
       std::fprintf(stderr, "rts_bench: unknown option '%s'\n", argv[i]);
       return std::nullopt;
@@ -223,12 +259,34 @@ bool collect_specs(const CliArgs& args, std::vector<CampaignSpec>* specs,
   }
   // Apply overrides uniformly.
   for (CampaignSpec& spec : *specs) {
+    if (!args.backends.empty()) spec.backends = args.backends;
     if (args.trials) spec.trials = *args.trials;
     if (args.seed) spec.seed = *args.seed;
     if (args.step_limit) spec.step_limit = *args.step_limit;
     if (!args.ks.empty()) spec.ks = args.ks;
     if (args.fixed_n > 0) spec.fixed_n = args.fixed_n;
   }
+  return true;
+}
+
+/// Writes the BENCH_<name>.json trajectory document for one campaign run.
+bool write_bench_file(const std::string& dir, const CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "rts_bench: cannot create '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  const std::string path = dir + "/BENCH_" + result.spec.name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "rts_bench: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  report_bench_json(result, file);
+  std::fclose(file);
   return true;
 }
 
@@ -244,10 +302,15 @@ std::FILE* open_sink(const std::string& path, bool* needs_close) {
 
 /// A file sink shared by every campaign of the invocation (so several
 /// presets append into one JSONL/CSV stream instead of clobbering it).
+/// CSV is positional, so when any campaign of the invocation uses the
+/// extended schema the sink forces it for all of them -- one consistent
+/// column set per file.  (JSONL lines are self-describing; mixing is fine.)
 class Sink {
  public:
-  Sink(std::string path, ReportFormat format)
-      : path_(std::move(path)), format_(format) {}
+  Sink(std::string path, ReportFormat format, bool force_extended)
+      : path_(std::move(path)),
+        format_(format),
+        force_extended_(force_extended) {}
   ~Sink() {
     if (file_ != nullptr && needs_close_) std::fclose(file_);
   }
@@ -264,13 +327,18 @@ class Sink {
         return false;
       }
     }
-    report(result, format_, file_);
+    if (format_ == ReportFormat::kCsv) {
+      report_csv(result, file_, force_extended_);
+    } else {
+      report(result, format_, file_);
+    }
     return true;
   }
 
  private:
   std::string path_;
   ReportFormat format_;
+  bool force_extended_;
   std::FILE* file_ = nullptr;
   bool needs_close_ = false;
 };
@@ -312,8 +380,12 @@ int run_cli(int argc, char** argv) {
   std::vector<const Preset*> preset_of;
   if (!collect_specs(args, &specs, &preset_of)) return 2;
 
-  Sink json_sink(args.json_path, ReportFormat::kJsonl);
-  Sink csv_sink(args.csv_path, ReportFormat::kCsv);
+  bool any_extended = false;
+  for (const CampaignSpec& spec : specs) {
+    if (extended_schema(spec)) any_extended = true;
+  }
+  Sink json_sink(args.json_path, ReportFormat::kJsonl, any_extended);
+  Sink csv_sink(args.csv_path, ReportFormat::kCsv, any_extended);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const CampaignSpec& spec = specs[i];
@@ -334,18 +406,26 @@ int run_cli(int argc, char** argv) {
       print_banner(*preset_of[i]);
     }
     const CampaignResult result = run_campaign(spec, options);
-    report(result, args.format, stdout);
+    if (args.format == ReportFormat::kCsv) {
+      report_csv(result, stdout, any_extended);
+    } else {
+      report(result, args.format, stdout);
+    }
     if (!args.quiet) {
       std::fprintf(stderr,
                    "[%s] %zu cells, %d workers, %.2fs wall, "
-                   "%llu simulated steps%s\n",
+                   "%llu simulated steps, %llu hw ops%s\n",
                    spec.name.c_str(), result.cells.size(),
                    result.workers_used, result.wall_seconds,
                    static_cast<unsigned long long>(result.sim_steps),
+                   static_cast<unsigned long long>(result.hw_steps),
                    result.truncated ? "  [TRUNCATED]" : "");
     }
     if (!json_sink.write(result)) return 1;
     if (!csv_sink.write(result)) return 1;
+    if (!args.bench_dir.empty() && !write_bench_file(args.bench_dir, result)) {
+      return 1;
+    }
   }
   return 0;
 }

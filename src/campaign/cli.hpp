@@ -6,6 +6,8 @@
 //   rts_bench --preset logstar,sifting --json results.jsonl
 //   rts_bench --algos logstar,cascade --adversaries random,roundrobin
 //             --ks 4,16,64 --trials 50 --seed 9 --format csv
+//   rts_bench --backend hw --preset hw-smoke
+//   rts_bench --backend sim,hw --algos tournament --ks 2,4 --bench out/
 //
 // Legacy bench binaries call run_preset() directly and keep only their
 // bespoke (non-grid) experiments.

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "hw/harness.hpp"
 #include "support/assert.hpp"
 
 namespace rts::campaign {
@@ -97,19 +98,39 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const auto trials = static_cast<std::size_t>(spec.trials);
   const std::size_t total = cells.size() * trials;
 
-  // Per-cell factories, built once and shared read-only by all workers
-  // (invoking them constructs fresh per-trial objects).
-  std::vector<sim::LeBuilder> builders;
-  std::vector<sim::AdversaryFactory> adversaries;
-  builders.reserve(cells.size());
-  adversaries.reserve(cells.size());
+  // Per-cell trial runners, built once and shared read-only by all workers
+  // (invoking one computes a fresh trial).  Hardware cells take the shared
+  // hw mutex so at most one hw election -- with its k real threads -- is in
+  // flight at a time, keeping measured thread counts honest while sim cells
+  // keep running concurrently.
+  std::mutex hw_mutex;
+  using TrialRunner = std::function<exec::TrialSummary(int trial)>;
+  std::vector<TrialRunner> runners;
+  runners.reserve(cells.size());
   for (const CellSpec& cell : cells) {
-    builders.push_back(algo::sim_builder(cell.algorithm));
-    adversaries.push_back(algo::adversary_factory(cell.adversary));
+    if (cell.backend == exec::Backend::kHw) {
+      runners.push_back([&hw_mutex, cell](int trial) {
+        std::lock_guard<std::mutex> pin(hw_mutex);
+        return hw::summarize_trial(hw::run_hw_trial(
+            cell.algorithm, cell.n, cell.k, trial, cell.seed0));
+      });
+      continue;
+    }
+    sim::LeBuilder builder = algo::sim_builder(cell.algorithm);
+    sim::AdversaryFactory adversary = algo::adversary_factory(cell.adversary);
+    runners.push_back(
+        [builder = std::move(builder), adversary = std::move(adversary),
+         cell](int trial) {
+          sim::Kernel::Options kernel_options;
+          kernel_options.step_limit = cell.step_limit;
+          return sim::summarize_trial(sim::run_le_trial(
+              builder, cell.n, cell.k, adversary, trial, cell.seed0,
+              kernel_options));
+        });
   }
 
   // Workers fill preallocated slots; nothing is aggregated concurrently.
-  std::vector<sim::LeTrialSummary> summaries(total);
+  std::vector<exec::TrialSummary> summaries(total);
   std::vector<unsigned char> ran(total, 0);
   std::vector<unsigned char> errored(total, 0);
   std::atomic<std::uint64_t> done{0};
@@ -128,14 +149,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     while (queue.claim(worker, &g, deadline, has_deadline)) {
       const CellSpec& cell = cells[g / trials];
       const int trial = static_cast<int>(g % trials);
-      sim::Kernel::Options kernel_options;
-      kernel_options.step_limit = cell.step_limit;
-      sim::LeTrialSummary summary;
+      exec::TrialSummary summary;
       try {
-        summary = sim::summarize_trial(sim::run_le_trial(
-            builders[cell.index], cell.n, cell.k, adversaries[cell.index],
-            trial, cell.seed0, kernel_options));
+        summary = runners[cell.index](trial);
       } catch (const std::exception& error) {
+        summary.backend = cell.backend;
         summary.k = cell.k;
         summary.first_violation = error.what();
         errored[g] = 1;
@@ -196,7 +214,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     for (std::size_t t = 0; t < trials; ++t) {
       const std::size_t g = c * trials + t;
       if (!ran[g]) continue;
-      const sim::LeTrialSummary& summary = summaries[g];
+      const exec::TrialSummary& summary = summaries[g];
       ++cell_result.trials_run;
       if (errored[g]) {
         // Errored trials carry no step counts; folding them in would skew
@@ -207,12 +225,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         }
         continue;
       }
-      sim::accumulate_trial(cell_result.agg, summary);
+      exec::accumulate_trial(cell_result.agg, summary);
       if (!summary.completed) ++cell_result.incomplete_runs;
       if (cell_result.declared_registers == 0) {
         cell_result.declared_registers = summary.declared_registers;
       }
-      result.sim_steps += summary.total_steps;
+      if (cells[c].backend == exec::Backend::kHw) {
+        result.hw_steps += summary.total_steps;
+      } else {
+        result.sim_steps += summary.total_steps;
+      }
     }
     if (cell_result.trials_run < cells[c].trials) result.truncated = true;
     result.cells.push_back(std::move(cell_result));

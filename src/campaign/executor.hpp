@@ -1,19 +1,28 @@
-// Parallel campaign executor.
+// Parallel campaign executor over both execution backends.
 //
-// Trials are deterministic and independent given their (cell, trial) seed --
-// the sim kernel is strictly single-threaded -- so a campaign is sharded
-// across std::thread workers at trial granularity with work stealing: each
-// worker owns a contiguous slice of the flattened trial index space and
-// steals the upper half of the largest remaining slice when its own runs
-// dry.
+// Sim trials are deterministic and independent given their (cell, trial)
+// seed -- the sim kernel is strictly single-threaded -- so a campaign is
+// sharded across std::thread workers at trial granularity with work
+// stealing: each worker owns a contiguous slice of the flattened trial
+// index space and steals the upper half of the largest remaining slice when
+// its own runs dry.
+//
+// Hardware cells run through the same claim loop but are pinned to
+// one-at-a-time execution behind a mutex: an hw trial spawns k real threads
+// and measures their contention, so overlapping two hw trials (or an hw
+// trial with another worker's hw trial) would dishonestly inflate the
+// thread count under measurement.  Sim trials keep running concurrently
+// around them.
 //
 // Determinism: workers only *compute* trial summaries (into preallocated
 // slots); aggregation happens afterwards on the calling thread, in trial
-// order, via the same accumulate_trial fold run_le_many uses.  Aggregates --
-// and hence reporter output -- are therefore bitwise identical for any
-// worker count.  The one exception is a campaign cut short by the time
-// budget, where *which* trials ran depends on timing; such results are
-// flagged `truncated`.
+// order, via the same exec::accumulate_trial fold run_le_many and
+// run_hw_many use.  Sim aggregates -- and hence reporter output -- are
+// therefore bitwise identical for any worker count.  Hw summaries carry
+// real scheduling noise (see exec/backend.hpp), but the fold over a fixed
+// set of summaries is still deterministic.  The one exception is a campaign
+// cut short by the time budget, where *which* trials ran depends on timing;
+// such results are flagged `truncated`.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +56,7 @@ struct CellResult {
   CellSpec cell;
   /// Folded in trial order over the cell's *successful* trials; errored
   /// trials are excluded (they carry no meaningful step counts).
-  sim::LeAggregate agg;
+  exec::Aggregate agg;
   std::size_t declared_registers = 0;
   int trials_run = 0;             ///< < cell.trials only when truncated
   int incomplete_runs = 0;        ///< trials that hit the kernel step limit
@@ -61,6 +70,7 @@ struct CampaignResult {
   int workers_used = 1;
   double wall_seconds = 0.0;      ///< timing; never emitted by reporters
   std::uint64_t sim_steps = 0;    ///< total simulated shared-memory steps
+  std::uint64_t hw_steps = 0;     ///< total hardware shared-memory ops
   bool truncated = false;
 };
 

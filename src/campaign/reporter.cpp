@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/assert.hpp"
 #include "support/stats.hpp"
@@ -46,6 +48,15 @@ void print_summary_json(std::FILE* out, const char* key,
                fmt_double(s.ci95).c_str());
 }
 
+void print_backends_json(std::FILE* out, const CampaignSpec& spec) {
+  std::fputs("\"backends\":[", out);
+  for (std::size_t i = 0; i < spec.backends.size(); ++i) {
+    std::fprintf(out, "%s\"%s\"", i > 0 ? "," : "",
+                 exec::to_string(spec.backends[i]));
+  }
+  std::fputc(']', out);
+}
+
 }  // namespace
 
 std::optional<ReportFormat> parse_format(std::string_view name) {
@@ -55,59 +66,117 @@ std::optional<ReportFormat> parse_format(std::string_view name) {
   return std::nullopt;
 }
 
+bool extended_schema(const CampaignSpec& spec) {
+  for (const exec::Backend backend : spec.backends) {
+    if (backend != exec::Backend::kSim) return true;
+  }
+  for (const algo::AdversaryId adversary : spec.adversaries) {
+    if (algo::info(adversary).crashes) return true;
+  }
+  return false;
+}
+
 void report_table(const CampaignResult& result, std::FILE* out) {
-  for (const algo::AdversaryId adversary_id : result.spec.adversaries) {
-    const char* adversary = algo::info(adversary_id).name;
-    support::Table table(
-        result.spec.name + ": " + adversary + " scheduling" +
-            (result.truncated ? "  [TRUNCATED by budget]" : ""),
-        {"algorithm", "k", "n", "E[max steps]", "p50", "p95", "max",
-         "E[mean steps]", "E[regs touched]", "declared regs", "viol",
-         "trials"});
-    for (const CellResult& cell : result.cells) {
-      if (cell.cell.adversary != adversary_id) continue;
-      if (cell.trials_run == 0) continue;
-      table.add_row(
-          {algo::info(cell.cell.algorithm).name,
-           support::Table::num(static_cast<std::size_t>(cell.cell.k)),
-           support::Table::num(static_cast<std::size_t>(cell.cell.n)),
-           support::fmt_mean_ci(cell.agg.max_steps),
-           support::Table::num(cell.agg.max_steps.quantile(0.5), 1),
-           support::Table::num(cell.agg.max_steps.quantile(0.95), 1),
-           support::Table::num(cell.agg.max_steps.max(), 0),
-           support::Table::num(cell.agg.mean_steps.mean(), 2),
-           support::Table::num(cell.agg.regs_touched.mean(), 1),
-           support::Table::num(cell.declared_registers),
-           support::Table::num(static_cast<std::size_t>(
-               cell.agg.violation_runs)),
-           support::Table::num(static_cast<std::size_t>(cell.trials_run))});
+  const bool extended = extended_schema(result.spec);
+  // One table per (backend, adversary) group actually present in the
+  // cells, in first-appearance order -- the reporter never re-derives
+  // expand()'s grid rules (e.g. the hw adversary collapse), so it cannot
+  // drift from them.
+  std::vector<std::pair<exec::Backend, algo::AdversaryId>> groups;
+  for (const CellResult& cell : result.cells) {
+    const std::pair<exec::Backend, algo::AdversaryId> key = {
+        cell.cell.backend, cell.cell.adversary};
+    bool seen = false;
+    for (const auto& group : groups) seen = seen || group == key;
+    if (!seen) groups.push_back(key);
+  }
+  for (const auto& [backend, adversary_id] : groups) {
+    const bool hw = backend == exec::Backend::kHw;
+    {
+      const char* adversary = algo::info(adversary_id).name;
+      std::string title = result.spec.name + ": ";
+      title += hw ? "hw backend, os scheduling (adversary axis ignored)"
+                  : std::string(adversary) + " scheduling";
+      if (extended && !hw) title += "  [sim]";
+      if (result.truncated) title += "  [TRUNCATED by budget]";
+      std::vector<std::string> columns = {
+          "algorithm", "k", "n", "E[max steps]", "p50", "p95", "max",
+          "E[mean steps]", "E[regs touched]", "declared regs", "viol",
+          "trials"};
+      if (extended) columns.push_back("crashed");
+      if (hw) columns.push_back("E[wall us]");
+      support::Table table(title, columns);
+      for (const CellResult& cell : result.cells) {
+        if (cell.cell.backend != backend) continue;
+        if (cell.cell.adversary != adversary_id) continue;
+        if (cell.trials_run == 0) continue;
+        std::vector<std::string> row = {
+            algo::info(cell.cell.algorithm).name,
+            support::Table::num(static_cast<std::size_t>(cell.cell.k)),
+            support::Table::num(static_cast<std::size_t>(cell.cell.n)),
+            support::fmt_mean_ci(cell.agg.max_steps),
+            support::Table::num(cell.agg.max_steps.quantile(0.5), 1),
+            support::Table::num(cell.agg.max_steps.quantile(0.95), 1),
+            support::Table::num(cell.agg.max_steps.max(), 0),
+            support::Table::num(cell.agg.mean_steps.mean(), 2),
+            support::Table::num(cell.agg.regs_touched.mean(), 1),
+            support::Table::num(cell.declared_registers),
+            support::Table::num(static_cast<std::size_t>(
+                cell.agg.violation_runs)),
+            support::Table::num(static_cast<std::size_t>(cell.trials_run))};
+        if (extended) {
+          row.push_back(support::Table::num(
+              static_cast<std::size_t>(cell.agg.crashed_runs)));
+        }
+        if (hw) {
+          row.push_back(
+              support::Table::num(cell.agg.wall_seconds.mean() * 1e6, 1));
+        }
+        table.add_row(row);
+      }
+      table.print(out);
     }
-    table.print(out);
   }
 }
 
 void report_jsonl(const CampaignResult& result, std::FILE* out) {
+  const bool extended = extended_schema(result.spec);
   std::fprintf(out,
                "{\"type\":\"campaign\",\"name\":\"%s\",\"seed\":%llu,"
-               "\"trials\":%d,\"cells\":%zu,\"truncated\":%s}\n",
+               "\"trials\":%d,\"cells\":%zu,",
                json_escape(result.spec.name).c_str(),
                static_cast<unsigned long long>(result.spec.seed),
-               result.spec.trials, result.cells.size(),
+               result.spec.trials, result.cells.size());
+  if (extended) {
+    print_backends_json(out, result.spec);
+    std::fprintf(out, ",\"spec_hash\":\"%016llx\",",
+                 static_cast<unsigned long long>(spec_hash(result.spec)));
+  }
+  std::fprintf(out, "\"truncated\":%s}\n",
                result.truncated ? "true" : "false");
   for (const CellResult& cell : result.cells) {
     std::fprintf(
+        out, "{\"type\":\"cell\",\"campaign\":\"%s\",",
+        json_escape(result.spec.name).c_str());
+    if (extended) {
+      std::fprintf(out, "\"backend\":\"%s\",",
+                   exec::to_string(cell.cell.backend));
+    }
+    std::fprintf(
         out,
-        "{\"type\":\"cell\",\"campaign\":\"%s\",\"algorithm\":\"%s\","
+        "\"algorithm\":\"%s\","
         "\"adversary\":\"%s\",\"n\":%d,\"k\":%d,\"trials\":%d,"
         "\"trials_run\":%d,\"seed0\":%llu,\"declared_registers\":%zu,"
         "\"violation_runs\":%d,\"incomplete_runs\":%d,\"error_runs\":%d,",
-        json_escape(result.spec.name).c_str(),
         algo::info(cell.cell.algorithm).name,
         algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
         cell.cell.trials, cell.trials_run,
         static_cast<unsigned long long>(cell.cell.seed0),
         cell.declared_registers, cell.agg.violation_runs,
         cell.incomplete_runs, cell.error_runs);
+    if (extended) {
+      std::fprintf(out, "\"crashed_runs\":%d,", cell.agg.crashed_runs);
+    }
     print_summary_json(out, "max_steps", cell.agg.max_steps);
     std::fputc(',', out);
     print_summary_json(out, "mean_steps", cell.agg.mean_steps);
@@ -115,23 +184,39 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
     print_summary_json(out, "total_steps", cell.agg.total_steps);
     std::fputc(',', out);
     print_summary_json(out, "regs_touched", cell.agg.regs_touched);
+    if (extended) {
+      std::fputc(',', out);
+      print_summary_json(out, "unfinished", cell.agg.unfinished);
+      if (cell.cell.backend == exec::Backend::kHw) {
+        std::fputc(',', out);
+        print_summary_json(out, "wall_seconds", cell.agg.wall_seconds);
+      }
+    }
     std::fprintf(out, "}\n");
   }
 }
 
-void report_csv(const CampaignResult& result, std::FILE* out) {
+void report_csv(const CampaignResult& result, std::FILE* out,
+                bool force_extended) {
+  const bool extended = force_extended || extended_schema(result.spec);
   std::fprintf(out,
-               "campaign,algorithm,adversary,n,k,trials_run,seed0,"
+               "campaign,%salgorithm,adversary,n,k,trials_run,seed0,"
                "declared_registers,max_steps_mean,max_steps_ci95,"
                "max_steps_p50,max_steps_p95,max_steps_max,mean_steps_mean,"
                "total_steps_mean,regs_touched_mean,violation_runs,"
-               "incomplete_runs,error_runs\n");
+               "incomplete_runs,error_runs%s\n",
+               extended ? "backend," : "",
+               extended ? ",crashed_runs,unfinished_mean,wall_seconds_mean"
+                        : "");
   for (const CellResult& cell : result.cells) {
     const support::Summary max_steps = support::summarize(cell.agg.max_steps);
+    std::fprintf(out, "%s,", result.spec.name.c_str());
+    if (extended) {
+      std::fprintf(out, "%s,", exec::to_string(cell.cell.backend));
+    }
     std::fprintf(out,
-                 "%s,%s,%s,%d,%d,%d,%llu,%zu,%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,"
-                 "%d\n",
-                 result.spec.name.c_str(),
+                 "%s,%s,%d,%d,%d,%llu,%zu,%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,"
+                 "%d",
                  algo::info(cell.cell.algorithm).name,
                  algo::info(cell.cell.adversary).name, cell.cell.n,
                  cell.cell.k, cell.trials_run,
@@ -146,6 +231,12 @@ void report_csv(const CampaignResult& result, std::FILE* out) {
                  fmt_double(cell.agg.regs_touched.mean()).c_str(),
                  cell.agg.violation_runs, cell.incomplete_runs,
                  cell.error_runs);
+    if (extended) {
+      std::fprintf(out, ",%d,%s,%s", cell.agg.crashed_runs,
+                   fmt_double(cell.agg.unfinished.mean()).c_str(),
+                   fmt_double(cell.agg.wall_seconds.mean()).c_str());
+    }
+    std::fputc('\n', out);
   }
 }
 
@@ -163,6 +254,47 @@ void report(const CampaignResult& result, ReportFormat format,
       return;
   }
   RTS_ASSERT_MSG(false, "unknown report format");
+}
+
+void report_bench_json(const CampaignResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "{\"schema\":\"rts-bench-1\",\"name\":\"%s\","
+               "\"spec_hash\":\"%016llx\",",
+               json_escape(result.spec.name).c_str(),
+               static_cast<unsigned long long>(spec_hash(result.spec)));
+  print_backends_json(out, result.spec);
+  std::fprintf(out,
+               ",\"seed\":%llu,\"trials\":%d,\"workers\":%d,"
+               "\"wall_seconds\":%s,\"sim_steps\":%llu,\"hw_steps\":%llu,"
+               "\"truncated\":%s,\"cells\":[",
+               static_cast<unsigned long long>(result.spec.seed),
+               result.spec.trials, result.workers_used,
+               fmt_double(result.wall_seconds).c_str(),
+               static_cast<unsigned long long>(result.sim_steps),
+               static_cast<unsigned long long>(result.hw_steps),
+               result.truncated ? "true" : "false");
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    std::fprintf(
+        out,
+        "%s{\"backend\":\"%s\",\"algorithm\":\"%s\",\"adversary\":\"%s\","
+        "\"n\":%d,\"k\":%d,\"trials_run\":%d,\"declared_registers\":%zu,"
+        "\"max_steps_mean\":%s,\"mean_steps_mean\":%s,"
+        "\"regs_touched_mean\":%s,\"wall_seconds_mean\":%s,"
+        "\"violation_runs\":%d,\"crashed_runs\":%d,\"incomplete_runs\":%d,"
+        "\"error_runs\":%d}",
+        i > 0 ? "," : "", exec::to_string(cell.cell.backend),
+        algo::info(cell.cell.algorithm).name,
+        algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
+        cell.trials_run, cell.declared_registers,
+        fmt_double(cell.agg.max_steps.mean()).c_str(),
+        fmt_double(cell.agg.mean_steps.mean()).c_str(),
+        fmt_double(cell.agg.regs_touched.mean()).c_str(),
+        fmt_double(cell.agg.wall_seconds.mean()).c_str(),
+        cell.agg.violation_runs, cell.agg.crashed_runs,
+        cell.incomplete_runs, cell.error_runs);
+  }
+  std::fprintf(out, "]}\n");
 }
 
 std::string render_to_string(const CampaignResult& result,

@@ -1,16 +1,28 @@
 // Campaign output backends.
 //
 // Three renderings of the same CellResult data:
-//  * table  -- aligned ASCII via support/table, one table per adversary;
-//              the human-facing form the bench binaries print.
+//  * table  -- aligned ASCII via support/table, one table per
+//              (backend, adversary) group; the human-facing form the bench
+//              binaries print.
 //  * jsonl  -- one JSON object per line (a campaign header, then one line
 //              per cell); the machine-readable form consumed by perf
 //              trajectory tracking.  See EXPERIMENTS.md for the schema.
 //  * csv    -- one row per cell, flat columns, for spreadsheets/plotting.
 //
-// Reporters emit only data that is a deterministic function of the spec
-// (never wall-clock or worker counts), so the bytes are identical for any
-// worker count -- the property the determinism tests pin down.
+// Reporters emit only data that is a deterministic function of the spec and
+// the trial summaries (never executor wall-clock or worker counts), so for
+// sim campaigns the bytes are identical for any worker count -- the
+// property the determinism tests pin down.
+//
+// Schema stability: campaigns that use only the sim backend and
+// non-crashing adversaries render the exact historical byte layout.  A
+// campaign that declares an hw backend or a crashing adversary opts into
+// the *extended* schema (backend / crashed_runs / unfinished / hw wall-time
+// fields); see extended_schema().
+//
+// The BENCH_*.json trajectory writer is separate: one JSON document per
+// campaign run with the spec hash and executor wall time, explicitly
+// outside the deterministic-bytes contract.
 #pragma once
 
 #include <cstdio>
@@ -25,11 +37,25 @@ enum class ReportFormat { kTable, kJsonl, kCsv };
 
 std::optional<ReportFormat> parse_format(std::string_view name);
 
+/// True when the campaign opts into the extended reporter schema: any
+/// non-sim backend, or any adversary that may crash processes.
+bool extended_schema(const CampaignSpec& spec);
+
 void report_table(const CampaignResult& result, std::FILE* out);
 void report_jsonl(const CampaignResult& result, std::FILE* out);
-void report_csv(const CampaignResult& result, std::FILE* out);
+/// CSV is positional, so a file sink shared by several campaigns must fix
+/// one column set up front: `force_extended` renders the extended columns
+/// even for a campaign that would not opt in by itself (the CLI passes
+/// "any campaign of the invocation is extended").
+void report_csv(const CampaignResult& result, std::FILE* out,
+                bool force_extended = false);
 
 void report(const CampaignResult& result, ReportFormat format, std::FILE* out);
+
+/// One machine-readable trajectory document per campaign run: spec hash,
+/// per-cell aggregates, and executor wall time.  Consumed by BENCH_*.json
+/// perf tracking; deliberately includes nondeterministic timing.
+void report_bench_json(const CampaignResult& result, std::FILE* out);
 
 /// Renders a whole campaign through one reporter into a string (used by the
 /// determinism tests and the CLI's --json/--csv file sinks).

@@ -6,26 +6,35 @@ namespace rts::campaign {
 
 std::vector<CellSpec> expand(const CampaignSpec& spec) {
   std::vector<CellSpec> cells;
-  cells.reserve(spec.algorithms.size() * spec.adversaries.size() *
-                spec.ks.size());
+  cells.reserve(spec.backends.size() * spec.algorithms.size() *
+                spec.adversaries.size() * spec.ks.size());
   int index = 0;
-  for (const algo::AlgorithmId algorithm : spec.algorithms) {
-    for (const algo::AdversaryId adversary : spec.adversaries) {
-      for (const int k : spec.ks) {
-        CellSpec cell;
-        cell.index = index;
-        cell.algorithm = algorithm;
-        cell.adversary = adversary;
-        cell.k = k;
-        cell.n = spec.fixed_n > 0 ? spec.fixed_n : k;
-        cell.trials = spec.trials;
-        cell.seed0 = spec.seed_policy == SeedPolicy::kSharedBase
-                         ? spec.seed
-                         : support::derive_seed(
-                               spec.seed, static_cast<std::uint64_t>(index));
-        cell.step_limit = spec.step_limit;
-        cells.push_back(cell);
-        ++index;
+  for (const exec::Backend backend : spec.backends) {
+    // Hw cells ignore the adversary axis (the os scheduler is the
+    // adversary), so crossing it would only repeat the same serialized
+    // hardware measurement: collapse it to the first adversary.
+    const std::size_t adversary_count =
+        backend == exec::Backend::kHw ? 1 : spec.adversaries.size();
+    for (const algo::AlgorithmId algorithm : spec.algorithms) {
+      for (std::size_t a = 0; a < adversary_count; ++a) {
+        const algo::AdversaryId adversary = spec.adversaries[a];
+        for (const int k : spec.ks) {
+          CellSpec cell;
+          cell.index = index;
+          cell.backend = backend;
+          cell.algorithm = algorithm;
+          cell.adversary = adversary;
+          cell.k = k;
+          cell.n = spec.fixed_n > 0 ? spec.fixed_n : k;
+          cell.trials = spec.trials;
+          cell.seed0 = spec.seed_policy == SeedPolicy::kSharedBase
+                           ? spec.seed
+                           : support::derive_seed(
+                                 spec.seed, static_cast<std::uint64_t>(index));
+          cell.step_limit = spec.step_limit;
+          cells.push_back(cell);
+          ++index;
+        }
       }
     }
   }
@@ -33,10 +42,19 @@ std::vector<CellSpec> expand(const CampaignSpec& spec) {
 }
 
 std::string validate(const CampaignSpec& spec) {
+  if (spec.backends.empty()) return "campaign has no backends";
   if (spec.algorithms.empty()) return "campaign has no algorithms";
   if (spec.adversaries.empty()) return "campaign has no adversaries";
   if (spec.ks.empty()) return "campaign has an empty contention sweep";
   if (spec.trials < 1) return "campaign needs at least one trial per cell";
+  for (const exec::Backend backend : spec.backends) {
+    for (const algo::AlgorithmId algorithm : spec.algorithms) {
+      if (!algo::supports(algorithm, backend)) {
+        return std::string("algorithm '") + algo::info(algorithm).name +
+               "' has no " + exec::to_string(backend) + " backend";
+      }
+    }
+  }
   for (const int k : spec.ks) {
     if (k < 1) return "contention values must be >= 1";
     if (spec.fixed_n > 0 && k > spec.fixed_n) {
@@ -50,6 +68,47 @@ std::string validate(const CampaignSpec& spec) {
 
 std::vector<int> standard_contention_sweep() {
   return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+namespace {
+
+void fnv1a(std::uint64_t& hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= 0xffu;  // field separator
+  hash *= 0x100000001b3ULL;
+}
+
+void fnv1a(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t spec_hash(const CampaignSpec& spec) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  fnv1a(hash, spec.name);
+  for (const exec::Backend backend : spec.backends) {
+    fnv1a(hash, exec::to_string(backend));
+  }
+  for (const algo::AlgorithmId algorithm : spec.algorithms) {
+    fnv1a(hash, algo::info(algorithm).name);
+  }
+  for (const algo::AdversaryId adversary : spec.adversaries) {
+    fnv1a(hash, algo::info(adversary).name);
+  }
+  for (const int k : spec.ks) fnv1a(hash, static_cast<std::uint64_t>(k));
+  fnv1a(hash, static_cast<std::uint64_t>(spec.fixed_n));
+  fnv1a(hash, static_cast<std::uint64_t>(spec.trials));
+  fnv1a(hash, spec.seed);
+  fnv1a(hash, static_cast<std::uint64_t>(spec.seed_policy));
+  fnv1a(hash, spec.step_limit);
+  return hash;
 }
 
 }  // namespace rts::campaign

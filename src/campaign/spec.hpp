@@ -1,12 +1,15 @@
 // Declarative experiment campaigns.
 //
-// A CampaignSpec names a grid -- algorithms x adversaries x contention
-// sweep -- plus a trial count and a seed policy.  expand() flattens the grid
-// into CellSpecs; every cell is an independent stream of seeded trials, which
-// is what makes campaigns embarrassingly parallel (see executor.hpp).
+// A CampaignSpec names a grid -- backends x algorithms x adversaries x
+// contention sweep -- plus a trial count and a seed policy.  expand()
+// flattens the grid into CellSpecs; every cell is an independent stream of
+// seeded trials, which is what makes campaigns embarrassingly parallel (see
+// executor.hpp).
 //
-// Seeds are derived per (cell, trial) only, never from scheduling, so a
-// campaign's aggregate numbers are a pure function of its spec.
+// Seeds are derived per (cell, trial) only, never from scheduling, so a sim
+// campaign's aggregate numbers are a pure function of its spec.  Hardware
+// cells run the same seeded trial streams but race real threads, so their
+// step counts carry scheduling noise (see exec/backend.hpp).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "algo/registry.hpp"
+#include "exec/backend.hpp"
 
 namespace rts::campaign {
 
@@ -30,6 +34,9 @@ enum class SeedPolicy {
 
 struct CampaignSpec {
   std::string name;
+  /// Execution backends, outermost grid axis.  The default keeps historical
+  /// sim-only campaigns (and their cell indexing / per-cell seeds) intact.
+  std::vector<exec::Backend> backends = {exec::Backend::kSim};
   std::vector<algo::AlgorithmId> algorithms;
   std::vector<algo::AdversaryId> adversaries;
   std::vector<int> ks;  ///< contention sweep: participants per cell
@@ -57,11 +64,18 @@ struct CampaignSpec {
     ks = std::move(sweep);
     return *this;
   }
+  CampaignSpec& with_backends(std::vector<exec::Backend> list) {
+    backends = std::move(list);
+    return *this;
+  }
 };
 
-/// One grid point: a (algorithm, adversary, n, k) cell and its trial stream.
+/// One grid point: a (backend, algorithm, adversary, n, k) cell and its
+/// trial stream.  On the hw backend the adversary axis is carried but
+/// ignored: the operating-system scheduler is the adversary there.
 struct CellSpec {
   int index = 0;  ///< position in expansion order (stable across runs)
+  exec::Backend backend = exec::Backend::kSim;
   algo::AlgorithmId algorithm{};
   algo::AdversaryId adversary{};
   int n = 0;
@@ -71,8 +85,10 @@ struct CellSpec {
   std::uint64_t step_limit = 0;
 };
 
-/// Flattens the grid in deterministic order: algorithms outermost, then
-/// adversaries, then the k sweep.
+/// Flattens the grid in deterministic order: backends outermost, then
+/// algorithms, then adversaries, then the k sweep.  For hw backends the
+/// adversary axis collapses to the spec's first adversary (hw cells ignore
+/// it; crossing it would repeat identical hardware measurements).
 std::vector<CellSpec> expand(const CampaignSpec& spec);
 
 /// Returns a human-readable description of the first problem with the spec,
@@ -82,5 +98,10 @@ std::string validate(const CampaignSpec& spec);
 /// The standard contention sweep shared by the bench tables: powers of two
 /// through the simulator's comfortable range.
 std::vector<int> standard_contention_sweep();
+
+/// FNV-1a hash over a canonical rendering of every spec field.  Stable
+/// across processes for a fixed spec, so BENCH_*.json trajectory files can
+/// detect spec drift between runs.
+std::uint64_t spec_hash(const CampaignSpec& spec);
 
 }  // namespace rts::campaign

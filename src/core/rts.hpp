@@ -5,18 +5,26 @@
 // The library reproduces Giakkoupis & Woelfel, "On the Time and Space
 // Complexity of Randomized Test-And-Set" (PODC 2012):
 //   * rts::TestAndSet / rts::LeaderElection -- production-usable one-shot
-//     objects on std::atomic registers, selectable algorithm (core/).
-//   * rts::algo -- the algorithm templates themselves (Theorems 2.3, 2.4,
-//     Section 3's space-efficient RatRace, Section 4's combiner, baselines).
+//     objects on std::atomic registers; algorithms selected by id or name
+//     from the unified rts::algo::AlgorithmId catalogue (core/).
+//   * rts::algo -- the algorithm templates and the one algorithm/adversary
+//     catalogue (Theorems 2.3, 2.4, Section 3's space-efficient RatRace,
+//     Section 4's combiner, baselines), with per-backend capability flags.
+//   * rts::exec -- the execution-backend axis (sim | hw) and the
+//     backend-agnostic TrialSummary/Aggregate trial contract every harness
+//     and the campaign engine share.
 //   * rts::sim -- the adversarial shared-memory simulator (fibers, adversary
 //     classes, exhaustive model checker) used to measure step complexity
 //     under the paper's adversary models.
+//   * rts::hw -- the real-thread harness running the same templates on
+//     std::atomic registers (the other half of the backend axis).
 //   * rts::lb -- executable lower-bound constructions (Theorem 5.1's
 //     covering argument, Theorem 6.1's two-process time bound).
 #pragma once
 
 #include "algo/registry.hpp"        // IWYU pragma: export
 #include "core/test_and_set.hpp"    // IWYU pragma: export
+#include "exec/backend.hpp"         // IWYU pragma: export
 #include "hw/harness.hpp"           // IWYU pragma: export
 #include "lowerbound/covering.hpp"  // IWYU pragma: export
 #include "lowerbound/two_proc.hpp"  // IWYU pragma: export

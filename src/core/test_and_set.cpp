@@ -1,9 +1,21 @@
 #include "core/test_and_set.hpp"
 
+#include "hw/harness.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
 namespace rts {
+
+namespace {
+
+algo::AlgorithmId resolve_algorithm(const LeaderElection::Options& options) {
+  if (options.algorithm_name.empty()) return options.algorithm;
+  const auto id = algo::parse_algorithm(options.algorithm_name);
+  RTS_REQUIRE(id.has_value(), "unknown algorithm name (see rts_bench --list)");
+  return *id;
+}
+
+}  // namespace
 
 LeaderElection::LeaderElection(const Options& options)
     : max_processes_(options.max_processes),
@@ -11,10 +23,15 @@ LeaderElection::LeaderElection(const Options& options)
       called_(static_cast<std::size_t>(options.max_processes)) {
   RTS_REQUIRE(options.max_processes >= 1,
               "LeaderElection needs max_processes >= 1");
-  RTS_REQUIRE(options.algorithm != Algorithm::kNativeAtomic,
-              "use TestAndSet for the native baseline");
+  const algo::AlgorithmId id = resolve_algorithm(options);
+  RTS_REQUIRE(id != algo::AlgorithmId::kNativeAtomic,
+              "native-atomic is the hardware TAS itself, not a register "
+              "construction; pick a register-based algorithm (the library's "
+              "point is electing from plain registers)");
+  RTS_REQUIRE(algo::supports(id, exec::Backend::kHw),
+              "algorithm has no hardware backend");
   hw::HwPlatform::Arena arena(pool_);
-  le_ = hw::make_hw_le(options.algorithm, arena, options.max_processes);
+  le_ = hw::make_hw_le(id, arena, options.max_processes);
   for (auto& flag : called_) flag.store(0, std::memory_order_relaxed);
 }
 

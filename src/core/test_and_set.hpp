@@ -12,27 +12,40 @@
 // The default algorithm is the paper's Corollary-4.2 combination -- O(log* k)
 // expected steps under benign scheduling while staying O(log k) under fully
 // adversarial scheduling -- on Theta(n) registers.
+//
+// Algorithms are selected from the unified algo::AlgorithmId catalogue (the
+// same ids the simulator and the campaign engine use), either by id or by
+// catalogued name via algo::parse_algorithm.  Any register-based algorithm
+// works; the catalogued native-atomic baseline is rejected -- it *is* a
+// hardware TAS, so wrapping it in these objects would be circular (use the
+// hw harness or rts_bench to benchmark it).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "algo/platform.hpp"
-#include "hw/harness.hpp"
+#include "algo/registry.hpp"
 #include "hw/platform.hpp"
 
 namespace rts {
 
-/// Algorithm selection for the public objects (see DESIGN.md / the paper).
-using Algorithm = hw::HwAlgorithmId;
+/// Deprecated alias: algorithm selection now names the unified catalogue
+/// directly (rts::algo::AlgorithmId); every historical enumerator survives.
+using Algorithm = algo::AlgorithmId;
 
 class LeaderElection {
  public:
   struct Options {
     int max_processes = 0;  ///< required: capacity n
-    Algorithm algorithm = Algorithm::kCombinedLogStar;
+    algo::AlgorithmId algorithm = algo::AlgorithmId::kCombinedLogStar;
+    /// When non-empty, overrides `algorithm`: resolved against the
+    /// catalogue with algo::parse_algorithm (e.g. "combined-logstar");
+    /// unknown names are rejected at construction.
+    std::string algorithm_name;
     std::uint64_t seed = 0x52'54'53'2012;  ///< randomness seed (determinism)
   };
 

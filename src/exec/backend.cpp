@@ -1,0 +1,44 @@
+#include "exec/backend.hpp"
+
+namespace rts::exec {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kHw:
+      return "hw";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "sim") return Backend::kSim;
+  if (name == "hw") return Backend::kHw;
+  return std::nullopt;
+}
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> kBackends = {Backend::kSim, Backend::kHw};
+  return kBackends;
+}
+
+void accumulate_trial(Aggregate& agg, const TrialSummary& trial) {
+  ++agg.runs;
+  agg.max_steps.add(static_cast<double>(trial.max_steps));
+  agg.mean_steps.add(static_cast<double>(trial.total_steps) /
+                     static_cast<double>(trial.k));
+  agg.total_steps.add(static_cast<double>(trial.total_steps));
+  agg.regs_touched.add(static_cast<double>(trial.regs_touched));
+  agg.unfinished.add(static_cast<double>(trial.unfinished));
+  agg.wall_seconds.add(trial.wall_seconds);
+  if (!trial.crash_free) ++agg.crashed_runs;
+  if (!trial.first_violation.empty()) {
+    ++agg.violation_runs;
+    if (agg.first_violations.size() < 5) {
+      agg.first_violations.push_back(trial.first_violation);
+    }
+  }
+}
+
+}  // namespace rts::exec

@@ -1,0 +1,89 @@
+// The execution-backend axis and the backend-agnostic trial contract.
+//
+// The paper's headline claims compare the same algorithms in two worlds:
+// the adversarial register simulator (step counts under a chosen adversary
+// class) and real concurrent hardware (std::atomic registers, real threads).
+// Everything downstream of a single trial -- aggregation, reporters, the
+// campaign grid -- is shared between the two worlds through the types here:
+//
+//   * Backend       -- which world a trial ran in (sim | hw).
+//   * TrialSummary  -- the per-trial slice that feeds an Aggregate; produced
+//                      by sim::summarize_trial and hw::summarize_trial alike.
+//   * Aggregate     -- the trial-order fold every harness and the campaign
+//                      executor share, so numbers never depend on which
+//                      backend (or worker) produced them.
+//
+// Determinism: sim trials are a pure function of their seed, so sim
+// aggregates are bitwise reproducible.  Hardware trials race real threads;
+// their op counts and wall times vary run to run, but they flow through the
+// same deterministic fold, so for a fixed set of trial summaries the
+// aggregate (and reporter bytes) are still a pure function of trial order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace rts::exec {
+
+enum class Backend : std::uint8_t {
+  kSim,  ///< adversarial single-threaded simulator (deterministic)
+  kHw,   ///< real threads on std::atomic registers (os scheduler)
+};
+
+const char* to_string(Backend backend);
+std::optional<Backend> parse_backend(std::string_view name);
+const std::vector<Backend>& all_backends();
+
+/// Capability bitmask: which backends an algorithm can be instantiated on.
+using BackendMask = unsigned;
+inline constexpr BackendMask backend_bit(Backend backend) {
+  return 1u << static_cast<unsigned>(backend);
+}
+inline constexpr BackendMask kSimOnly = backend_bit(Backend::kSim);
+inline constexpr BackendMask kHwOnly = backend_bit(Backend::kHw);
+inline constexpr BackendMask kSimAndHw = kSimOnly | kHwOnly;
+
+/// The per-trial slice of a run that feeds an Aggregate.  Small enough to
+/// buffer for thousands of trials, so parallel executors can run trials out
+/// of order and still aggregate in trial order.  "Steps" means shared-memory
+/// operations on both backends (the paper's step-complexity measure).
+struct TrialSummary {
+  Backend backend = Backend::kSim;
+  int k = 0;
+  std::uint64_t max_steps = 0;    ///< max individual shared-memory ops
+  std::uint64_t total_steps = 0;  ///< sum over participants
+  std::size_t regs_touched = 0;   ///< sim: dirtied; hw: materialized
+  std::size_t declared_registers = 0;
+  int unfinished = 0;      ///< participants that crashed or starved
+  bool crash_free = true;  ///< false when any participant crashed
+  bool completed = true;   ///< false if the sim kernel step limit was hit
+  double wall_seconds = 0.0;  ///< hw only; sim trials report 0
+  std::string first_violation;  ///< empty when the trial was clean
+};
+
+/// Aggregate statistics over repeated trials; the one fold shared by
+/// sim::run_le_many, hw::run_hw_many, and the campaign executor.
+struct Aggregate {
+  support::Accumulator max_steps;     ///< per-trial max individual steps
+  support::Accumulator mean_steps;    ///< per-trial mean individual steps
+  support::Accumulator total_steps;
+  support::Accumulator regs_touched;
+  support::Accumulator unfinished;    ///< per-trial unfinished participants
+  support::Accumulator wall_seconds;  ///< hw only; all-zero for sim streams
+  int runs = 0;
+  int violation_runs = 0;
+  int crashed_runs = 0;  ///< trials with at least one crashed participant
+  std::vector<std::string> first_violations;
+};
+
+/// Folds one trial into the aggregate.  Every harness is exactly a loop of
+/// "run trial, accumulate_trial", so any executor calling this in trial
+/// order reproduces the serial harness aggregates bit for bit.
+void accumulate_trial(Aggregate& agg, const TrialSummary& trial);
+
+}  // namespace rts::exec

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "algo/aa.hpp"
 #include "algo/cascade.hpp"
 #include "algo/chain.hpp"
 #include "algo/combined.hpp"
@@ -15,60 +16,51 @@
 
 namespace rts::hw {
 
-const char* to_string(HwAlgorithmId id) {
-  switch (id) {
-    case HwAlgorithmId::kLogStarChain:
-      return "logstar";
-    case HwAlgorithmId::kSiftChain:
-      return "sift";
-    case HwAlgorithmId::kSiftCascade:
-      return "cascade";
-    case HwAlgorithmId::kRatRacePath:
-      return "ratrace-path";
-    case HwAlgorithmId::kCombinedLogStar:
-      return "combined-logstar";
-    case HwAlgorithmId::kTournament:
-      return "tournament";
-    case HwAlgorithmId::kNativeAtomic:
-      return "native-atomic";
-  }
-  return "?";
-}
-
 std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
-    HwAlgorithmId id, HwPlatform::Arena arena, int n) {
+    algo::AlgorithmId id, HwPlatform::Arena arena, int n) {
   using P = HwPlatform;
+  RTS_REQUIRE(algo::supports(id, exec::Backend::kHw),
+              "algorithm has no hardware backend");
   switch (id) {
-    case HwAlgorithmId::kLogStarChain:
+    case algo::AlgorithmId::kLogStarChain:
       return std::make_unique<algo::GeChainLe<P>>(
           arena, n,
           algo::fig1_truncated_factory<P>(n, algo::default_live_prefix(n)));
-    case HwAlgorithmId::kSiftChain:
+    case algo::AlgorithmId::kSiftChain:
       return std::make_unique<algo::GeChainLe<P>>(
           arena, n, algo::sift_truncated_factory<P>(n));
-    case HwAlgorithmId::kSiftCascade:
+    case algo::AlgorithmId::kSiftCascade:
       return std::make_unique<algo::SiftCascadeLe<P>>(arena, n);
-    case HwAlgorithmId::kRatRacePath:
+    case algo::AlgorithmId::kRatRace:
+      return std::make_unique<algo::RatRaceOriginal<P>>(arena, n);
+    case algo::AlgorithmId::kRatRacePath:
       return std::make_unique<algo::RatRacePath<P>>(arena, n);
-    case HwAlgorithmId::kCombinedLogStar:
+    case algo::AlgorithmId::kCombinedLogStar:
       return std::make_unique<algo::CombinedLe<P>>(
           arena, n,
           std::make_unique<algo::GeChainLe<P>>(
               arena, n,
               algo::fig1_truncated_factory<P>(n,
                                               algo::default_live_prefix(n))));
-    case HwAlgorithmId::kTournament:
+    case algo::AlgorithmId::kCombinedSift:
+      return std::make_unique<algo::CombinedLe<P>>(
+          arena, n, std::make_unique<algo::SiftCascadeLe<P>>(arena, n));
+    case algo::AlgorithmId::kTournament:
       return std::make_unique<algo::TournamentLe<P>>(arena, n);
-    case HwAlgorithmId::kNativeAtomic:
+    case algo::AlgorithmId::kAaSiftRatRace:
+      return std::make_unique<algo::AaSiftRatRaceLe<P>>(arena, n);
+    case algo::AlgorithmId::kNativeAtomic:
       return nullptr;
   }
   RTS_ASSERT_MSG(false, "unknown hardware algorithm id");
   return nullptr;
 }
 
-HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed) {
-  RTS_REQUIRE(k >= 1, "need at least one thread");
+HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k,
+                      std::uint64_t seed) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n threads");
   HwRunResult result;
+  result.n = n;
   result.k = k;
   result.outcomes.assign(static_cast<std::size_t>(k), sim::Outcome::kUnknown);
   result.ops.assign(static_cast<std::size_t>(k), 0);
@@ -76,7 +68,8 @@ HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed) {
   RegisterPool pool;
   HwPlatform::Arena arena(pool);
   std::unique_ptr<algo::ILeaderElect<HwPlatform>> le =
-      make_hw_le(id, arena, k);
+      make_hw_le(id, arena, n);
+  result.declared_registers = le != nullptr ? le->declared_registers() : 1;
   std::atomic<std::uint64_t> native_bit{0};
 
   std::barrier gate(k + 1);
@@ -122,24 +115,39 @@ HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed) {
   return result;
 }
 
-HwAggregate run_hw_many(HwAlgorithmId id, int k, int trials,
-                        std::uint64_t seed0) {
-  HwAggregate agg;
-  double sum_max_ops = 0.0;
-  double sum_wall = 0.0;
-  for (int t = 0; t < trials; ++t) {
-    const HwRunResult r = run_hw_le(
-        id, k, support::derive_seed(seed0, static_cast<std::uint64_t>(t)));
-    ++agg.runs;
-    if (!r.violations.empty()) ++agg.violation_runs;
-    std::uint64_t max_ops = 0;
-    for (const auto ops : r.ops) max_ops = std::max(max_ops, ops);
-    sum_max_ops += static_cast<double>(max_ops);
-    sum_wall += r.wall_seconds;
+exec::TrialSummary summarize_trial(const HwRunResult& result) {
+  exec::TrialSummary trial;
+  trial.backend = exec::Backend::kHw;
+  trial.k = result.k;
+  for (const std::uint64_t ops : result.ops) {
+    trial.max_steps = std::max(trial.max_steps, ops);
+    trial.total_steps += ops;
   }
-  if (agg.runs > 0) {
-    agg.mean_max_ops = sum_max_ops / agg.runs;
-    agg.mean_wall_seconds = sum_wall / agg.runs;
+  // On hardware the lazily materialized pool is exactly the set of registers
+  // the trial touched.
+  trial.regs_touched = result.registers;
+  trial.declared_registers = result.declared_registers;
+  for (const sim::Outcome outcome : result.outcomes) {
+    if (outcome == sim::Outcome::kUnknown) ++trial.unfinished;
+  }
+  trial.wall_seconds = result.wall_seconds;
+  if (!result.violations.empty()) {
+    trial.first_violation = result.violations.front();
+  }
+  return trial;
+}
+
+HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
+                         std::uint64_t seed0) {
+  return run_hw_le(id, n, k, sim::trial_seed(seed0, trial));
+}
+
+exec::Aggregate run_hw_many(algo::AlgorithmId id, int k, int trials,
+                            std::uint64_t seed0) {
+  exec::Aggregate agg;
+  for (int t = 0; t < trials; ++t) {
+    exec::accumulate_trial(agg,
+                           summarize_trial(run_hw_trial(id, k, k, t, seed0)));
   }
   return agg;
 }

@@ -1,6 +1,11 @@
 // Thread harness for running leader elections / TAS on real hardware:
-// builds an algorithm instance, releases `k` threads through a barrier, and
-// collects outcomes, per-thread shared-op counts, and wall-clock time.
+// builds an algorithm instance from the unified algo::AlgorithmId catalogue,
+// releases `k` threads through a barrier, and collects outcomes, per-thread
+// shared-op counts, and wall-clock time.
+//
+// Hardware trials summarize into the same exec::TrialSummary contract as
+// simulator trials (see exec/backend.hpp), so campaigns, aggregates, and
+// reporters are backend-agnostic.
 #pragma once
 
 #include <cstdint>
@@ -9,52 +14,60 @@
 #include <vector>
 
 #include "algo/platform.hpp"
+#include "algo/registry.hpp"
+#include "exec/backend.hpp"
 #include "hw/platform.hpp"
 #include "sim/types.hpp"
 
 namespace rts::hw {
 
-/// Algorithm ids that can be instantiated on hardware.
-enum class HwAlgorithmId {
-  kLogStarChain,
-  kSiftChain,
-  kSiftCascade,
-  kRatRacePath,
-  kCombinedLogStar,
-  kTournament,
-  kNativeAtomic,  // baseline: one std::atomic exchange (not from registers)
-};
-
-const char* to_string(HwAlgorithmId id);
+/// Deprecated alias: the hardware harness used to carry its own algorithm
+/// enum; the catalogue is unified in algo::AlgorithmId (every historical
+/// HwAlgorithmId enumerator, including kNativeAtomic, exists there).
+using HwAlgorithmId = algo::AlgorithmId;
 
 /// Constructs the algorithm for up to n processes on the hardware platform.
 /// Returns nullptr for kNativeAtomic (handled specially by the harness).
+/// Requires algo::supports(id, exec::Backend::kHw).
 std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
-    HwAlgorithmId id, HwPlatform::Arena arena, int n);
+    algo::AlgorithmId id, HwPlatform::Arena arena, int n);
 
 struct HwRunResult {
-  int k = 0;
+  int n = 0;  ///< capacity the object was built for
+  int k = 0;  ///< participating threads
   std::vector<sim::Outcome> outcomes;
   std::vector<std::uint64_t> ops;   // shared-memory ops per thread
   double wall_seconds = 0.0;
   int winners = 0;
-  std::size_t registers = 0;
+  std::size_t registers = 0;        // materialized in the pool
+  std::size_t declared_registers = 0;
   std::vector<std::string> violations;
 };
 
-/// Runs one election with k threads.  Each thread calls elect() exactly
-/// once; the harness checks the exactly-one-winner invariant.
-HwRunResult run_hw_le(HwAlgorithmId id, int k, std::uint64_t seed);
+/// Runs one election: builds the object for `n` threads and releases `k`
+/// participants (1 <= k <= n), mirroring sim::run_le_once.  Each thread
+/// calls elect() exactly once; the harness checks the exactly-one-winner
+/// invariant.
+HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed);
 
-/// Runs `trials` elections and accumulates (winners must be 1 in each).
-struct HwAggregate {
-  int runs = 0;
-  int violation_runs = 0;
-  double mean_max_ops = 0.0;
-  double mean_wall_seconds = 0.0;
-};
+/// Convenience: the common "object sized for its load" case, n = k.
+inline HwRunResult run_hw_le(algo::AlgorithmId id, int k,
+                             std::uint64_t seed) {
+  return run_hw_le(id, k, k, seed);
+}
 
-HwAggregate run_hw_many(HwAlgorithmId id, int k, int trials,
-                        std::uint64_t seed0);
+/// The backend-agnostic per-trial slice of a hardware run; feeds the same
+/// exec::accumulate_trial fold as simulator trials.
+exec::TrialSummary summarize_trial(const HwRunResult& result);
+
+/// Runs trial `trial` of the (id, n, k, seed0) stream with the same
+/// per-trial seed derivation sim::run_le_trial uses, so a campaign cell's
+/// trial stream means the same thing on either backend.
+HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
+                         std::uint64_t seed0);
+
+/// Runs `trials` elections (n = k) through the shared trial-order fold.
+exec::Aggregate run_hw_many(algo::AlgorithmId id, int k, int trials,
+                            std::uint64_t seed0);
 
 }  // namespace rts::hw

@@ -13,7 +13,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <string>
+#include <string_view>
 
 #include "fiber/fiber.hpp"
 #include "sim/types.hpp"
@@ -70,7 +70,10 @@ struct HwPlatform {
    public:
     explicit Arena(RegisterPool& pool) : pool_(&pool) {}
 
-    Reg reg(std::string /*name*/) { return Reg(pool_->alloc()); }
+    // string_view: register names are sim-side debugging metadata; the hw
+    // build path (lazily materialized structures allocate under contention)
+    // must not pay a std::string copy per register.
+    Reg reg(std::string_view /*name*/) { return Reg(pool_->alloc()); }
     std::size_t allocated() const { return pool_->allocated(); }
 
    private:

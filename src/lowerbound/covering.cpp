@@ -53,6 +53,12 @@ CoveringResult run_covering_argument(algo::AlgorithmId algorithm, int n,
     return result;
   }
 
+  if (!algo::supports(algorithm, exec::Backend::kSim)) {
+    result.error = std::string("algorithm '") + algo::info(algorithm).name +
+                   "' has no simulator backend";
+    return result;
+  }
+
   sim::Kernel::Options options;
   options.step_limit = 5'000'000;
   sim::Kernel kernel(options);

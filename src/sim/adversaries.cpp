@@ -75,4 +75,32 @@ Action SequentialAdversary::next(const KernelView& view) {
   return Action::step(runnable.front());
 }
 
+CrashAfterOpsAdversary::CrashAfterOpsAdversary(std::uint64_t seed,
+                                               std::uint64_t min_ops,
+                                               std::uint64_t max_ops)
+    : rng_(seed), budget_rng_(~seed), min_ops_(min_ops), max_ops_(max_ops) {
+  RTS_REQUIRE(min_ops >= 1 && min_ops <= max_ops,
+              "need 1 <= min_ops <= max_ops");
+}
+
+std::uint64_t CrashAfterOpsAdversary::budget(int pid) {
+  // Budgets are drawn in pid order from a dedicated stream, so budget(pid)
+  // is a pure function of (seed, pid) regardless of scheduling history.
+  while (budgets_.size() <= static_cast<std::size_t>(pid)) {
+    budgets_.push_back(min_ops_ + budget_rng_.draw(max_ops_ - min_ops_ + 1));
+  }
+  return budgets_[static_cast<std::size_t>(pid)];
+}
+
+Action CrashAfterOpsAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  const int pid = runnable[rng_.draw(runnable.size())];
+  if (runnable.size() > 1 && view.steps(pid) >= budget(pid)) {
+    ++crashes_;
+    return Action::crash(pid);
+  }
+  return Action::step(pid);
+}
+
 }  // namespace rts::sim

@@ -99,4 +99,32 @@ class SequentialAdversary final : public Adversary {
   Action next(const KernelView& view) override;
 };
 
+/// Self-contained crash model for the campaign grid (AdversaryId::kCrash-
+/// AfterOps): schedules uniformly at random, but every process carries a
+/// seeded op budget drawn from [min_ops, max_ops]; once a process has taken
+/// that many steps it is crashed instead of granted.  The last runnable
+/// process is always spared, so crash-heavy runs still terminate (usually
+/// with a winner) while exercising the unfinished / crash_free accounting.
+class CrashAfterOpsAdversary final : public Adversary {
+ public:
+  explicit CrashAfterOpsAdversary(std::uint64_t seed,
+                                  std::uint64_t min_ops = 4,
+                                  std::uint64_t max_ops = 24);
+
+  AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
+  Action next(const KernelView& view) override;
+
+  int crashes_injected() const { return crashes_; }
+
+ private:
+  std::uint64_t budget(int pid);
+
+  support::PrngSource rng_;
+  support::PrngSource budget_rng_;
+  std::uint64_t min_ops_;
+  std::uint64_t max_ops_;
+  std::vector<std::uint64_t> budgets_;  // drawn lazily, in pid order
+  int crashes_ = 0;
+};
+
 }  // namespace rts::sim

@@ -7,9 +7,9 @@
 
 namespace rts::sim {
 
-RegId SimMemory::alloc(std::string name) {
+RegId SimMemory::alloc(std::string_view name) {
   RegSlot slot;
-  slot.name = std::move(name);
+  slot.name = std::string(name);
   slots_.push_back(std::move(slot));
   return static_cast<RegId>(slots_.size() - 1);
 }

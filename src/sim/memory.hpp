@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -26,8 +27,10 @@ struct RegSlot {
 
 class SimMemory {
  public:
-  /// Allocates a fresh register initialised to 0 and returns its id.
-  RegId alloc(std::string name);
+  /// Allocates a fresh register initialised to 0 and returns its id.  Takes
+  /// a view to match the platform Arena contract (the name is copied into
+  /// the slot; only the simulator stores names at all).
+  RegId alloc(std::string_view name);
 
   std::uint64_t read(RegId reg, int pid);
   void write(RegId reg, std::uint64_t value, int pid);

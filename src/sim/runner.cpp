@@ -70,29 +70,17 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
 
 LeTrialSummary summarize_trial(const LeRunResult& result) {
   LeTrialSummary trial;
+  trial.backend = exec::Backend::kSim;
   trial.k = result.k;
   trial.max_steps = result.max_steps;
   trial.total_steps = result.total_steps;
   trial.regs_touched = result.regs_touched;
   trial.declared_registers = result.declared_registers;
+  trial.unfinished = result.unfinished;
+  trial.crash_free = result.crash_free;
   trial.completed = result.completed;
   if (!result.violations.empty()) trial.first_violation = result.violations.front();
   return trial;
-}
-
-void accumulate_trial(LeAggregate& agg, const LeTrialSummary& trial) {
-  ++agg.runs;
-  agg.max_steps.add(static_cast<double>(trial.max_steps));
-  agg.mean_steps.add(static_cast<double>(trial.total_steps) /
-                     static_cast<double>(trial.k));
-  agg.total_steps.add(static_cast<double>(trial.total_steps));
-  agg.regs_touched.add(static_cast<double>(trial.regs_touched));
-  if (!trial.first_violation.empty()) {
-    ++agg.violation_runs;
-    if (agg.first_violations.size() < 5) {
-      agg.first_violations.push_back(trial.first_violation);
-    }
-  }
 }
 
 std::uint64_t trial_seed(std::uint64_t seed0, int trial) {

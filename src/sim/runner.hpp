@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/backend.hpp"
 #include "sim/adversary.hpp"
 #include "sim/kernel.hpp"
 #include "sim/types.hpp"
@@ -63,36 +64,18 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
                         Adversary& adversary, std::uint64_t seed,
                         Kernel::Options kernel_options = {});
 
-/// Aggregate statistics over repeated trials.
-struct LeAggregate {
-  support::Accumulator max_steps;      ///< per-run max individual steps
-  support::Accumulator mean_steps;     ///< per-run mean individual steps
-  support::Accumulator total_steps;
-  support::Accumulator regs_touched;
-  int runs = 0;
-  int violation_runs = 0;
-  std::vector<std::string> first_violations;
-};
-
-/// The per-trial slice of an LeRunResult that feeds an LeAggregate.  Small
-/// enough to buffer for thousands of trials, so parallel executors can run
-/// trials out of order and still aggregate in trial order.
-struct LeTrialSummary {
-  int k = 0;
-  std::uint64_t max_steps = 0;
-  std::uint64_t total_steps = 0;
-  std::size_t regs_touched = 0;
-  std::size_t declared_registers = 0;
-  bool completed = true;
-  std::string first_violation;  ///< empty when the trial was clean
-};
+/// Sim trials summarize into the backend-agnostic contract shared with the
+/// hardware harness (exec/backend.hpp); the historical Le-prefixed names are
+/// kept as aliases for existing call sites.
+using LeTrialSummary = exec::TrialSummary;
+using LeAggregate = exec::Aggregate;
 
 LeTrialSummary summarize_trial(const LeRunResult& result);
 
 /// Folds one trial into the aggregate.  run_le_many is exactly a loop of
 /// run_le_trial + accumulate_trial, so any executor that calls these in
 /// trial order reproduces run_le_many's aggregates bit for bit.
-void accumulate_trial(LeAggregate& agg, const LeTrialSummary& trial);
+using exec::accumulate_trial;
 
 /// The seed run_le_many has always used for trial `t` of a stream seeded
 /// with `seed0`.

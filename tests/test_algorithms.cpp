@@ -78,6 +78,7 @@ TEST(Registry, FullyDeterministicGivenSeeds) {
   // The reproducibility contract: algorithm + seed + adversary seed fully
   // determine the execution -- winner, per-process step counts, total steps.
   for (const AlgoInfo& algo : all_algorithms()) {
+    if (!supports(algo.id, exec::Backend::kSim)) continue;
     const auto run = [&](std::uint64_t seed) {
       sim::UniformRandomAdversary adversary(seed);
       return sim::run_le_once(sim_builder(algo.id), 12, 12, adversary, seed);
@@ -108,6 +109,7 @@ TEST(Registry, NamesRoundTrip) {
 
 TEST(Registry, EveryAlgorithmDeclaresSpace) {
   for (const AlgoInfo& algo : all_algorithms()) {
+    if (!supports(algo.id, exec::Backend::kSim)) continue;
     sim::Kernel kernel;
     const auto built = sim_builder(algo.id)(kernel, 64);
     EXPECT_GT(built.declared_registers, 0u) << algo.name;
@@ -176,6 +178,7 @@ TEST(Runner, StarvationOfAllButOneStillTerminates) {
   // else is starved forever (equivalent to crashing them at the start).
   // Process 0 must win and terminate -- this is solo termination in situ.
   for (const AlgoInfo& algo : all_algorithms()) {
+    if (!supports(algo.id, exec::Backend::kSim)) continue;
     sim::Kernel kernel;
     auto built = sim_builder(algo.id)(kernel, 8);
     std::vector<sim::Outcome> out(4, sim::Outcome::kUnknown);

@@ -14,6 +14,7 @@ namespace {
 
 TEST(Attack, SafetyHoldsUnderAttackForAllAlgorithms) {
   for (const AlgoInfo& algo : all_algorithms()) {
+    if (!supports(algo.id, exec::Backend::kSim)) continue;
     const AttackResult r = run_attack(
         algo.id, AttackKind::kGroupElectionNeutralizer, /*k=*/24, /*seed=*/3);
     EXPECT_TRUE(r.violations.empty())

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "campaign/cli.hpp"
 #include "campaign/executor.hpp"
@@ -254,6 +257,205 @@ TEST(CampaignExecutor, AdversaryGridActuallyChangesSchedules) {
   ASSERT_EQ(result.cells.size(), 2u);
   EXPECT_NE(result.cells[0].agg.total_steps.mean(),
             result.cells[1].agg.total_steps.mean());
+}
+
+TEST(CampaignSpec, BackendAxisExpandsOutermost) {
+  CampaignSpec spec = small_spec();
+  spec.backends = {exec::Backend::kSim, exec::Backend::kHw};
+  const std::vector<CellSpec> cells = expand(spec);
+  // 2 algos x 2 adversaries x 3 ks sim cells; the hw half collapses the
+  // adversary axis (hw ignores it), leaving 2 algos x 3 ks.
+  const std::size_t sim_count = 2u * 2u * 3u;
+  ASSERT_EQ(cells.size(), sim_count + 2u * 3u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<int>(i));
+    EXPECT_EQ(cells[i].backend,
+              i < sim_count ? exec::Backend::kSim : exec::Backend::kHw);
+    if (i >= sim_count) {
+      EXPECT_EQ(cells[i].adversary, spec.adversaries.front());
+    }
+  }
+  // The sim half of the grid is exactly the sim-only expansion: adding a
+  // backend appends cells without renumbering (or reseeding) existing ones.
+  CampaignSpec sim_only = small_spec();
+  const std::vector<CellSpec> sim_cells = expand(sim_only);
+  for (std::size_t i = 0; i < sim_cells.size(); ++i) {
+    EXPECT_EQ(cells[i].algorithm, sim_cells[i].algorithm);
+    EXPECT_EQ(cells[i].adversary, sim_cells[i].adversary);
+    EXPECT_EQ(cells[i].k, sim_cells[i].k);
+    EXPECT_EQ(cells[i].seed0, sim_cells[i].seed0);
+  }
+}
+
+TEST(CampaignSpec, ValidateChecksBackendCapability) {
+  CampaignSpec spec = small_spec();
+  spec.algorithms = {algo::AlgorithmId::kNativeAtomic};
+  EXPECT_NE(validate(spec), "");  // native baseline has no sim backend
+
+  spec.backends = {exec::Backend::kHw};
+  spec.ks = {2};
+  EXPECT_EQ(validate(spec), "");
+
+  spec.backends = {};
+  EXPECT_NE(validate(spec), "");
+}
+
+TEST(CampaignSpec, SpecHashIsStableAndSensitive) {
+  const CampaignSpec spec = small_spec();
+  EXPECT_EQ(spec_hash(spec), spec_hash(spec));
+
+  CampaignSpec reseeded = spec;
+  reseeded.seed = spec.seed + 1;
+  EXPECT_NE(spec_hash(reseeded), spec_hash(spec));
+
+  CampaignSpec rebackended = spec;
+  rebackended.backends = {exec::Backend::kHw};
+  EXPECT_NE(spec_hash(rebackended), spec_hash(spec));
+}
+
+TEST(CampaignReporter, SimOnlyCampaignsKeepTheHistoricalSchema) {
+  // Campaigns a PR-1 binary could express must render the exact historical
+  // byte layout: no backend / crash fields anywhere.
+  CampaignSpec spec = small_spec();
+  spec.ks = {2};
+  spec.trials = 2;
+  EXPECT_FALSE(extended_schema(spec));
+  const CampaignResult result = run_campaign(spec);
+  for (const ReportFormat format :
+       {ReportFormat::kJsonl, ReportFormat::kCsv, ReportFormat::kTable}) {
+    const std::string text = render_to_string(result, format);
+    EXPECT_EQ(text.find("backend"), std::string::npos);
+    EXPECT_EQ(text.find("crashed"), std::string::npos);
+  }
+}
+
+TEST(CampaignReporter, CrashAdversaryOptsIntoTheExtendedSchema) {
+  CampaignSpec spec;
+  spec.name = "crash-test";
+  spec.algorithms = {algo::AlgorithmId::kTournament};
+  spec.adversaries = {algo::AdversaryId::kCrashAfterOps};
+  spec.ks = {8};
+  spec.trials = 20;
+  spec.seed = 5;
+  EXPECT_TRUE(extended_schema(spec));
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_GT(result.cells[0].agg.crashed_runs, 0);
+  EXPECT_EQ(result.cells[0].agg.violation_runs, 0);
+  const std::string jsonl = render_to_string(result, ReportFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"backend\":\"sim\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"crashed_runs\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"unfinished\":{"), std::string::npos);
+  const std::string csv = render_to_string(result, ReportFormat::kCsv);
+  EXPECT_NE(csv.find("backend,"), std::string::npos);
+  EXPECT_NE(csv.find("crashed_runs"), std::string::npos);
+}
+
+TEST(CampaignExecutor, HwBackendRunsThroughTheSamePipeline) {
+  CampaignSpec spec;
+  spec.name = "hw-test";
+  spec.backends = {exec::Backend::kHw};
+  spec.algorithms = {algo::AlgorithmId::kTournament,
+                     algo::AlgorithmId::kNativeAtomic};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom};
+  spec.ks = {2};
+  spec.trials = 3;
+  ExecutorOptions options;
+  options.workers = 2;
+  const CampaignResult result = run_campaign(spec, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.cell.backend, exec::Backend::kHw);
+    EXPECT_EQ(cell.trials_run, 3);
+    EXPECT_EQ(cell.agg.violation_runs, 0);
+    EXPECT_EQ(cell.error_runs, 0);
+    EXPECT_GT(cell.declared_registers, 0u);
+    EXPECT_GT(cell.agg.max_steps.mean(), 0.0);
+  }
+  EXPECT_EQ(result.sim_steps, 0u);
+  EXPECT_GT(result.hw_steps, 0u);
+  const std::string jsonl = render_to_string(result, ReportFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"backend\":\"hw\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wall_seconds\":{"), std::string::npos);
+}
+
+TEST(CampaignExecutor, MixedBackendCampaignKeepsSimCellsDeterministic) {
+  CampaignSpec spec;
+  spec.name = "mixed";
+  spec.backends = {exec::Backend::kSim, exec::Backend::kHw};
+  spec.algorithms = {algo::AlgorithmId::kLogStarChain};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom};
+  spec.ks = {2};
+  spec.trials = 4;
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].cell.backend, exec::Backend::kSim);
+  EXPECT_EQ(result.cells[1].cell.backend, exec::Backend::kHw);
+  // The sim cell must match the serial harness exactly, hw alongside or not.
+  const sim::LeAggregate expected = sim::run_le_many(
+      algo::sim_builder(algo::AlgorithmId::kLogStarChain), 2, 2,
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom), 4,
+      spec.seed);
+  EXPECT_EQ(result.cells[0].agg.max_steps.mean(), expected.max_steps.mean());
+  EXPECT_EQ(result.cells[0].agg.total_steps.mean(),
+            expected.total_steps.mean());
+}
+
+TEST(CampaignReporter, BenchJsonCarriesSpecHashAndCells) {
+  CampaignSpec spec = small_spec();
+  spec.ks = {2};
+  spec.trials = 2;
+  const CampaignResult result = run_campaign(spec);
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* mem = open_memstream(&buffer, &size);
+  ASSERT_NE(mem, nullptr);
+  report_bench_json(result, mem);
+  std::fclose(mem);
+  std::string text(buffer, size);
+  std::free(buffer);
+
+  char expected_hash[32];
+  std::snprintf(expected_hash, sizeof expected_hash, "%016llx",
+                static_cast<unsigned long long>(spec_hash(spec)));
+  EXPECT_NE(text.find("\"schema\":\"rts-bench-1\""), std::string::npos);
+  EXPECT_NE(text.find(std::string("\"spec_hash\":\"") + expected_hash),
+            std::string::npos);
+  EXPECT_NE(text.find("\"wall_seconds\":"), std::string::npos);
+  // One cell object per grid cell.
+  std::size_t cells = 0;
+  for (std::size_t at = text.find("{\"backend\":"); at != std::string::npos;
+       at = text.find("{\"backend\":", at + 1)) {
+    ++cells;
+  }
+  EXPECT_EQ(cells, result.cells.size());
+}
+
+TEST(CampaignPresets, NewPresetsAreRegistered) {
+  const Preset* crash = find_preset("crash");
+  ASSERT_NE(crash, nullptr);
+  EXPECT_EQ(crash->spec.adversaries.size(), 1u);
+  EXPECT_EQ(crash->spec.adversaries[0], algo::AdversaryId::kCrashAfterOps);
+
+  const Preset* hw_smoke = find_preset("hw-smoke");
+  ASSERT_NE(hw_smoke, nullptr);
+  ASSERT_EQ(hw_smoke->spec.backends.size(), 1u);
+  EXPECT_EQ(hw_smoke->spec.backends[0], exec::Backend::kHw);
+  bool has_native = false;
+  for (const algo::AlgorithmId id : hw_smoke->spec.algorithms) {
+    if (id == algo::AlgorithmId::kNativeAtomic) has_native = true;
+  }
+  EXPECT_TRUE(has_native);
+}
+
+TEST(CampaignPresets, FrozenPresetsStaySimOnlyAndCrashFree) {
+  // The PR-1 tables must keep rendering the historical schema; only the new
+  // presets opt into the extended one.
+  for (const Preset& preset : all_presets()) {
+    const bool is_new = std::string_view(preset.name) == "crash" ||
+                        std::string_view(preset.name) == "hw-smoke";
+    EXPECT_EQ(extended_schema(preset.spec), is_new) << preset.name;
+  }
 }
 
 }  // namespace

@@ -66,6 +66,34 @@ TEST(PublicApi, LeaderElectionElectsExactlyOne) {
   EXPECT_EQ(winners, 1);
 }
 
+TEST(PublicApi, SelectsAlgorithmsByCataloguedName) {
+  // Options.algorithm_name resolves through algo::parse_algorithm against
+  // the same unified catalogue rts_bench uses.
+  LeaderElection::Options options;
+  options.max_processes = 4;
+  options.algorithm_name = "tournament";
+  LeaderElection election(options);
+  int winners = 0;
+  for (int pid = 0; pid < 4; ++pid) {
+    if (election.elect(pid)) ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+
+  options.algorithm_name = "no-such-algorithm";
+  EXPECT_THROW(LeaderElection bad(options), Error);
+
+  // The name, when set, wins over the id field.
+  options.algorithm_name = "ratrace-path";
+  options.algorithm = Algorithm::kTournament;
+  LeaderElection named(options);
+  TestAndSet::Options tas_options;
+  tas_options.max_processes = 4;
+  tas_options.algorithm = Algorithm::kRatRacePath;
+  TestAndSet by_id(tas_options);
+  // Same algorithm -> same declared structure size.
+  EXPECT_EQ(1 + named.declared_registers(), by_id.declared_registers());
+}
+
 TEST(PublicApi, RejectsBadConfiguration) {
   LeaderElection::Options options;
   options.max_processes = 0;

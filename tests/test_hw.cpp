@@ -1,7 +1,8 @@
 // Hardware-platform tests: the same algorithm templates on real threads and
-// std::atomic registers.  Stress: exactly one winner across many trials for
-// every algorithm; ops accounting; the combiner's nested fibers inside
-// ordinary threads.
+// std::atomic registers, selected from the unified algo::AlgorithmId
+// catalogue.  Stress: exactly one winner across many trials for every
+// hw-capable algorithm; ops accounting; the combiner's nested fibers inside
+// ordinary threads; the shared exec::TrialSummary contract.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -32,7 +33,7 @@ TEST(HwPlatform, ContextCountsOps) {
   EXPECT_EQ(ctx.ops(), 2u);
 }
 
-class HwAlgorithms : public ::testing::TestWithParam<HwAlgorithmId> {};
+class HwAlgorithms : public ::testing::TestWithParam<algo::AlgorithmId> {};
 
 TEST_P(HwAlgorithms, SingleThreadWins) {
   const HwRunResult r = run_hw_le(GetParam(), /*k=*/1, /*seed=*/1);
@@ -48,23 +49,26 @@ TEST_P(HwAlgorithms, ManyThreadsExactlyOneWinner) {
     for (std::uint64_t seed = 0; seed < 8; ++seed) {
       const HwRunResult r = run_hw_le(GetParam(), k, seed);
       ASSERT_TRUE(r.violations.empty())
-          << to_string(GetParam()) << " k=" << k << " seed=" << seed << ": "
-          << r.violations.front();
+          << algo::info(GetParam()).name << " k=" << k << " seed=" << seed
+          << ": " << r.violations.front();
       EXPECT_EQ(r.winners, 1);
     }
   }
 }
 
+// Every hw-capable algorithm in the catalogue, including the three that
+// used to be sim-only in the pre-unification hw enum (ratrace,
+// combined-sift, aa) and the hw-only native baseline.
 INSTANTIATE_TEST_SUITE_P(
     All, HwAlgorithms,
-    ::testing::Values(HwAlgorithmId::kLogStarChain, HwAlgorithmId::kSiftChain,
-                      HwAlgorithmId::kSiftCascade,
-                      HwAlgorithmId::kRatRacePath,
-                      HwAlgorithmId::kCombinedLogStar,
-                      HwAlgorithmId::kTournament,
-                      HwAlgorithmId::kNativeAtomic),
+    ::testing::Values(
+        algo::AlgorithmId::kLogStarChain, algo::AlgorithmId::kSiftChain,
+        algo::AlgorithmId::kSiftCascade, algo::AlgorithmId::kRatRace,
+        algo::AlgorithmId::kRatRacePath, algo::AlgorithmId::kCombinedLogStar,
+        algo::AlgorithmId::kCombinedSift, algo::AlgorithmId::kTournament,
+        algo::AlgorithmId::kAaSiftRatRace, algo::AlgorithmId::kNativeAtomic),
     [](const auto& info) {
-      std::string name = to_string(info.param);
+      std::string name = algo::info(info.param).name;
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
@@ -73,23 +77,49 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(HwHarness, StressCombinedManyTrials) {
   // The combiner exercises nested fibers inside real threads; hammer it.
-  const HwAggregate agg =
-      run_hw_many(HwAlgorithmId::kCombinedLogStar, /*k=*/4, /*trials=*/50, 3);
+  const exec::Aggregate agg = run_hw_many(
+      algo::AlgorithmId::kCombinedLogStar, /*k=*/4, /*trials=*/50, 3);
   EXPECT_EQ(agg.runs, 50);
   EXPECT_EQ(agg.violation_runs, 0);
-  EXPECT_GT(agg.mean_max_ops, 0.0);
+  EXPECT_GT(agg.max_steps.mean(), 0.0);
+  EXPECT_GT(agg.wall_seconds.mean(), 0.0);
 }
 
 TEST(HwHarness, OpsScaleWithAlgorithm) {
   // The native baseline is 1 op; register-based algorithms cost more.
-  const HwRunResult native = run_hw_le(HwAlgorithmId::kNativeAtomic, 4, 1);
-  const HwRunResult logstar = run_hw_le(HwAlgorithmId::kLogStarChain, 4, 1);
+  const HwRunResult native =
+      run_hw_le(algo::AlgorithmId::kNativeAtomic, 4, 1);
+  const HwRunResult logstar =
+      run_hw_le(algo::AlgorithmId::kLogStarChain, 4, 1);
   std::uint64_t native_max = 0;
   std::uint64_t logstar_max = 0;
   for (const auto ops : native.ops) native_max = std::max(native_max, ops);
   for (const auto ops : logstar.ops) logstar_max = std::max(logstar_max, ops);
   EXPECT_EQ(native_max, 1u);
   EXPECT_GT(logstar_max, 1u);
+}
+
+TEST(HwHarness, SummarizeTrialFillsTheSharedContract) {
+  const HwRunResult r = run_hw_le(algo::AlgorithmId::kTournament, 4, 9);
+  const exec::TrialSummary trial = summarize_trial(r);
+  EXPECT_EQ(trial.backend, exec::Backend::kHw);
+  EXPECT_EQ(trial.k, 4);
+  EXPECT_GT(trial.max_steps, 0u);
+  EXPECT_GE(trial.total_steps, trial.max_steps);
+  EXPECT_EQ(trial.regs_touched, r.registers);
+  EXPECT_EQ(trial.declared_registers, r.declared_registers);
+  EXPECT_GT(trial.declared_registers, 0u);
+  EXPECT_EQ(trial.unfinished, 0);
+  EXPECT_TRUE(trial.crash_free);
+  EXPECT_TRUE(trial.completed);
+  EXPECT_GE(trial.wall_seconds, 0.0);
+  EXPECT_TRUE(trial.first_violation.empty());
+}
+
+TEST(HwHarness, DeprecatedAliasStillNamesTheUnifiedCatalogue) {
+  static_assert(std::is_same_v<HwAlgorithmId, algo::AlgorithmId>);
+  const HwRunResult r = run_hw_le(HwAlgorithmId::kNativeAtomic, 2, 5);
+  EXPECT_EQ(r.winners, 1);
 }
 
 }  // namespace
