@@ -53,6 +53,8 @@ class AaSiftRatRaceLe final : public ILeaderElect<P> {
     return sifters_.size() + ratrace_.declared_registers();
   }
 
+  void reset_trial_state() override { ratrace_.reset_trial_state(); }
+
   int sift_rounds() const { return static_cast<int>(sifters_.size()); }
 
  private:

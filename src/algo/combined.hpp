@@ -57,11 +57,22 @@ class CombinedLe final : public ILeaderElect<P> {
 
     // Child contexts are created after the fibers (they reference them), but
     // the fiber bodies run only on first resume, by which time the optionals
-    // are engaged.
-    std::optional<typename P::Context> rr_ctx;
-    std::optional<typename P::Context> a_ctx;
-    fiber::Fiber rr_fib([&] { rr_out = ratrace_.elect(*rr_ctx); });
-    fiber::Fiber a_fib([&] { a_out = algo_a_->elect(*a_ctx); });
+    // are engaged.  The bodies capture one frame pointer so the fiber's
+    // std::function stays within the small-object buffer -- two heap
+    // allocations per participant per election otherwise.
+    struct ChildFrame {
+      CombinedLe* self;
+      Outcome* rr_out;
+      Outcome* a_out;
+      std::optional<typename P::Context> rr_ctx;
+      std::optional<typename P::Context> a_ctx;
+    } frame{this, &rr_out, &a_out, std::nullopt, std::nullopt};
+    fiber::Fiber rr_fib(
+        [f = &frame] { *f->rr_out = f->self->ratrace_.elect(*f->rr_ctx); });
+    fiber::Fiber a_fib(
+        [f = &frame] { *f->a_out = f->self->algo_a_->elect(*f->a_ctx); });
+    std::optional<typename P::Context>& rr_ctx = frame.rr_ctx;
+    std::optional<typename P::Context>& a_ctx = frame.a_ctx;
     rr_ctx.emplace(P::child_context(ctx, rr_fib));
     a_ctx.emplace(P::child_context(ctx, a_fib));
     rr_ctx->set_yield_after_op(&ctx.exec_slot());
@@ -92,13 +103,24 @@ class CombinedLe final : public ILeaderElect<P> {
       RTS_ASSERT_MSG(!child.finished(), "combined: resuming finished child");
       fiber::switch_context(ctx.exec_slot(), child);
       // The child either completed exactly one shared-memory op and yielded,
-      // or ran to completion and set its outcome.
+      // or ran to completion (op-free from its last yield point) and set its
+      // outcome.  Platforms with a step-limit watchdog (hw) charge the op
+      // here, on the coordinator's stack -- a budget abort could not unwind
+      // off the child's fiber.
+      if constexpr (requires { ctx.charge_child_op(); }) {
+        if (!child.finished()) ctx.charge_child_op();
+      }
     }
   }
 
   std::size_t declared_registers() const override {
     return ratrace_.declared_registers() + algo_a_->declared_registers() +
            Le2<P>::kRegisters;
+  }
+
+  void reset_trial_state() override {
+    ratrace_.reset_trial_state();
+    algo_a_->reset_trial_state();
   }
 
  private:

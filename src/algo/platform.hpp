@@ -49,6 +49,12 @@ class ILeaderElect {
   /// Registers the structure would occupy if fully materialized (analytic
   /// bound; lazily-built structures allocate fewer at run time).
   virtual std::size_t declared_registers() const = 0;
+
+  /// Clears per-process *local* state (e.g. RatRace's won-splitter flags) so
+  /// a pooled workspace can reuse the object for a fresh trial.  Lazily
+  /// materialized structure may persist: once every register is value-reset
+  /// it is indistinguishable from a fresh build.  Default: nothing to clear.
+  virtual void reset_trial_state() {}
 };
 
 /// Group election (Section 2.1): every participant calls elect() at most

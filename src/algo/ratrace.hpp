@@ -32,6 +32,7 @@
 // the adaptive adversary; the experiments compare their space.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -160,6 +161,10 @@ class RatRaceOriginal final : public ILeaderElect<P> {
 
   bool won_splitter(int pid) const {
     return won_splitter_[static_cast<std::size_t>(pid)] != 0;
+  }
+
+  void reset_trial_state() override {
+    std::fill(won_splitter_.begin(), won_splitter_.end(), 0);
   }
 
   std::size_t declared_registers() const override {
@@ -331,6 +336,10 @@ class RatRacePath final : public ILeaderElect<P> {
 
   bool won_splitter(int pid) const {
     return won_splitter_[static_cast<std::size_t>(pid)] != 0;
+  }
+
+  void reset_trial_state() override {
+    std::fill(won_splitter_.begin(), won_splitter_.end(), 0);
   }
 
   std::size_t declared_registers() const override {

@@ -45,6 +45,11 @@ const std::vector<AlgoInfo>& all_algorithms() {
       {AlgorithmId::kNativeAtomic, "native-atomic", "O(1)", "adaptive",
        exec::kHwOnly,
        "hardware baseline: one std::atomic exchange (not from registers)"},
+      {AlgorithmId::kDivergeHw, "diverge-hw", "unbounded", "n/a",
+       exec::kHwOnly,
+       "diagnostic: spins shared reads forever; witnesses the hw step-limit "
+       "watchdog (never elects)",
+       /*diagnostic=*/true},
   };
   return kAlgorithms;
 }
@@ -152,7 +157,8 @@ std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
     case AlgorithmId::kAaSiftRatRace:
       return std::make_unique<AaSiftRatRaceLe<P>>(arena, n);
     case AlgorithmId::kNativeAtomic:
-      return nullptr;  // hw-only: no register-based simulator form
+    case AlgorithmId::kDivergeHw:
+      return nullptr;  // hw-only: no simulator form
   }
   RTS_ASSERT_MSG(false, "unknown algorithm id");
   return nullptr;
@@ -169,6 +175,7 @@ sim::LeBuilder sim_builder(AlgorithmId id) {
     built.keepalive = le;
     built.declared_registers = le->declared_registers();
     built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
+    built.reset = [le] { le->reset_trial_state(); };
     return built;
   };
 }

@@ -30,6 +30,7 @@ enum class AlgorithmId {
   kTournament,      // AGTV 1992 baseline, O(log n)
   kAaSiftRatRace,   // Alistarh-Aspnes 2011: sifting + RatRace backup
   kNativeAtomic,    // hw-only baseline: one std::atomic exchange
+  kDivergeHw,       // hw-only diagnostic: never elects (watchdog witness)
 };
 
 struct AlgoInfo {
@@ -39,6 +40,10 @@ struct AlgoInfo {
   const char* adversary;    // adversary model the bound is proved for
   exec::BackendMask backends;  // which backends can instantiate it
   const char* description;
+  /// Diagnostic entries (e.g. the diverging watchdog witness) are runnable
+  /// by name but skipped by preset enumeration and catalogue-wide stress
+  /// loops -- they intentionally violate liveness.
+  bool diagnostic = false;
 };
 
 const std::vector<AlgoInfo>& all_algorithms();

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "exec/workspace.hpp"
 #include "hw/harness.hpp"
 #include "support/assert.hpp"
 
@@ -98,34 +99,60 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const auto trials = static_cast<std::size_t>(spec.trials);
   const std::size_t total = cells.size() * trials;
 
-  // Per-cell trial runners, built once and shared read-only by all workers
-  // (invoking one computes a fresh trial).  Hardware cells take the shared
-  // hw mutex so at most one hw election -- with its k real threads -- is in
+  // Per-cell trial runners, built once and shared read-only by all workers.
+  // Sim cells drive trials through the calling worker's pooled
+  // exec::TrialWorkspace (keyed by cell index), so the kernel, fibers, and
+  // register layout are built once per (worker, cell) and rewound between
+  // trials instead of reconstructed.  Hardware cells take the shared hw
+  // mutex so at most one hw election -- with its k real threads -- is in
   // flight at a time, keeping measured thread counts honest while sim cells
-  // keep running concurrently.
+  // keep running concurrently; the current hw cell parks a persistent
+  // HwTrialPool of k participant threads reused across its trials, with
+  // the cell's step limit armed as the divergence watchdog.  One pool
+  // lives at a time -- trials claim cells essentially in order, so this
+  // reuses threads within a cell without accumulating parked threads
+  // across the whole hw grid.
   std::mutex hw_mutex;
-  using TrialRunner = std::function<exec::TrialSummary(int trial)>;
+  struct HwPoolSlot {
+    int cell_index = -1;
+    std::unique_ptr<hw::HwTrialPool> pool;
+  };
+  HwPoolSlot hw_pool;  // guarded by hw_mutex
+  using TrialRunner =
+      std::function<exec::TrialSummary(exec::TrialWorkspace&, int trial)>;
   std::vector<TrialRunner> runners;
   runners.reserve(cells.size());
   for (const CellSpec& cell : cells) {
     if (cell.backend == exec::Backend::kHw) {
-      runners.push_back([&hw_mutex, cell](int trial) {
-        std::lock_guard<std::mutex> pin(hw_mutex);
-        return hw::summarize_trial(hw::run_hw_trial(
-            cell.algorithm, cell.n, cell.k, trial, cell.seed0));
-      });
+      runners.push_back(
+          [&hw_mutex, &hw_pool, cell](exec::TrialWorkspace&, int trial) {
+            std::lock_guard<std::mutex> pin(hw_mutex);
+            if (hw_pool.cell_index != cell.index) {
+              // Invalidate before rebuilding: if pool construction throws
+              // (thread-resource exhaustion), a later trial must not take
+              // the fast path into a null pool.
+              hw_pool.cell_index = -1;
+              hw_pool.pool.reset();  // retire the previous cell's threads
+              hw_pool.pool = std::make_unique<hw::HwTrialPool>(cell.k);
+              hw_pool.cell_index = cell.index;
+            }
+            hw::HwRunOptions options;
+            options.step_limit = cell.step_limit;
+            return hw::summarize_trial(hw_pool.pool->run_trial(
+                cell.algorithm, cell.n, trial, cell.seed0, options));
+          });
       continue;
     }
     sim::LeBuilder builder = algo::sim_builder(cell.algorithm);
     sim::AdversaryFactory adversary = algo::adversary_factory(cell.adversary);
     runners.push_back(
         [builder = std::move(builder), adversary = std::move(adversary),
-         cell](int trial) {
+         cell](exec::TrialWorkspace& workspace, int trial) {
           sim::Kernel::Options kernel_options;
           kernel_options.step_limit = cell.step_limit;
-          return sim::summarize_trial(sim::run_le_trial(
-              builder, cell.n, cell.k, adversary, trial, cell.seed0,
-              kernel_options));
+          return sim::summarize_trial(workspace.run_le_trial(
+              static_cast<std::uint64_t>(cell.index), builder, cell.n, cell.k,
+              adversary, trial, cell.seed0, kernel_options));
         });
   }
 
@@ -145,13 +172,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                       has_deadline ? options.time_budget_seconds : 0.0));
 
   const auto worker_body = [&](int worker) {
+    // Each worker lane owns one pooled workspace for the whole campaign.
+    exec::TrialWorkspace workspace;
     std::size_t g = 0;
     while (queue.claim(worker, &g, deadline, has_deadline)) {
       const CellSpec& cell = cells[g / trials];
       const int trial = static_cast<int>(g % trials);
       exec::TrialSummary summary;
       try {
-        summary = runners[cell.index](trial);
+        summary = runners[cell.index](workspace, trial);
       } catch (const std::exception& error) {
         summary.backend = cell.backend;
         summary.k = cell.k;

@@ -170,7 +170,10 @@ std::vector<Preset> build_presets() {
     spec.name = "hw-smoke";
     spec.backends = {exec::Backend::kHw};
     for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
-      if (algo::supports(algorithm.id, exec::Backend::kHw)) {
+      // Diagnostic entries (the diverging watchdog witness) never elect;
+      // enumerating them would poison a smoke table.
+      if (algo::supports(algorithm.id, exec::Backend::kHw) &&
+          !algorithm.diagnostic) {
         spec.algorithms.push_back(algorithm.id);
       }
     }
@@ -184,6 +187,24 @@ std::vector<Preset> build_presets() {
                        "exactly one winner under real hardware races; "
                        "register-based algorithms cost a small constant "
                        "factor over the native atomic baseline",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
+    spec.name = "paper-le";
+    spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kSiftCascade,
+                       AlgorithmId::kRatRacePath, AlgorithmId::kCombinedSift};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {64, 256, 1024};
+    spec.trials = 150;
+    spec.seed = 2012;
+    presets.push_back({"paper-le",
+                       "the paper's leader-election headliners (trial-"
+                       "throughput reference)",
+                       "the four Section 2-4 constructions at the moderate-"
+                       "to-high contention their bounds are about; also the "
+                       "fixed workload bench_trialpath uses to track "
+                       "trials/sec of the pooled hot path",
                        spec});
   }
   {

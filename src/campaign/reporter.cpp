@@ -257,6 +257,14 @@ void report(const CampaignResult& result, ReportFormat format,
 }
 
 void report_bench_json(const CampaignResult& result, std::FILE* out) {
+  std::uint64_t trials_run = 0;
+  for (const CellResult& cell : result.cells) {
+    trials_run += static_cast<std::uint64_t>(cell.trials_run);
+  }
+  const double trials_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(trials_run) / result.wall_seconds
+          : 0.0;
   std::fprintf(out,
                "{\"schema\":\"rts-bench-1\",\"name\":\"%s\","
                "\"spec_hash\":\"%016llx\",",
@@ -265,11 +273,13 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
   print_backends_json(out, result.spec);
   std::fprintf(out,
                ",\"seed\":%llu,\"trials\":%d,\"workers\":%d,"
-               "\"wall_seconds\":%s,\"sim_steps\":%llu,\"hw_steps\":%llu,"
+               "\"wall_seconds\":%s,\"trials_per_second\":%s,"
+               "\"sim_steps\":%llu,\"hw_steps\":%llu,"
                "\"truncated\":%s,\"cells\":[",
                static_cast<unsigned long long>(result.spec.seed),
                result.spec.trials, result.workers_used,
                fmt_double(result.wall_seconds).c_str(),
+               fmt_double(trials_per_second).c_str(),
                static_cast<unsigned long long>(result.sim_steps),
                static_cast<unsigned long long>(result.hw_steps),
                result.truncated ? "true" : "false");

@@ -1,0 +1,123 @@
+#include "exec/workspace.hpp"
+
+#include <utility>
+
+#include "fiber/fiber.hpp"
+#include "fiber/stack.hpp"
+#include "support/assert.hpp"
+
+namespace rts::exec {
+
+namespace {
+
+/// Workspace process stacks are deliberately smaller than the fresh path's
+/// 128 KB default: algorithm frames are shallow (all elections are
+/// iterative; combiner children bring their own stacks), and with hundreds
+/// of fibers per stream the denser footprint measurably cuts the
+/// stack-switch cache traffic of the random adversary.  The guard page
+/// still faults deterministically on overflow.
+constexpr std::size_t kWorkspaceStackBytes = 16 * 1024;
+
+bool same_options(const sim::Kernel::Options& a, const sim::Kernel::Options& b) {
+  return a.step_limit == b.step_limit && a.track_events == b.track_events;
+}
+
+}  // namespace
+
+TrialWorkspace::Stream& TrialWorkspace::prepare(
+    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
+    sim::Kernel::Options kernel_options) {
+  for (auto& stream : streams_) {
+    if (stream->key != key) continue;
+    if (stream->n == n && stream->k == k &&
+        same_options(stream->kernel_options, kernel_options)) {
+      stream->last_used = ++clock_;
+      return *stream;
+    }
+    // Same key, different configuration: the caller recycled a key (legal
+    // but unusual); rebuild in place.
+    stream->n = n;
+    stream->k = k;
+    stream->kernel_options = kernel_options;
+    build(*stream, builder);
+    stream->last_used = ++clock_;
+    return *stream;
+  }
+
+  if (streams_.size() >= options_.max_prepared && !streams_.empty()) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < streams_.size(); ++i) {
+      if (streams_[i]->last_used < streams_[victim]->last_used) victim = i;
+    }
+    // Tearing the stream down releases its fibers' stacks into the
+    // thread-local pool, where the replacement stream's build reclaims them.
+    streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+
+  auto stream = std::make_unique<Stream>();
+  stream->key = key;
+  stream->n = n;
+  stream->k = k;
+  stream->kernel_options = kernel_options;
+  build(*stream, builder);
+  stream->last_used = ++clock_;
+  streams_.push_back(std::move(stream));
+  return *streams_.back();
+}
+
+void TrialWorkspace::build(Stream& stream, const sim::LeBuilder& builder) {
+  ++stream_builds_;
+  stream.kernel = std::make_unique<sim::Kernel>(stream.kernel_options);
+  stream.built = builder(*stream.kernel, stream.n);
+  stream.outcomes.assign(static_cast<std::size_t>(stream.k),
+                         sim::Outcome::kUnknown);
+  stream.rngs.clear();
+  stream.rngs.reserve(static_cast<std::size_t>(stream.k));
+  Stream* slots = &stream;  // stable: streams_ stores unique_ptrs
+  for (int pid = 0; pid < stream.k; ++pid) {
+    auto rng = std::make_unique<support::PrngSource>(0);
+    stream.rngs.push_back(rng.get());
+    stream.kernel->add_process(
+        [slots, pid](sim::Context& ctx) {
+          slots->outcomes[static_cast<std::size_t>(pid)] =
+              slots->built.elect(ctx);
+        },
+        std::move(rng),
+        fiber::acquire_stack(kWorkspaceStackBytes));
+  }
+  stream.fresh = true;
+}
+
+sim::LeRunResult TrialWorkspace::run_le_once(
+    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
+    sim::Adversary& adversary, std::uint64_t seed,
+    sim::Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+  Stream& stream = prepare(key, builder, n, k, kernel_options);
+  if (!stream.fresh) {
+    stream.kernel->rewind();
+    if (stream.built.reset) stream.built.reset();
+  }
+  stream.fresh = false;
+  for (int pid = 0; pid < k; ++pid) {
+    stream.rngs[static_cast<std::size_t>(pid)]->reseed(
+        support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+    stream.outcomes[static_cast<std::size_t>(pid)] = sim::Outcome::kUnknown;
+  }
+
+  const bool completed = stream.kernel->run(adversary);
+  ++trials_run_;
+  return sim::collect_le_result(*stream.kernel, n, k, stream.outcomes,
+                                stream.built.declared_registers, completed);
+}
+
+sim::LeRunResult TrialWorkspace::run_le_trial(
+    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
+    const sim::AdversaryFactory& adversary_factory, int trial,
+    std::uint64_t seed0, sim::Kernel::Options kernel_options) {
+  const std::uint64_t seed = sim::trial_seed(seed0, trial);
+  auto adversary = adversary_factory(sim::adversary_seed(seed));
+  return run_le_once(key, builder, n, k, *adversary, seed, kernel_options);
+}
+
+}  // namespace rts::exec

@@ -1,0 +1,104 @@
+// Pooled per-worker trial state: the zero-allocation hot path under every
+// campaign worker lane and sim::run_le_many.
+//
+// The fresh-kernel path (sim::run_le_once) pays, per trial: a Kernel, one
+// guarded mmap stack + fiber + heap-allocated SimProcess and PrngSource per
+// participant, and a full rebuild of the algorithm's register layout
+// (including every register name).  None of that changes between trials of
+// one campaign cell.  A TrialWorkspace builds each (builder, n, k) stream
+// once and then *rewinds* it between trials:
+//
+//   * the Kernel's processes -- fibers on adopted pool stacks, bodies, rng
+//     slots -- are constructed once and rewound to their entry points,
+//   * the algorithm instance (and its interned register layout in
+//     sim::SimMemory) is built once; registers are value-reset per trial,
+//   * randomness comes from reseedable support::PrngSource slots instead of
+//     a fresh heap allocation per process per trial.
+//
+// Determinism contract: a trial run through a reused workspace produces the
+// exact LeRunResult fields that feed exec::TrialSummary -- and therefore
+// byte-identical campaign aggregates and reporter output -- as the
+// fresh-kernel path given the same seeds.  tests/test_workspace.cpp enforces
+// this across the algorithm x adversary catalogue.  (The one intentional
+// deviation: `regs_allocated` counts registers materialized lazily by
+// *earlier* trials of the stream too; it feeds no aggregate.)
+//
+// A workspace is strictly single-threaded: one per worker lane, never
+// shared.  Streams are keyed by a caller-chosen id (the campaign executor
+// uses the cell index); keys must denote one fixed (builder, n, k, kernel
+// options) configuration.  A bounded LRU of prepared streams caps the fibers
+// and registers a worker holds across cells.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "support/rng.hpp"
+
+namespace rts::exec {
+
+class TrialWorkspace {
+ public:
+  struct Options {
+    /// Prepared streams kept alive at once; least-recently-used streams are
+    /// torn down beyond this (their stacks return to the thread-local fiber
+    /// pool, so the next stream build skips the mmap round-trip too).
+    std::size_t max_prepared = 8;
+  };
+
+  TrialWorkspace() = default;
+  explicit TrialWorkspace(Options options) : options_(options) {}
+
+  TrialWorkspace(const TrialWorkspace&) = delete;
+  TrialWorkspace& operator=(const TrialWorkspace&) = delete;
+
+  /// Runs one election of stream `key` through the pooled kernel, exactly
+  /// mirroring sim::run_le_once(builder, n, k, adversary, seed, options).
+  sim::LeRunResult run_le_once(std::uint64_t key,
+                               const sim::LeBuilder& builder, int n, int k,
+                               sim::Adversary& adversary, std::uint64_t seed,
+                               sim::Kernel::Options kernel_options = {});
+
+  /// Trial-indexed form mirroring sim::run_le_trial: derives the trial seed
+  /// and a fresh adversary from the stream's (seed0, trial).
+  sim::LeRunResult run_le_trial(std::uint64_t key,
+                                const sim::LeBuilder& builder, int n, int k,
+                                const sim::AdversaryFactory& adversary_factory,
+                                int trial, std::uint64_t seed0,
+                                sim::Kernel::Options kernel_options = {});
+
+  /// Observability for tests and benches.
+  std::size_t prepared_streams() const { return streams_.size(); }
+  std::uint64_t trials_run() const { return trials_run_; }
+  /// Stream (re)builds so far; `trials_run() - stream_builds()` trials ran
+  /// allocation-free through a rewound kernel.
+  std::uint64_t stream_builds() const { return stream_builds_; }
+
+ private:
+  struct Stream {
+    std::uint64_t key = 0;
+    int n = 0;
+    int k = 0;
+    sim::Kernel::Options kernel_options;
+    std::unique_ptr<sim::Kernel> kernel;
+    sim::BuiltLe built;
+    std::vector<sim::Outcome> outcomes;        // written by process bodies
+    std::vector<support::PrngSource*> rngs;    // owned by kernel processes
+    std::uint64_t last_used = 0;
+    bool fresh = true;  // no trial run since (re)build: skip the rewind
+  };
+
+  Stream& prepare(std::uint64_t key, const sim::LeBuilder& builder, int n,
+                  int k, sim::Kernel::Options kernel_options);
+  void build(Stream& stream, const sim::LeBuilder& builder);
+
+  Options options_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t trials_run_ = 0;
+  std::uint64_t stream_builds_ = 0;
+};
+
+}  // namespace rts::exec

@@ -6,8 +6,8 @@
 
 #if RTS_FIBER_FAST_CONTEXT
 extern "C" {
-/// Implemented in fcontext_x86_64.S.
-void rts_fctx_swap(void** save_sp, void* resume_sp);
+/// Implemented in fcontext_x86_64.S; rts_fctx_swap is declared in fiber.hpp
+/// (switch_context is inline there -- two switches run per simulated step).
 void rts_fctx_boot();
 /// Called by rts_fctx_boot on a fiber's first activation.
 [[noreturn]] void rts_fiber_entry(void* self);
@@ -16,42 +16,39 @@ void rts_fctx_boot();
 
 namespace rts::fiber {
 
+#if !RTS_FIBER_FAST_CONTEXT
 void switch_context(ExecutionContext& save_into, ExecutionContext& resume) {
   RTS_ASSERT(&save_into != &resume);
-#if RTS_FIBER_FAST_CONTEXT
-  rts_fctx_swap(&save_into.sp_, resume.sp_);
-#else
   const int rc = ::swapcontext(&save_into.uc_, &resume.uc_);
   RTS_ASSERT_MSG(rc == 0, "swapcontext failed");
-#endif
 }
+#endif
 
 Fiber::~Fiber() { release_stack(std::move(stack_)); }
 
-#if RTS_FIBER_FAST_CONTEXT
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : Fiber(std::move(fn), acquire_stack(stack_bytes)) {}
 
-namespace {
-
-/// Captures the caller's SSE/x87 control state for seeding fresh fibers.
-std::uint64_t current_fp_control() {
-  std::uint32_t mxcsr = 0;
-  std::uint16_t fpcw = 0;
-  asm volatile("stmxcsr %0" : "=m"(mxcsr));
-  asm volatile("fnstcw %0" : "=m"(fpcw));
-  return static_cast<std::uint64_t>(mxcsr) |
-         (static_cast<std::uint64_t>(fpcw) << 32);
+Fiber::Fiber(std::function<void()> fn, MmapStack stack)
+    : stack_(std::move(stack)), fn_(std::move(fn)) {
+  RTS_ASSERT(fn_ != nullptr);
+  RTS_ASSERT(stack_.base() != nullptr);
+  seed_stack();
 }
 
-}  // namespace
+void Fiber::rewind() {
+  finished_ = false;
+  seed_stack();
+}
+
+#if RTS_FIBER_FAST_CONTEXT
 
 void rts_fiber_entry_impl(Fiber* self) { self->run(); }
 
-Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
-    : stack_(acquire_stack(stack_bytes)), fn_(std::move(fn)) {
-  RTS_ASSERT(fn_ != nullptr);
+void Fiber::seed_stack() {
   // Seed the stack so the first switch "returns" into rts_fctx_boot with
   // this Fiber* in r15.  Layout (addresses descending from the 16-aligned
-  // stack top): [pad][pad][&boot][rbp][rbx][r12][r13][r14][r15=this][fpctl].
+  // stack top): [pad][pad][&boot][rbp][rbx][r12][r13][r14][r15=this].
   auto* top = reinterpret_cast<std::uint64_t*>(
       static_cast<char*>(stack_.base()) + stack_.size());
   RTS_ASSERT((reinterpret_cast<std::uintptr_t>(top) & 15u) == 0);
@@ -65,15 +62,12 @@ Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
   *--sp = 0;                                              // r13
   *--sp = 0;                                              // r14
   *--sp = reinterpret_cast<std::uint64_t>(this);          // r15 -> entry arg
-  *--sp = current_fp_control();                           // mxcsr | fpcw<<32
   sp_ = sp;
 }
 
 #else  // ucontext fallback
 
-Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
-    : stack_(acquire_stack(stack_bytes)), fn_(std::move(fn)) {
-  RTS_ASSERT(fn_ != nullptr);
+void Fiber::seed_stack() {
   const int rc = ::getcontext(&uc_);
   RTS_ASSERT_MSG(rc == 0, "getcontext failed");
   uc_.uc_stack.ss_sp = stack_.base();

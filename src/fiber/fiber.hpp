@@ -29,6 +29,7 @@
 #include <functional>
 
 #include "fiber/stack.hpp"
+#include "support/assert.hpp"
 
 namespace rts::fiber {
 
@@ -54,6 +55,7 @@ class ExecutionContext {
 
 /// Saves the current continuation into `save_into` and resumes `resume`.
 /// Returns when something later switches back into `save_into`.
+/// Defined inline below: two of these run per simulated step.
 void switch_context(ExecutionContext& save_into, ExecutionContext& resume);
 
 /// A fiber: a function plus its own guarded stack.  The function starts
@@ -66,6 +68,11 @@ class Fiber final : public ExecutionContext {
 
   explicit Fiber(std::function<void()> fn,
                  std::size_t stack_bytes = kDefaultStackBytes);
+  /// Adopts a caller-owned stack instead of acquiring one from the
+  /// thread-local pool: workspace pools hand mappings straight to the next
+  /// fiber with no acquire/release round-trip.  The stack is released back to
+  /// the thread-local pool on destruction like any other fiber stack.
+  Fiber(std::function<void()> fn, MmapStack stack);
   ~Fiber() override;
 
   /// Where control goes when the fiber's function returns.
@@ -73,12 +80,20 @@ class Fiber final : public ExecutionContext {
 
   bool finished() const { return finished_; }
 
+  /// Re-seeds the stack so the next switch into the fiber is a fresh first
+  /// activation of the same function.  Valid whether the fiber finished or
+  /// was abandoned mid-run; like destruction of an abandoned fiber, objects
+  /// live on the old stack contents are dropped without unwinding.  Must not
+  /// be called on the currently running fiber.
+  void rewind();
+
  private:
 #if RTS_FIBER_FAST_CONTEXT
   friend void rts_fiber_entry_impl(Fiber* self);
 #else
   static void trampoline(unsigned hi, unsigned lo);
 #endif
+  void seed_stack();
   void run();
 
   MmapStack stack_;
@@ -86,5 +101,15 @@ class Fiber final : public ExecutionContext {
   ExecutionContext* return_to_ = nullptr;
   bool finished_ = false;
 };
+
+#if RTS_FIBER_FAST_CONTEXT
+extern "C" void rts_fctx_swap(void** save_sp, void* resume_sp);
+
+inline void switch_context(ExecutionContext& save_into,
+                           ExecutionContext& resume) {
+  RTS_ASSERT(&save_into != &resume);
+  rts_fctx_swap(&save_into.sp_, resume.sp_);
+}
+#endif
 
 }  // namespace rts::fiber

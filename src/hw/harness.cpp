@@ -16,6 +16,29 @@
 
 namespace rts::hw {
 
+namespace {
+
+/// Diagnostic algorithm behind algo::AlgorithmId::kDivergeHw: spins shared
+/// reads forever and never elects.  Exists so tests and campaigns can prove
+/// the step-limit watchdog terminates a diverging hw cell cleanly; the
+/// catalogue marks it diagnostic and preset enumerations skip it.
+class DivergeHwLe final : public algo::ILeaderElect<HwPlatform> {
+ public:
+  explicit DivergeHwLe(HwPlatform::Arena arena)
+      : reg_(arena.reg("diverge.spin")) {}
+
+  sim::Outcome elect(HwPlatform::Context& ctx) override {
+    for (;;) reg_.read(ctx);  // unbounded; only the watchdog ends this
+  }
+
+  std::size_t declared_registers() const override { return 1; }
+
+ private:
+  HwPlatform::Reg reg_;
+};
+
+}  // namespace
+
 std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
     algo::AlgorithmId id, HwPlatform::Arena arena, int n) {
   using P = HwPlatform;
@@ -49,6 +72,8 @@ std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
       return std::make_unique<algo::TournamentLe<P>>(arena, n);
     case algo::AlgorithmId::kAaSiftRatRace:
       return std::make_unique<algo::AaSiftRatRaceLe<P>>(arena, n);
+    case algo::AlgorithmId::kDivergeHw:
+      return std::make_unique<DivergeHwLe>(arena);
     case algo::AlgorithmId::kNativeAtomic:
       return nullptr;
   }
@@ -56,8 +81,61 @@ std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
   return nullptr;
 }
 
-HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k,
-                      std::uint64_t seed) {
+namespace {
+
+/// One participant's election, shared by the fresh harness and the pooled
+/// runner.  A StepLimitReached abort leaves the outcome kUnknown and is
+/// reported through the return value (true = aborted on the budget).
+bool run_participant(algo::ILeaderElect<HwPlatform>* le,
+                     std::atomic<std::uint64_t>& native_bit, int pid,
+                     std::uint64_t seed, std::uint64_t step_limit,
+                     sim::Outcome* outcome, std::uint64_t* ops) {
+  support::PrngSource rng(
+      support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+  HwPlatform::Context ctx(pid, rng);
+  ctx.set_step_limit(step_limit);
+  bool aborted = false;
+  try {
+    if (le != nullptr) {
+      *outcome = le->elect(ctx);
+    } else {
+      // Native baseline: atomic exchange is a hardware TAS.
+      *outcome = native_bit.exchange(1, std::memory_order_seq_cst) == 0
+                     ? sim::Outcome::kWin
+                     : sim::Outcome::kLose;
+      ctx.on_op();
+    }
+  } catch (const StepLimitReached&) {
+    aborted = true;  // over budget: outcome stays kUnknown
+  }
+  *ops = ctx.ops();
+  return aborted;
+}
+
+/// Post-run accounting shared by the fresh harness and the pooled runner:
+/// winner count, the safety check, and the completeness verdict.  An
+/// incomplete (watchdog-aborted) run legitimately has no winner; only a
+/// complete run without exactly one is a violation, mirroring the sim
+/// harness's liveness rule.
+void finalize_hw_result(HwRunResult& result, std::size_t registers,
+                        double wall_seconds, bool aborted) {
+  result.wall_seconds = wall_seconds;
+  result.registers = registers;
+  result.completed = !aborted;
+  for (const sim::Outcome outcome : result.outcomes) {
+    if (outcome == sim::Outcome::kWin) ++result.winners;
+  }
+  if (result.winners > 1 || (result.completed && result.winners != 1)) {
+    result.violations.push_back(
+        "hardware run must elect exactly one winner, got " +
+        std::to_string(result.winners));
+  }
+}
+
+}  // namespace
+
+HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed,
+                      HwRunOptions options) {
   RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n threads");
   HwRunResult result;
   result.n = n;
@@ -71,27 +149,19 @@ HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k,
       make_hw_le(id, arena, n);
   result.declared_registers = le != nullptr ? le->declared_registers() : 1;
   std::atomic<std::uint64_t> native_bit{0};
+  std::atomic<int> aborted{0};
 
   std::barrier gate(k + 1);
   std::vector<std::jthread> threads;
   threads.reserve(static_cast<std::size_t>(k));
   for (int pid = 0; pid < k; ++pid) {
     threads.emplace_back([&, pid] {
-      support::PrngSource rng(
-          support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
-      HwPlatform::Context ctx(pid, rng);
       gate.arrive_and_wait();
-      if (le != nullptr) {
-        result.outcomes[static_cast<std::size_t>(pid)] = le->elect(ctx);
-      } else {
-        // Native baseline: atomic exchange is a hardware TAS.
-        result.outcomes[static_cast<std::size_t>(pid)] =
-            native_bit.exchange(1, std::memory_order_seq_cst) == 0
-                ? sim::Outcome::kWin
-                : sim::Outcome::kLose;
-        ctx.on_op();
+      if (run_participant(le.get(), native_bit, pid, seed, options.step_limit,
+                          &result.outcomes[static_cast<std::size_t>(pid)],
+                          &result.ops[static_cast<std::size_t>(pid)])) {
+        aborted.fetch_add(1, std::memory_order_relaxed);
       }
-      result.ops[static_cast<std::size_t>(pid)] = ctx.ops();
       gate.arrive_and_wait();
     });
   }
@@ -102,16 +172,9 @@ HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k,
   const auto end = std::chrono::steady_clock::now();
   threads.clear();  // join
 
-  result.wall_seconds = std::chrono::duration<double>(end - start).count();
-  result.registers = pool.allocated();
-  for (const sim::Outcome outcome : result.outcomes) {
-    if (outcome == sim::Outcome::kWin) ++result.winners;
-  }
-  if (result.winners != 1) {
-    result.violations.push_back(
-        "hardware run must elect exactly one winner, got " +
-        std::to_string(result.winners));
-  }
+  finalize_hw_result(result, pool.allocated(),
+                     std::chrono::duration<double>(end - start).count(),
+                     aborted.load(std::memory_order_relaxed) > 0);
   return result;
 }
 
@@ -130,6 +193,7 @@ exec::TrialSummary summarize_trial(const HwRunResult& result) {
   for (const sim::Outcome outcome : result.outcomes) {
     if (outcome == sim::Outcome::kUnknown) ++trial.unfinished;
   }
+  trial.completed = result.completed;
   trial.wall_seconds = result.wall_seconds;
   if (!result.violations.empty()) {
     trial.first_violation = result.violations.front();
@@ -138,16 +202,113 @@ exec::TrialSummary summarize_trial(const HwRunResult& result) {
 }
 
 HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
-                         std::uint64_t seed0) {
-  return run_hw_le(id, n, k, sim::trial_seed(seed0, trial));
+                         std::uint64_t seed0, HwRunOptions options) {
+  return run_hw_le(id, n, k, sim::trial_seed(seed0, trial), options);
+}
+
+HwTrialPool::HwTrialPool(int k) : k_(k), gate_(k + 1) {
+  RTS_REQUIRE(k >= 1, "need at least one participant thread");
+  threads_.reserve(static_cast<std::size_t>(k));
+  try {
+    for (int pid = 0; pid < k; ++pid) {
+      threads_.emplace_back([this, pid] { participant(pid); });
+    }
+  } catch (...) {
+    // Partial spawn (thread-resource exhaustion): the already-running
+    // participants are parked on the condition variable -- never on the
+    // barrier, whose k+1 parties don't all exist -- so shutdown works.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    threads_.clear();  // join
+    throw;
+  }
+}
+
+HwTrialPool::~HwTrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  threads_.clear();  // join
+}
+
+void HwTrialPool::participant(int pid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      // Park until run() publishes a job or the pool shuts down.
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+    }
+    gate_.arrive_and_wait();  // start line: the trial timer begins here
+    if (run_participant(le_, *native_bit_, pid, seed_, step_limit_,
+                        &(*outcomes_)[static_cast<std::size_t>(pid)],
+                        &(*ops_)[static_cast<std::size_t>(pid)])) {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    gate_.arrive_and_wait();  // completion; orders our writes before run()
+  }
+}
+
+HwRunResult HwTrialPool::run(algo::AlgorithmId id, int n, std::uint64_t seed,
+                             HwRunOptions options) {
+  RTS_REQUIRE(k_ <= n, "need k <= n threads");
+  HwRunResult result;
+  result.n = n;
+  result.k = k_;
+  result.outcomes.assign(static_cast<std::size_t>(k_), sim::Outcome::kUnknown);
+  result.ops.assign(static_cast<std::size_t>(k_), 0);
+
+  RegisterPool pool;
+  HwPlatform::Arena arena(pool);
+  std::unique_ptr<algo::ILeaderElect<HwPlatform>> le =
+      make_hw_le(id, arena, n);
+  result.declared_registers = le != nullptr ? le->declared_registers() : 1;
+  std::atomic<std::uint64_t> native_bit{0};
+
+  le_ = le.get();
+  native_bit_ = &native_bit;
+  seed_ = seed;
+  step_limit_ = options.step_limit;
+  outcomes_ = &result.outcomes;
+  ops_ = &result.ops;
+  aborted_.store(0, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++job_seq_;  // publishes the job state written above
+  }
+  job_cv_.notify_all();
+  gate_.arrive_and_wait();  // start line with the woken participants
+  const auto start = std::chrono::steady_clock::now();
+  gate_.arrive_and_wait();  // wait for completion
+  const auto end = std::chrono::steady_clock::now();
+  ++trials_run_;
+
+  finalize_hw_result(result, pool.allocated(),
+                     std::chrono::duration<double>(end - start).count(),
+                     aborted_.load(std::memory_order_relaxed) > 0);
+  return result;
+}
+
+HwRunResult HwTrialPool::run_trial(algo::AlgorithmId id, int n, int trial,
+                                   std::uint64_t seed0, HwRunOptions options) {
+  return run(id, n, sim::trial_seed(seed0, trial), options);
 }
 
 exec::Aggregate run_hw_many(algo::AlgorithmId id, int k, int trials,
-                            std::uint64_t seed0) {
+                            std::uint64_t seed0, HwRunOptions options) {
+  HwTrialPool pool(k);
   exec::Aggregate agg;
   for (int t = 0; t < trials; ++t) {
-    exec::accumulate_trial(agg,
-                           summarize_trial(run_hw_trial(id, k, k, t, seed0)));
+    exec::accumulate_trial(
+        agg, summarize_trial(pool.run_trial(id, k, t, seed0, options)));
   }
   return agg;
 }

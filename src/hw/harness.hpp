@@ -8,9 +8,14 @@
 // reporters are backend-agnostic.
 #pragma once
 
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "algo/platform.hpp"
@@ -32,6 +37,14 @@ using HwAlgorithmId = algo::AlgorithmId;
 std::unique_ptr<algo::ILeaderElect<HwPlatform>> make_hw_le(
     algo::AlgorithmId id, HwPlatform::Arena arena, int n);
 
+/// Per-run knobs shared by the fresh harness and the pooled runner.
+struct HwRunOptions {
+  /// Shared-op budget per participant context (the step-limit watchdog; see
+  /// hw::StepLimitReached).  Participants exceeding it abort; the trial
+  /// reports them unfinished and is marked incomplete instead of hanging.
+  std::uint64_t step_limit = UINT64_MAX;
+};
+
 struct HwRunResult {
   int n = 0;  ///< capacity the object was built for
   int k = 0;  ///< participating threads
@@ -41,6 +54,7 @@ struct HwRunResult {
   int winners = 0;
   std::size_t registers = 0;        // materialized in the pool
   std::size_t declared_registers = 0;
+  bool completed = true;  ///< false when the step-limit watchdog fired
   std::vector<std::string> violations;
 };
 
@@ -48,12 +62,13 @@ struct HwRunResult {
 /// participants (1 <= k <= n), mirroring sim::run_le_once.  Each thread
 /// calls elect() exactly once; the harness checks the exactly-one-winner
 /// invariant.
-HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed);
+HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed,
+                      HwRunOptions options = {});
 
 /// Convenience: the common "object sized for its load" case, n = k.
-inline HwRunResult run_hw_le(algo::AlgorithmId id, int k,
-                             std::uint64_t seed) {
-  return run_hw_le(id, k, k, seed);
+inline HwRunResult run_hw_le(algo::AlgorithmId id, int k, std::uint64_t seed,
+                             HwRunOptions options = {}) {
+  return run_hw_le(id, k, k, seed, options);
 }
 
 /// The backend-agnostic per-trial slice of a hardware run; feeds the same
@@ -64,10 +79,67 @@ exec::TrialSummary summarize_trial(const HwRunResult& result);
 /// per-trial seed derivation sim::run_le_trial uses, so a campaign cell's
 /// trial stream means the same thing on either backend.
 HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
-                         std::uint64_t seed0);
+                         std::uint64_t seed0, HwRunOptions options = {});
 
-/// Runs `trials` elections (n = k) through the shared trial-order fold.
+/// Persistent pool of `k` parked participant threads reused across hardware
+/// trials: the per-trial cost drops from k thread spawns + joins to two
+/// barrier phases.  One pool per campaign cell (or per run_hw_many stream);
+/// run() is not thread-safe -- callers serialize trials, which the campaign
+/// executor does anyway to keep measured thread counts honest.
+///
+/// The algorithm instance and its register pool stay per-trial: unlike sim
+/// kernels, hw object graphs race real threads, so each trial gets a fresh
+/// build and only the threads are recycled.
+class HwTrialPool {
+ public:
+  explicit HwTrialPool(int k);
+  ~HwTrialPool();
+
+  HwTrialPool(const HwTrialPool&) = delete;
+  HwTrialPool& operator=(const HwTrialPool&) = delete;
+
+  int capacity() const { return k_; }
+  std::uint64_t trials_run() const { return trials_run_; }
+
+  /// One election with the pool's k participants, mirroring
+  /// run_hw_le(id, n, k, seed, options).
+  HwRunResult run(algo::AlgorithmId id, int n, std::uint64_t seed,
+                  HwRunOptions options = {});
+
+  /// Trial-indexed form mirroring run_hw_trial's seed derivation.
+  HwRunResult run_trial(algo::AlgorithmId id, int n, int trial,
+                        std::uint64_t seed0, HwRunOptions options = {});
+
+ private:
+  void participant(int pid);
+
+  int k_;
+  // Participants park on the condition variable between trials (and during
+  // construction), so teardown works however many threads actually spawned;
+  // the barrier -- whose k+1 parties all provably exist once the
+  // constructor returns -- only lines up the start and completion of one
+  // trial.
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::uint64_t job_seq_ = 0;  // guarded by mu_
+  bool stop_ = false;          // guarded by mu_
+  std::barrier<> gate_;        // k participants + the driving thread
+  // Per-trial job state: written by run() before publishing the job
+  // sequence number, read by participants after waking on it.
+  algo::ILeaderElect<HwPlatform>* le_ = nullptr;
+  std::atomic<std::uint64_t>* native_bit_ = nullptr;
+  std::uint64_t seed_ = 0;
+  std::uint64_t step_limit_ = UINT64_MAX;
+  std::vector<sim::Outcome>* outcomes_ = nullptr;
+  std::vector<std::uint64_t>* ops_ = nullptr;
+  std::atomic<int> aborted_{0};
+  std::uint64_t trials_run_ = 0;
+  std::vector<std::jthread> threads_;
+};
+
+/// Runs `trials` elections (n = k) through one persistent HwTrialPool and
+/// the shared trial-order fold.
 exec::Aggregate run_hw_many(algo::AlgorithmId id, int k, int trials,
-                            std::uint64_t seed0);
+                            std::uint64_t seed0, HwRunOptions options = {});
 
 }  // namespace rts::hw

@@ -22,6 +22,12 @@
 
 namespace rts::hw {
 
+/// Thrown by Context::on_op when a participant exceeds its shared-op budget
+/// (the hw step-limit watchdog).  The harness catches it on the participant
+/// thread: the trial finishes with that participant unfinished and the run
+/// marked incomplete, instead of a diverging algorithm hanging the campaign.
+struct StepLimitReached {};
+
 /// One register on its own cache line to keep the step counts honest (no
 /// false sharing between unrelated registers).
 struct alignas(64) RegisterCell {
@@ -111,11 +117,34 @@ struct HwPlatform {
     }
     fiber::ExecutionContext& exec_slot() { return *exec_slot_; }
 
-    std::uint64_t ops() const { return ops_; }
+    /// Arms the step-limit watchdog: on_op throws StepLimitReached once this
+    /// context performs more than `limit` shared ops -- a divergence abort
+    /// knob, not a precise step meter.  Child contexts (combiner
+    /// sub-elections on child fibers) deliberately do NOT carry the limit:
+    /// an exception cannot unwind across a fiber boundary, so child ops are
+    /// charged on the coordinator's (root) stack via charge_child_op
+    /// instead.
+    void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+    std::uint64_t step_limit() const { return step_limit_; }
+
+    /// Total shared ops attributed to this context, including ops its child
+    /// fibers performed (charged by the combiner's coordinator loop).
+    std::uint64_t ops() const { return ops_ + child_ops_; }
+
+    /// Charges one child-fiber shared op against this context's budget.
+    /// Called by the combiner coordinator right after a child yields (one
+    /// yield = one shared op), so the budget check -- and any
+    /// StepLimitReached -- happens on the coordinator's own stack, where the
+    /// harness can catch it.
+    void charge_child_op() {
+      ++child_ops_;
+      if (ops() > step_limit_) throw StepLimitReached{};
+    }
 
     /// Called by Reg after every shared-memory operation.
     void on_op() {
       ++ops_;
+      if (ops() > step_limit_) throw StepLimitReached{};
       if (yield_after_op_ != nullptr) {
         fiber::switch_context(*exec_slot_, *yield_after_op_);
       }
@@ -130,9 +159,14 @@ struct HwPlatform {
     fiber::ExecutionContext* exec_slot_;
     fiber::ExecutionContext* yield_after_op_ = nullptr;
     std::uint64_t ops_ = 0;
+    std::uint64_t child_ops_ = 0;
+    std::uint64_t step_limit_ = UINT64_MAX;
     std::uint64_t stage_ = 0;
   };
 
+  /// Child contexts carry no step limit of their own: their ops are charged
+  /// against the parent's budget on the parent's stack (charge_child_op),
+  /// because a throw on a child fiber's stack could not unwind out.
   static Context child_context(Context& parent,
                                fiber::ExecutionContext& slot) {
     return Context(parent.pid(), parent.rng(), slot);

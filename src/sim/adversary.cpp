@@ -21,10 +21,12 @@ const char* to_string(AdversaryClass clazz) {
 }
 
 KernelView::KernelView(const Kernel& kernel, AdversaryClass clazz)
-    : kernel_(&kernel), clazz_(clazz), runnable_(kernel.runnable_pids()) {}
+    : kernel_(&kernel),
+      clazz_(clazz),
+      runnable_(&kernel.runnable_pids_cached()) {}
 
 bool KernelView::is_runnable(int pid) const {
-  return std::binary_search(runnable_.begin(), runnable_.end(), pid);
+  return std::binary_search(runnable_->begin(), runnable_->end(), pid);
 }
 
 PendingOpView KernelView::pending(int pid) const {

@@ -59,8 +59,9 @@ class KernelView {
 
   /// Pids with a pending operation, in pid order.  Every adversary class may
   /// use this: the standard convention for oblivious schedules is that steps
-  /// of finished processes are skipped.
-  const std::vector<int>& runnable() const { return runnable_; }
+  /// of finished processes are skipped.  Backed by the kernel's cached
+  /// runnable set, so constructing a view per step allocates nothing.
+  const std::vector<int>& runnable() const { return *runnable_; }
   bool is_runnable(int pid) const;
 
   /// The class-filtered view of pid's pending op.  Precondition: runnable.
@@ -72,7 +73,7 @@ class KernelView {
  private:
   const Kernel* kernel_;
   AdversaryClass clazz_;
-  std::vector<int> runnable_;
+  const std::vector<int>* runnable_;
 };
 
 /// One scheduling decision.

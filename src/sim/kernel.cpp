@@ -11,10 +11,17 @@ Kernel::Kernel(Options options) : options_(options) {}
 
 int Kernel::add_process(std::function<void(Context&)> body,
                         std::unique_ptr<support::RandomSource> rng) {
+  return add_process(std::move(body), std::move(rng),
+                     fiber::acquire_stack(fiber::Fiber::kDefaultStackBytes));
+}
+
+int Kernel::add_process(std::function<void(Context&)> body,
+                        std::unique_ptr<support::RandomSource> rng,
+                        fiber::MmapStack stack) {
   RTS_REQUIRE(!started_, "add_process after start");
   const int pid = static_cast<int>(processes_.size());
-  processes_.push_back(
-      std::make_unique<SimProcess>(*this, pid, std::move(body), std::move(rng)));
+  processes_.push_back(std::make_unique<SimProcess>(
+      *this, pid, std::move(body), std::move(rng), std::move(stack)));
   return pid;
 }
 
@@ -22,6 +29,16 @@ void Kernel::start() {
   RTS_REQUIRE(!started_, "kernel already started");
   started_ = true;
   for (auto& proc : processes_) proc->start();
+  runnable_dirty_ = true;
+}
+
+void Kernel::rewind() {
+  started_ = false;
+  total_steps_ = 0;
+  event_log_.clear();
+  memory_.reset_values();
+  for (auto& proc : processes_) proc->rewind();
+  runnable_dirty_ = true;
 }
 
 const SimProcess& Kernel::process(int pid) const {
@@ -36,6 +53,18 @@ std::vector<int> Kernel::runnable_pids() const {
     if (proc->runnable()) out.push_back(proc->pid());
   }
   return out;
+}
+
+const std::vector<int>& Kernel::runnable_pids_cached() const {
+  if (runnable_dirty_) {
+    runnable_cache_.clear();
+    runnable_cache_.reserve(processes_.size());
+    for (const auto& proc : processes_) {
+      if (proc->runnable()) runnable_cache_.push_back(proc->pid());
+    }
+    runnable_dirty_ = false;
+  }
+  return runnable_cache_;
 }
 
 bool Kernel::all_done() const {
@@ -53,21 +82,28 @@ void Kernel::grant(int pid) {
   SimProcess& proc = *processes_[pid];
   RTS_ASSERT_MSG(proc.runnable(), "grant to non-runnable process");
 
-  const PendingOp op = proc.pending();
+  // By reference: pending_ stays untouched until resume_with_result lets the
+  // fiber announce its next op, after our last use.
+  const PendingOp& op = proc.pending();
+  // Filling an OpRecord costs a noticeable slice of a ~50ns step; skip it
+  // entirely unless someone is listening.
+  const bool record_op = op_observer_ != nullptr || options_.track_events;
   OpRecord record;
-  record.step = total_steps_;
-  record.pid = pid;
-  record.kind = op.kind;
-  record.reg = op.reg;
-  record.prev_writer = memory_.slot(op.reg).last_writer;
+  if (record_op) {
+    record.step = total_steps_;
+    record.pid = pid;
+    record.kind = op.kind;
+    record.reg = op.reg;
+    record.prev_writer = memory_.slot(op.reg).last_writer;
+  }
 
   std::uint64_t result = 0;
   if (op.kind == OpKind::kRead) {
     result = memory_.read(op.reg, pid);
-    record.value = result;
+    if (record_op) record.value = result;
   } else {
     memory_.write(op.reg, op.value, pid);
-    record.value = op.value;
+    if (record_op) record.value = op.value;
   }
   ++total_steps_;
   ++proc.steps_;
@@ -76,6 +112,9 @@ void Kernel::grant(int pid) {
   if (options_.track_events) event_log_.push_back(record);
 
   proc.resume_with_result(result);
+  // A granted process either announced again (still runnable) or finished;
+  // only the latter changes the runnable set.
+  if (proc.state() != SimProcess::State::kReady) runnable_dirty_ = true;
 }
 
 void Kernel::crash(int pid) {
@@ -85,13 +124,17 @@ void Kernel::crash(int pid) {
                      proc.state() == SimProcess::State::kUnstarted,
                  "crash of a process that already finished or crashed");
   proc.crash();
+  runnable_dirty_ = true;
 }
 
 bool Kernel::run(Adversary& adversary) {
   if (!started_) start();
-  while (!all_done()) {
+  const AdversaryClass clazz = adversary.clazz();  // hoisted virtual call
+  // Post-start() no process is kUnstarted, so "all done" is exactly "the
+  // runnable set is empty" -- and the cached set makes that O(1) per step.
+  while (!runnable_pids_cached().empty()) {
     if (total_steps_ >= options_.step_limit) return false;
-    KernelView view(*this, adversary.clazz());
+    KernelView view(*this, clazz);
     const Action action = adversary.next(view);
     switch (action.kind) {
       case Action::Kind::kStep:

@@ -41,10 +41,23 @@ class Kernel {
   /// Must not be called after start().
   int add_process(std::function<void(Context&)> body,
                   std::unique_ptr<support::RandomSource> rng);
+  /// Same, with the process fiber on an adopted caller-owned stack
+  /// (workspace stack pooling).
+  int add_process(std::function<void(Context&)> body,
+                  std::unique_ptr<support::RandomSource> rng,
+                  fiber::MmapStack stack);
 
   /// Runs every process's prologue up to its first pending-op announcement.
   void start();
   bool started() const { return started_; }
+
+  /// Rewinds the kernel for another run over the same process set: register
+  /// values, traffic counters, the event log, and every process (fiber,
+  /// steps, stage, pending op) return to their pre-start() state.  Process
+  /// bodies and randomness sources are kept; callers reseed the sources
+  /// (support::PrngSource::reseed) for the next trial.  Valid from any
+  /// state -- crashed or starved processes leave nothing behind.
+  void rewind();
 
   int num_processes() const { return static_cast<int>(processes_.size()); }
   const SimProcess& process(int pid) const;
@@ -56,6 +69,12 @@ class Kernel {
 
   /// All pids currently announcing a pending op, in pid order.
   std::vector<int> runnable_pids() const;
+  /// Allocation-free variant for the per-step scheduling loop: a cached
+  /// pid-ordered runnable set, rebuilt only when membership can have changed
+  /// (a process finished, crashed, started, or the kernel rewound) rather
+  /// than on every step.  Invalidated by any kernel mutation; do not hold
+  /// the reference across grant()/crash().
+  const std::vector<int>& runnable_pids_cached() const;
   bool all_done() const;
 
   /// Executes pid's pending op and resumes it until the next announcement or
@@ -89,6 +108,8 @@ class Kernel {
   std::uint64_t total_steps_ = 0;
   std::function<void(const OpRecord&)> op_observer_;
   std::vector<OpRecord> event_log_;
+  mutable std::vector<int> runnable_cache_;
+  mutable bool runnable_dirty_ = true;
 };
 
 }  // namespace rts::sim

@@ -7,28 +7,32 @@
 
 namespace rts::sim {
 
+std::string_view SimMemory::intern(std::string_view name) {
+  const auto it = interned_.find(name);
+  if (it != interned_.end()) return *it;
+  name_pool_.emplace_back(name);  // deque: stable addresses behind the views
+  const std::string_view pooled = name_pool_.back();
+  interned_.insert(pooled);
+  return pooled;
+}
+
 RegId SimMemory::alloc(std::string_view name) {
   RegSlot slot;
-  slot.name = std::string(name);
-  slots_.push_back(std::move(slot));
+  slot.name = intern(name);
+  slots_.push_back(slot);
   return static_cast<RegId>(slots_.size() - 1);
 }
 
-std::uint64_t SimMemory::read(RegId reg, int pid) {
-  RTS_ASSERT(reg < slots_.size());
-  (void)pid;
-  ++slots_[reg].reads;
-  ++total_reads_;
-  return slots_[reg].value;
-}
-
-void SimMemory::write(RegId reg, std::uint64_t value, int pid) {
-  RTS_ASSERT(reg < slots_.size());
-  RegSlot& slot = slots_[reg];
-  slot.value = value;
-  slot.last_writer = pid;
-  ++slot.writes;
-  ++total_writes_;
+void SimMemory::reset_values() {
+  for (RegSlot& slot : slots_) {
+    slot.value = 0;
+    slot.last_writer = -1;
+    slot.reads = 0;
+    slot.writes = 0;
+  }
+  touched_ = 0;
+  total_reads_ = 0;
+  total_writes_ = 0;
 }
 
 const RegSlot& SimMemory::slot(RegId reg) const {
@@ -36,20 +40,10 @@ const RegSlot& SimMemory::slot(RegId reg) const {
   return slots_[reg];
 }
 
-std::size_t SimMemory::touched() const {
-  std::size_t n = 0;
-  for (const auto& slot : slots_) {
-    if (slot.reads > 0 || slot.writes > 0) ++n;
-  }
-  return n;
-}
-
 std::vector<SimMemory::PrefixUsage> SimMemory::usage_by_prefix() const {
   std::map<std::string, PrefixUsage> by_prefix;
   for (const auto& slot : slots_) {
-    const auto dot = slot.name.find('.');
-    const std::string prefix =
-        dot == std::string::npos ? slot.name : slot.name.substr(0, dot);
+    const std::string prefix(slot.name.substr(0, slot.name.find('.')));
     PrefixUsage& usage = by_prefix[prefix];
     usage.prefix = prefix;
     ++usage.registers;

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hpp"
+#include "support/assert.hpp"
 
 namespace rts::sim {
 
@@ -22,16 +25,28 @@ struct RegSlot {
   int last_writer = -1;  // -1 = bottom: no process visible
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
-  std::string name;
+  /// Interned: points into the owning SimMemory's name pool (mirrors the hw
+  /// Arena::reg string_view contract -- no per-register std::string copy).
+  std::string_view name;
 };
 
 class SimMemory {
  public:
   /// Allocates a fresh register initialised to 0 and returns its id.  Takes
-  /// a view to match the platform Arena contract (the name is copied into
-  /// the slot; only the simulator stores names at all).
+  /// a view to match the platform Arena contract; the name is interned in a
+  /// memory-owned pool, so repeated layouts (pooled workspaces rebuilding a
+  /// structure, duplicate component names) store each distinct name once.
   RegId alloc(std::string_view name);
 
+  /// Rewinds every register to its freshly-allocated state -- value 0, no
+  /// visible writer, zero traffic -- while keeping the slots, their interned
+  /// names, and the allocation count.  A pooled workspace calls this between
+  /// trials so a reused layout is indistinguishable from a fresh build.
+  void reset_values();
+
+  // read/write are the innermost simulated-step operations (one of the two
+  // runs per grant); defined inline below so the kernel's step loop pays no
+  // cross-TU call.
   std::uint64_t read(RegId reg, int pid);
   void write(RegId reg, std::uint64_t value, int pid);
 
@@ -39,8 +54,10 @@ class SimMemory {
 
   /// Number of registers allocated so far.
   std::size_t allocated() const { return slots_.size(); }
-  /// Number of registers with at least one read or write.
-  std::size_t touched() const;
+  /// Number of registers with at least one read or write.  Maintained
+  /// incrementally (first touch of a slot), so per-trial space accounting
+  /// costs O(1) instead of a scan over every allocated slot.
+  std::size_t touched() const { return touched_; }
   std::uint64_t total_reads() const { return total_reads_; }
   std::uint64_t total_writes() const { return total_writes_; }
 
@@ -55,9 +72,34 @@ class SimMemory {
   std::vector<PrefixUsage> usage_by_prefix() const;
 
  private:
+  std::string_view intern(std::string_view name);
+
   std::vector<RegSlot> slots_;
+  std::deque<std::string> name_pool_;  // stable storage behind the views
+  std::unordered_set<std::string_view> interned_;
+  std::size_t touched_ = 0;
   std::uint64_t total_reads_ = 0;
   std::uint64_t total_writes_ = 0;
 };
+
+inline std::uint64_t SimMemory::read(RegId reg, int pid) {
+  RTS_ASSERT(reg < slots_.size());
+  (void)pid;
+  RegSlot& slot = slots_[reg];
+  if (slot.reads == 0 && slot.writes == 0) ++touched_;
+  ++slot.reads;
+  ++total_reads_;
+  return slot.value;
+}
+
+inline void SimMemory::write(RegId reg, std::uint64_t value, int pid) {
+  RTS_ASSERT(reg < slots_.size());
+  RegSlot& slot = slots_[reg];
+  if (slot.reads == 0 && slot.writes == 0) ++touched_;
+  slot.value = value;
+  slot.last_writer = pid;
+  ++slot.writes;
+  ++total_writes_;
+}
 
 }  // namespace rts::sim

@@ -49,15 +49,34 @@ void Context::write(RegId reg, std::uint64_t value, OpTags tags) {
 SimProcess::SimProcess(Kernel& kernel, int pid,
                        std::function<void(Context&)> body,
                        std::unique_ptr<support::RandomSource> rng)
+    : SimProcess(kernel, pid, std::move(body), std::move(rng),
+                 fiber::acquire_stack(fiber::Fiber::kDefaultStackBytes)) {}
+
+SimProcess::SimProcess(Kernel& kernel, int pid,
+                       std::function<void(Context&)> body,
+                       std::unique_ptr<support::RandomSource> rng,
+                       fiber::MmapStack stack)
     : kernel_(&kernel),
       pid_(pid),
       body_(std::move(body)),
       rng_(std::move(rng)),
-      fiber_([this] { body_(root_ctx_); }),
+      fiber_([this] { body_(root_ctx_); }, std::move(stack)),
       root_ctx_(*this, fiber_) {
   RTS_ASSERT(body_ != nullptr);
   RTS_ASSERT(rng_ != nullptr);
   fiber_.set_return_to(&kernel.kernel_slot_);
+}
+
+void SimProcess::rewind() {
+  fiber_.rewind();
+  root_ctx_.set_yield_after_op(nullptr);
+  state_ = State::kUnstarted;
+  pending_ = PendingOp{};
+  has_pending_ = false;
+  op_result_ = 0;
+  resume_point_ = nullptr;
+  steps_ = 0;
+  stage_ = 0;
 }
 
 const PendingOp& SimProcess::pending() const {

@@ -84,6 +84,10 @@ class SimProcess {
   /// `body` runs on the process's main fiber with the process's root Context.
   SimProcess(Kernel& kernel, int pid, std::function<void(Context&)> body,
              std::unique_ptr<support::RandomSource> rng);
+  /// Same, on an adopted caller-owned stack (workspace stack pooling).
+  SimProcess(Kernel& kernel, int pid, std::function<void(Context&)> body,
+             std::unique_ptr<support::RandomSource> rng,
+             fiber::MmapStack stack);
 
   int pid() const { return pid_; }
   State state() const { return state_; }
@@ -91,6 +95,14 @@ class SimProcess {
   const PendingOp& pending() const;
   std::uint64_t steps() const { return steps_; }
   std::uint64_t stage() const { return stage_; }
+  support::RandomSource& rng() { return *rng_; }
+
+  /// Rewinds to the unstarted state for another trial over the same body:
+  /// the fiber is re-seeded to a fresh first activation, counters and the
+  /// pending op are cleared.  The caller reseeds the process's RandomSource
+  /// separately (see support::PrngSource::reseed).  Valid from any state --
+  /// a crashed or starved process leaves nothing behind on rewind.
+  void rewind();
 
  private:
   friend class Context;

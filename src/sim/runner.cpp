@@ -2,34 +2,21 @@
 
 #include <algorithm>
 
+#include "exec/workspace.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
 namespace rts::sim {
 
-LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
-                        Adversary& adversary, std::uint64_t seed,
-                        Kernel::Options kernel_options) {
-  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
+                              const std::vector<Outcome>& outcomes,
+                              std::size_t declared_registers, bool completed) {
   LeRunResult result;
   result.n = n;
   result.k = k;
-  result.outcomes.assign(static_cast<std::size_t>(k), Outcome::kUnknown);
-
-  Kernel kernel(kernel_options);
-  BuiltLe le = builder(kernel, n);
-  result.declared_registers = le.declared_registers;
-
-  for (int pid = 0; pid < k; ++pid) {
-    auto rng = std::make_unique<support::PrngSource>(
-        support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
-    auto* outcome_slot = &result.outcomes[static_cast<std::size_t>(pid)];
-    kernel.add_process(
-        [&le, outcome_slot](Context& ctx) { *outcome_slot = le.elect(ctx); },
-        std::move(rng));
-  }
-
-  result.completed = kernel.run(adversary);
+  result.outcomes = outcomes;
+  result.declared_registers = declared_registers;
+  result.completed = completed;
 
   result.steps.resize(static_cast<std::size_t>(k));
   for (int pid = 0; pid < k; ++pid) {
@@ -68,6 +55,30 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
   return result;
 }
 
+LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
+                        Adversary& adversary, std::uint64_t seed,
+                        Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(k),
+                                Outcome::kUnknown);
+
+  Kernel kernel(kernel_options);
+  BuiltLe le = builder(kernel, n);
+
+  for (int pid = 0; pid < k; ++pid) {
+    auto rng = std::make_unique<support::PrngSource>(
+        support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
+    auto* outcome_slot = &outcomes[static_cast<std::size_t>(pid)];
+    kernel.add_process(
+        [&le, outcome_slot](Context& ctx) { *outcome_slot = le.elect(ctx); },
+        std::move(rng));
+  }
+
+  const bool completed = kernel.run(adversary);
+  return collect_le_result(kernel, n, k, outcomes, le.declared_registers,
+                           completed);
+}
+
 LeTrialSummary summarize_trial(const LeRunResult& result) {
   LeTrialSummary trial;
   trial.backend = exec::Backend::kSim;
@@ -87,22 +98,28 @@ std::uint64_t trial_seed(std::uint64_t seed0, int trial) {
   return support::derive_seed(seed0, static_cast<std::uint64_t>(trial));
 }
 
+std::uint64_t adversary_seed(std::uint64_t trial_seed) {
+  return support::derive_seed(trial_seed, 0xadUL);
+}
+
 LeRunResult run_le_trial(const LeBuilder& builder, int n, int k,
                          const AdversaryFactory& adversary_factory, int trial,
                          std::uint64_t seed0, Kernel::Options kernel_options) {
   const std::uint64_t seed = trial_seed(seed0, trial);
-  auto adversary = adversary_factory(support::derive_seed(seed, 0xadUL));
+  auto adversary = adversary_factory(adversary_seed(seed));
   return run_le_once(builder, n, k, *adversary, seed, kernel_options);
 }
 
 LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
                         const AdversaryFactory& adversary_factory, int trials,
                         std::uint64_t seed0, Kernel::Options kernel_options) {
+  exec::TrialWorkspace workspace;
   LeAggregate agg;
   for (int t = 0; t < trials; ++t) {
-    accumulate_trial(agg, summarize_trial(run_le_trial(
-                              builder, n, k, adversary_factory, t, seed0,
-                              kernel_options)));
+    accumulate_trial(
+        agg, summarize_trial(workspace.run_le_trial(
+                 /*key=*/0, builder, n, k, adversary_factory, t, seed0,
+                 kernel_options)));
   }
   return agg;
 }

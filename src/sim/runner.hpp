@@ -24,8 +24,11 @@ namespace rts::sim {
 struct BuiltLe {
   /// Owns the algorithm object graph (kept alive for the kernel's lifetime).
   std::shared_ptr<void> keepalive;
-  /// One-shot election call; invoked at most once per process.
+  /// One-shot election call; invoked at most once per process (per trial).
   std::function<Outcome(Context&)> elect;
+  /// Clears per-process local state between trials of a pooled workspace
+  /// (ILeaderElect::reset_trial_state).  Null means nothing to clear.
+  std::function<void()> reset;
   /// Registers the structure would occupy if fully materialized (analytic;
   /// lazily-built structures allocate fewer).
   std::size_t declared_registers = 0;
@@ -64,6 +67,15 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
                         Adversary& adversary, std::uint64_t seed,
                         Kernel::Options kernel_options = {});
 
+/// Post-run collection shared by the fresh path above and the pooled
+/// exec::TrialWorkspace: steps, space accounting, and the safety/liveness
+/// checks over a kernel whose `k` participants just ran to `outcomes`.
+/// Keeping one implementation is what makes pooled and fresh trials
+/// byte-identical.
+LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
+                              const std::vector<Outcome>& outcomes,
+                              std::size_t declared_registers, bool completed);
+
 /// Sim trials summarize into the backend-agnostic contract shared with the
 /// hardware harness (exec/backend.hpp); the historical Le-prefixed names are
 /// kept as aliases for existing call sites.
@@ -81,6 +93,11 @@ using exec::accumulate_trial;
 /// with `seed0`.
 std::uint64_t trial_seed(std::uint64_t seed0, int trial);
 
+/// The adversary seed derived from a trial's seed -- the one derivation
+/// shared by the fresh path, the pooled workspace, and any baseline
+/// reconstruction, so the paths cannot drift apart.
+std::uint64_t adversary_seed(std::uint64_t trial_seed);
+
 /// Runs trial `trial` of the (builder, n, k, adversary_factory, seed0)
 /// stream: one election with the trial's derived seed and a fresh adversary.
 LeRunResult run_le_trial(const LeBuilder& builder, int n, int k,
@@ -88,6 +105,10 @@ LeRunResult run_le_trial(const LeBuilder& builder, int n, int k,
                          std::uint64_t seed0,
                          Kernel::Options kernel_options = {});
 
+/// Runs `trials` elections through one pooled exec::TrialWorkspace (the
+/// kernel, fibers, and register layout are built once and rewound between
+/// trials) and folds them in trial order.  Aggregates are byte-identical to
+/// the historical fresh-kernel-per-trial loop for the same seeds.
 LeAggregate run_le_many(const LeBuilder& builder, int n, int k,
                         const AdversaryFactory& adversary_factory, int trials,
                         std::uint64_t seed0,

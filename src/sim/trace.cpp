@@ -8,22 +8,22 @@ std::string format_record(const Kernel& kernel, const OpRecord& record) {
   char buffer[256];
   const auto& slot = kernel.memory().slot(record.reg);
   if (record.kind == OpKind::kWrite) {
-    std::snprintf(buffer, sizeof buffer, "#%-6llu p%-3d WRITE r%-4u %-18s := %llu",
+    std::snprintf(buffer, sizeof buffer, "#%-6llu p%-3d WRITE r%-4u %-18.*s := %llu",
                   static_cast<unsigned long long>(record.step), record.pid,
-                  record.reg, slot.name.c_str(),
+                  record.reg, static_cast<int>(slot.name.size()), slot.name.data(),
                   static_cast<unsigned long long>(record.value));
   } else if (record.prev_writer >= 0) {
     std::snprintf(buffer, sizeof buffer,
-                  "#%-6llu p%-3d READ  r%-4u %-18s -> %llu (saw p%d)",
+                  "#%-6llu p%-3d READ  r%-4u %-18.*s -> %llu (saw p%d)",
                   static_cast<unsigned long long>(record.step), record.pid,
-                  record.reg, slot.name.c_str(),
+                  record.reg, static_cast<int>(slot.name.size()), slot.name.data(),
                   static_cast<unsigned long long>(record.value),
                   record.prev_writer);
   } else {
     std::snprintf(buffer, sizeof buffer,
-                  "#%-6llu p%-3d READ  r%-4u %-18s -> %llu",
+                  "#%-6llu p%-3d READ  r%-4u %-18.*s -> %llu",
                   static_cast<unsigned long long>(record.step), record.pid,
-                  record.reg, slot.name.c_str(),
+                  record.reg, static_cast<int>(slot.name.size()), slot.name.data(),
                   static_cast<unsigned long long>(record.value));
   }
   return buffer;

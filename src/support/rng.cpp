@@ -36,9 +36,12 @@ std::uint64_t PrngSource::draw(std::uint64_t arity) {
   if (arity == 1) return 0;
   if (std::has_single_bit(arity)) return rng_.next() & (arity - 1);
   // Rejection sampling for unbiased draws from non-power-of-two ranges.
-  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % arity;
+  if (arity != cached_arity_) {
+    cached_arity_ = arity;
+    cached_limit_ = UINT64_MAX - UINT64_MAX % arity;
+  }
   std::uint64_t x = rng_.next();
-  while (x >= limit) x = rng_.next();
+  while (x >= cached_limit_) x = rng_.next();
   return x % arity;
 }
 

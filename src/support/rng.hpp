@@ -52,11 +52,23 @@ class PrngSource final : public RandomSource {
  public:
   explicit PrngSource(std::uint64_t seed) : rng_(seed) {}
 
+  /// Restarts the stream as if freshly constructed with `seed`.  Pooled
+  /// workspaces reseed their per-process slots between trials instead of
+  /// heap-allocating a new source per process per trial.
+  void reseed(std::uint64_t seed) { rng_ = Xoshiro256(seed); }
+
   std::uint64_t draw(std::uint64_t arity) override;
   std::uint64_t geometric_trunc(std::uint64_t ell) override;
 
  private:
   Xoshiro256 rng_;
+  // Rejection-sampling limit memoized per arity: adversaries draw with the
+  // (slowly shrinking) runnable-set size millions of times per campaign,
+  // and recomputing the limit costs a 64-bit division per draw.  Pure
+  // memoization -- the output stream is unchanged, and reseeding need not
+  // clear it (the limit depends only on the arity).
+  std::uint64_t cached_arity_ = 0;
+  std::uint64_t cached_limit_ = 0;
 };
 
 /// Decision-tape RandomSource used by the exhaustive model checker.  The

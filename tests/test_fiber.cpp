@@ -125,6 +125,57 @@ TEST(Fiber, ManyFibersRoundRobin) {
   }
 }
 
+TEST(Fiber, RewindReplaysFromTheEntryPoint) {
+  ExecutionContext main_ctx;
+  int runs = 0;
+  Fiber fib([&] { ++runs; });
+  fib.set_return_to(&main_ctx);
+  switch_context(main_ctx, fib);
+  EXPECT_TRUE(fib.finished());
+  fib.rewind();
+  EXPECT_FALSE(fib.finished());
+  switch_context(main_ctx, fib);
+  EXPECT_TRUE(fib.finished());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Fiber, RewindRecoversAnAbandonedFiber) {
+  // A fiber suspended mid-run (the shape a starved simulated process leaves
+  // behind) rewinds to a fresh first activation.
+  ExecutionContext main_ctx;
+  Fiber* fib_ptr = nullptr;
+  int phase1 = 0;
+  int phase2 = 0;
+  Fiber fib([&] {
+    ++phase1;
+    switch_context(*fib_ptr, main_ctx);
+    ++phase2;
+  });
+  fib_ptr = &fib;
+  fib.set_return_to(&main_ctx);
+  switch_context(main_ctx, fib);  // runs phase1, suspends
+  EXPECT_EQ(phase1, 1);
+  fib.rewind();                   // abandon the suspended frame
+  switch_context(main_ctx, fib);  // phase1 again
+  switch_context(main_ctx, fib);  // phase2, finishes
+  EXPECT_TRUE(fib.finished());
+  EXPECT_EQ(phase1, 2);
+  EXPECT_EQ(phase2, 1);
+}
+
+TEST(Fiber, AdoptsACallerOwnedStack) {
+  MmapStack stack(64 * 1024);
+  void* base = stack.base();
+  ExecutionContext main_ctx;
+  int value = 0;
+  Fiber fib([&] { value = 7; }, std::move(stack));
+  fib.set_return_to(&main_ctx);
+  switch_context(main_ctx, fib);
+  EXPECT_EQ(value, 7);
+  EXPECT_TRUE(fib.finished());
+  EXPECT_NE(base, nullptr);
+}
+
 TEST(Fiber, AbandonedFiberIsSafelyDestroyed) {
   ExecutionContext main_ctx;
   Fiber* fib_ptr = nullptr;

@@ -80,6 +80,18 @@ TEST(Registry, HwCapabilityFlagsMatchTheHwFactory) {
     } else {
       EXPECT_NE(le, nullptr) << algorithm.name;
     }
+    if (algorithm.diagnostic) {
+      // Diagnostic entries never elect by design; run them under the
+      // watchdog and expect a clean incomplete run instead of a winner.
+      hw::HwRunOptions options;
+      options.step_limit = 1000;
+      const hw::HwRunResult r =
+          hw::run_hw_le(algorithm.id, 2, /*seed=*/11, options);
+      EXPECT_FALSE(r.completed) << algorithm.name;
+      EXPECT_EQ(r.winners, 0) << algorithm.name;
+      EXPECT_TRUE(r.violations.empty()) << algorithm.name;
+      continue;
+    }
     const hw::HwRunResult r = hw::run_hw_le(algorithm.id, 2, /*seed=*/11);
     EXPECT_TRUE(r.violations.empty()) << algorithm.name;
     EXPECT_EQ(r.winners, 1) << algorithm.name;

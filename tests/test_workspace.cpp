@@ -1,0 +1,327 @@
+// Tests for the pooled trial hot path (exec::TrialWorkspace) and the
+// persistent hardware trial pool (hw::HwTrialPool).
+//
+// The load-bearing property: trials through a *reused* workspace are
+// indistinguishable -- field for field, and bit for bit after aggregation --
+// from the fresh-kernel path, for every sim algorithm under every catalogued
+// adversary, including crashing schedules and step-limit-starved trials
+// (a dirty trial must leave no state visible to the next one).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "campaign/executor.hpp"
+#include "exec/workspace.hpp"
+#include "hw/harness.hpp"
+#include "sim/memory.hpp"
+#include "sim/runner.hpp"
+
+namespace rts::exec {
+namespace {
+
+void expect_same_summary(const TrialSummary& fresh, const TrialSummary& pooled,
+                         const std::string& label) {
+  EXPECT_EQ(fresh.k, pooled.k) << label;
+  EXPECT_EQ(fresh.max_steps, pooled.max_steps) << label;
+  EXPECT_EQ(fresh.total_steps, pooled.total_steps) << label;
+  EXPECT_EQ(fresh.regs_touched, pooled.regs_touched) << label;
+  EXPECT_EQ(fresh.declared_registers, pooled.declared_registers) << label;
+  EXPECT_EQ(fresh.unfinished, pooled.unfinished) << label;
+  EXPECT_EQ(fresh.crash_free, pooled.crash_free) << label;
+  EXPECT_EQ(fresh.completed, pooled.completed) << label;
+  EXPECT_EQ(fresh.first_violation, pooled.first_violation) << label;
+}
+
+void expect_same_aggregate(const Aggregate& fresh, const Aggregate& pooled,
+                           const std::string& label) {
+  EXPECT_EQ(fresh.runs, pooled.runs) << label;
+  EXPECT_EQ(fresh.violation_runs, pooled.violation_runs) << label;
+  EXPECT_EQ(fresh.crashed_runs, pooled.crashed_runs) << label;
+  // Bitwise double equality: the pooled fold must see the exact same values
+  // in the exact same order.
+  EXPECT_EQ(fresh.max_steps.mean(), pooled.max_steps.mean()) << label;
+  EXPECT_EQ(fresh.max_steps.max(), pooled.max_steps.max()) << label;
+  EXPECT_EQ(fresh.mean_steps.mean(), pooled.mean_steps.mean()) << label;
+  EXPECT_EQ(fresh.total_steps.mean(), pooled.total_steps.mean()) << label;
+  EXPECT_EQ(fresh.regs_touched.mean(), pooled.regs_touched.mean()) << label;
+  EXPECT_EQ(fresh.unfinished.mean(), pooled.unfinished.mean()) << label;
+}
+
+TEST(TrialWorkspace, PooledMatchesFreshAcrossTheCatalogue) {
+  constexpr int kTrials = 6;
+  constexpr int kParticipants = 8;
+  constexpr std::uint64_t kSeed0 = 99;
+  for (const algo::AlgoInfo& algorithm : algo::all_algorithms()) {
+    if (!algo::supports(algorithm.id, exec::Backend::kSim)) continue;
+    const sim::LeBuilder builder = algo::sim_builder(algorithm.id);
+    for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
+      const sim::AdversaryFactory factory =
+          algo::adversary_factory(adversary.id);
+      const std::string label =
+          std::string(algorithm.name) + " / " + adversary.name;
+
+      Aggregate fresh_agg;
+      Aggregate pooled_agg;
+      TrialWorkspace workspace;
+      for (int t = 0; t < kTrials; ++t) {
+        const TrialSummary fresh = sim::summarize_trial(sim::run_le_trial(
+            builder, kParticipants, kParticipants, factory, t, kSeed0));
+        const TrialSummary pooled = sim::summarize_trial(
+            workspace.run_le_trial(/*key=*/7, builder, kParticipants,
+                                   kParticipants, factory, t, kSeed0));
+        expect_same_summary(fresh, pooled,
+                            label + " trial " + std::to_string(t));
+        accumulate_trial(fresh_agg, fresh);
+        accumulate_trial(pooled_agg, pooled);
+      }
+      expect_same_aggregate(fresh_agg, pooled_agg, label);
+      // One stream, built exactly once, reused for every subsequent trial.
+      EXPECT_EQ(workspace.stream_builds(), 1u) << label;
+      EXPECT_EQ(workspace.trials_run(), static_cast<std::uint64_t>(kTrials))
+          << label;
+    }
+  }
+}
+
+TEST(TrialWorkspace, StarvedTrialLeavesNoResidue) {
+  // A trial cut off mid-election (tiny step budget: fibers abandoned with
+  // live frames, registers half-written) must not perturb the next trial of
+  // the same stream.
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kRatRacePath);
+  const sim::AdversaryFactory factory =
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom);
+  sim::Kernel::Options tiny;
+  tiny.step_limit = 7;
+
+  TrialWorkspace workspace;
+  const TrialSummary starved =
+      sim::summarize_trial(workspace.run_le_trial(1, builder, 8, 8, factory,
+                                                  /*trial=*/0, 5, tiny));
+  EXPECT_FALSE(starved.completed);
+  EXPECT_GT(starved.unfinished, 0);
+
+  // Same stream, next trial, same tiny budget: must equal the fresh path.
+  const TrialSummary fresh = sim::summarize_trial(
+      sim::run_le_trial(builder, 8, 8, factory, /*trial=*/1, 5, tiny));
+  const TrialSummary pooled = sim::summarize_trial(
+      workspace.run_le_trial(1, builder, 8, 8, factory, /*trial=*/1, 5, tiny));
+  expect_same_summary(fresh, pooled, "after starved trial");
+}
+
+TEST(TrialWorkspace, CrashedTrialLeavesNoResidue) {
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kCombinedSift);
+  const sim::AdversaryFactory crash =
+      algo::adversary_factory(algo::AdversaryId::kCrashAfterOps);
+  const sim::AdversaryFactory random =
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom);
+
+  TrialWorkspace workspace;
+  const TrialSummary crashed = sim::summarize_trial(
+      workspace.run_le_trial(3, builder, 8, 8, crash, /*trial=*/0, 17));
+  EXPECT_FALSE(crashed.crash_free);
+
+  const TrialSummary fresh = sim::summarize_trial(
+      sim::run_le_trial(builder, 8, 8, random, /*trial=*/1, 17));
+  const TrialSummary pooled = sim::summarize_trial(
+      workspace.run_le_trial(3, builder, 8, 8, random, /*trial=*/1, 17));
+  expect_same_summary(fresh, pooled, "after crashed trial");
+}
+
+TEST(TrialWorkspace, LruEvictionBoundsPreparedStreams) {
+  TrialWorkspace::Options options;
+  options.max_prepared = 2;
+  TrialWorkspace workspace(options);
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kLogStarChain);
+  const sim::AdversaryFactory factory =
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom);
+
+  for (std::uint64_t key = 0; key < 4; ++key) {
+    workspace.run_le_trial(key, builder, 4, 4, factory, 0, key);
+  }
+  EXPECT_LE(workspace.prepared_streams(), 2u);
+  EXPECT_EQ(workspace.stream_builds(), 4u);
+
+  // An evicted stream comes back correct (just rebuilt).
+  const TrialSummary fresh = sim::summarize_trial(
+      sim::run_le_trial(builder, 4, 4, factory, /*trial=*/1, 0));
+  const TrialSummary pooled = sim::summarize_trial(
+      workspace.run_le_trial(0, builder, 4, 4, factory, /*trial=*/1, 0));
+  expect_same_summary(fresh, pooled, "after eviction");
+}
+
+TEST(TrialWorkspace, RecycledKeyWithNewShapeRebuilds) {
+  TrialWorkspace workspace;
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kTournament);
+  const sim::AdversaryFactory factory =
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom);
+  workspace.run_le_trial(5, builder, 4, 4, factory, 0, 1);
+  const TrialSummary fresh = sim::summarize_trial(
+      sim::run_le_trial(builder, 8, 8, factory, /*trial=*/0, 1));
+  const TrialSummary pooled = sim::summarize_trial(
+      workspace.run_le_trial(5, builder, 8, 8, factory, /*trial=*/0, 1));
+  expect_same_summary(fresh, pooled, "recycled key");
+  EXPECT_EQ(workspace.stream_builds(), 2u);
+}
+
+TEST(TrialWorkspace, RunLeManyUsesThePooledPathBitwise) {
+  // run_le_many drives a workspace internally; it must still reproduce the
+  // historical fresh-kernel loop bit for bit.
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kSiftCascade);
+  const sim::AdversaryFactory factory =
+      algo::adversary_factory(algo::AdversaryId::kUniformRandom);
+  Aggregate fresh_agg;
+  for (int t = 0; t < 10; ++t) {
+    accumulate_trial(fresh_agg, sim::summarize_trial(sim::run_le_trial(
+                                    builder, 6, 6, factory, t, 23)));
+  }
+  const Aggregate pooled_agg = sim::run_le_many(builder, 6, 6, factory, 10, 23);
+  expect_same_aggregate(fresh_agg, pooled_agg, "run_le_many");
+}
+
+TEST(TrialWorkspace, CampaignExecutorPooledLanesMatchTheFreshPath) {
+  // The executor's per-worker workspaces (including work stealing, where a
+  // worker picks up a cell another lane started) must not change a single
+  // reported bit relative to serial fresh-kernel trials.
+  campaign::CampaignSpec spec;
+  spec.name = "ws-test";
+  spec.algorithms = {algo::AlgorithmId::kLogStarChain,
+                     algo::AlgorithmId::kRatRacePath};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom,
+                      algo::AdversaryId::kCrashAfterOps};
+  spec.ks = {2, 8};
+  spec.trials = 7;
+  spec.seed = 31;
+  campaign::ExecutorOptions options;
+  options.workers = 4;
+  const campaign::CampaignResult result = campaign::run_campaign(spec, options);
+  for (const campaign::CellResult& cell : result.cells) {
+    Aggregate fresh_agg;
+    const sim::LeBuilder builder = algo::sim_builder(cell.cell.algorithm);
+    const sim::AdversaryFactory factory =
+        algo::adversary_factory(cell.cell.adversary);
+    sim::Kernel::Options kernel_options;
+    kernel_options.step_limit = cell.cell.step_limit;
+    for (int t = 0; t < cell.cell.trials; ++t) {
+      accumulate_trial(
+          fresh_agg,
+          sim::summarize_trial(sim::run_le_trial(
+              builder, cell.cell.n, cell.cell.k, factory, t, cell.cell.seed0,
+              kernel_options)));
+    }
+    expect_same_aggregate(fresh_agg, cell.agg,
+                          algo::info(cell.cell.algorithm).name);
+  }
+}
+
+TEST(SimMemory, InternsNamesAndKeepsThemAcrossValueResets) {
+  sim::SimMemory memory;
+  const sim::RegId a = memory.alloc("shared.flag");
+  const sim::RegId b = memory.alloc("shared.flag");
+  const sim::RegId c = memory.alloc("other");
+  // Interned: equal names share storage.
+  EXPECT_EQ(memory.slot(a).name.data(), memory.slot(b).name.data());
+  EXPECT_NE(memory.slot(a).name.data(), memory.slot(c).name.data());
+
+  memory.write(a, 42, /*pid=*/1);
+  memory.read(c, /*pid=*/0);
+  EXPECT_EQ(memory.touched(), 2u);
+
+  memory.reset_values();
+  EXPECT_EQ(memory.allocated(), 3u);
+  EXPECT_EQ(memory.slot(a).name, "shared.flag");
+  EXPECT_EQ(memory.slot(a).value, 0u);
+  EXPECT_EQ(memory.slot(a).last_writer, -1);
+  EXPECT_EQ(memory.slot(a).writes, 0u);
+  EXPECT_EQ(memory.touched(), 0u);
+  EXPECT_EQ(memory.total_reads(), 0u);
+  EXPECT_EQ(memory.total_writes(), 0u);
+}
+
+TEST(HwTrialPool, ReusesParkedThreadsAcrossTrials) {
+  hw::HwTrialPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4);
+  for (int t = 0; t < 8; ++t) {
+    const hw::HwRunResult r =
+        pool.run_trial(algo::AlgorithmId::kTournament, 4, t, 11);
+    EXPECT_TRUE(r.violations.empty()) << "trial " << t;
+    EXPECT_EQ(r.winners, 1) << "trial " << t;
+    EXPECT_TRUE(r.completed) << "trial " << t;
+  }
+  EXPECT_EQ(pool.trials_run(), 8u);
+}
+
+TEST(HwTrialPool, WatchdogMarksDivergingTrialsUnfinished) {
+  hw::HwTrialPool pool(2);
+  hw::HwRunOptions options;
+  options.step_limit = 5'000;
+  const hw::HwRunResult r =
+      pool.run(algo::AlgorithmId::kDivergeHw, 2, /*seed=*/3, options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.winners, 0);
+  EXPECT_TRUE(r.violations.empty());  // an aborted run is not a violation
+  const TrialSummary trial = hw::summarize_trial(r);
+  EXPECT_FALSE(trial.completed);
+  EXPECT_EQ(trial.unfinished, 2);
+  EXPECT_GE(trial.max_steps, options.step_limit);
+}
+
+TEST(HwTrialPool, WatchdogSurvivesCombinerChildFibers) {
+  // Regression: the step budget must never throw on a child fiber's stack
+  // (an exception cannot unwind across the fiber boundary).  Combined
+  // algorithms run their sub-elections on child fibers; with a budget too
+  // small to finish, the abort must surface as a clean incomplete trial,
+  // not std::terminate.
+  hw::HwRunOptions options;
+  options.step_limit = 3;
+  const hw::HwRunResult r =
+      hw::run_hw_le(algo::AlgorithmId::kCombinedSift, 4, /*seed=*/7, options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.violations.empty());
+  // And with an ample budget the same algorithm still elects through a pool.
+  hw::HwTrialPool pool(4);
+  const hw::HwRunResult ok =
+      pool.run(algo::AlgorithmId::kCombinedSift, 4, /*seed=*/7);
+  EXPECT_TRUE(ok.completed);
+  EXPECT_EQ(ok.winners, 1);
+}
+
+TEST(HwTrialPool, RunHwManyTerminatesOnDivergingAlgorithms) {
+  hw::HwRunOptions options;
+  options.step_limit = 2'000;
+  const Aggregate agg =
+      hw::run_hw_many(algo::AlgorithmId::kDivergeHw, 2, 3, 5, options);
+  EXPECT_EQ(agg.runs, 3);
+  EXPECT_EQ(agg.violation_runs, 0);
+  EXPECT_EQ(agg.unfinished.mean(), 2.0);
+}
+
+TEST(HwTrialPool, CampaignWithDivergingHwCellTerminatesCleanly) {
+  // The ROADMAP gap this PR closes: an hw cell that never elects used to
+  // hang the campaign; under --step-limit it must finish with every trial
+  // counted incomplete/unfinished and zero violations.
+  campaign::CampaignSpec spec;
+  spec.name = "diverge-test";
+  spec.backends = {exec::Backend::kHw};
+  spec.algorithms = {algo::AlgorithmId::kDivergeHw};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom};
+  spec.ks = {2};
+  spec.trials = 3;
+  spec.step_limit = 2'000;
+  const campaign::CampaignResult result = campaign::run_campaign(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].trials_run, 3);
+  EXPECT_EQ(result.cells[0].incomplete_runs, 3);
+  EXPECT_EQ(result.cells[0].error_runs, 0);
+  EXPECT_EQ(result.cells[0].agg.violation_runs, 0);
+  EXPECT_EQ(result.cells[0].agg.unfinished.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace rts::exec
