@@ -24,17 +24,28 @@
 // rule resolves the election; sub-algorithms therefore must not hold owning
 // heap state across operations, which holds for every algorithm in this
 // library that the combiner wraps.
+//
+// Child-stack ownership: the coordinator's own fiber can itself be abandoned
+// mid-elect (a crashed or step-limit-starved simulated process), dropping the
+// elect() frame -- and everything it owns -- without unwinding.  The child
+// fibers therefore *borrow* their stacks from per-pid slots owned by this
+// CombinedLe object: an abandoned frame abandons only the Fiber bookkeeping,
+// while the mappings stay in the slot and are re-seeded by the next election
+// of that pid.  (Owning the stacks from the frame leaked two mappings per
+// abandoned election; the crash-campaign stack-balance test pins this down.)
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "algo/le2.hpp"
 #include "algo/platform.hpp"
 #include "algo/ratrace.hpp"
 #include "algo/stages.hpp"
 #include "fiber/fiber.hpp"
+#include "fiber/stack.hpp"
 #include "support/assert.hpp"
 
 namespace rts::algo {
@@ -46,7 +57,8 @@ class CombinedLe final : public ILeaderElect<P> {
              std::unique_ptr<ILeaderElect<P>> algo_a)
       : ratrace_(arena, n),
         algo_a_(std::move(algo_a)),
-        le_top_(arena, 0xffffu) {
+        le_top_(arena, 0xffffu),
+        child_stacks_(static_cast<std::size_t>(n)) {
     RTS_REQUIRE(algo_a_ != nullptr, "combined: weak-adversary algorithm null");
   }
 
@@ -67,10 +79,20 @@ class CombinedLe final : public ILeaderElect<P> {
       std::optional<typename P::Context> rr_ctx;
       std::optional<typename P::Context> a_ctx;
     } frame{this, &rr_out, &a_out, std::nullopt, std::nullopt};
+    // Stacks come from this process's slot (lazily mapped on its first
+    // combined election, reused -- possibly after an abandonment -- ever
+    // after); the Fiber objects only borrow them, see the header comment.
+    ChildStacks& stacks = child_stacks_[static_cast<std::size_t>(ctx.pid())];
+    if (stacks.rr.base() == nullptr) {
+      stacks.rr = fiber::acquire_stack(kChildStackBytes);
+      stacks.a = fiber::acquire_stack(kChildStackBytes);
+    }
     fiber::Fiber rr_fib(
-        [f = &frame] { *f->rr_out = f->self->ratrace_.elect(*f->rr_ctx); });
+        [f = &frame] { *f->rr_out = f->self->ratrace_.elect(*f->rr_ctx); },
+        &stacks.rr);
     fiber::Fiber a_fib(
-        [f = &frame] { *f->a_out = f->self->algo_a_->elect(*f->a_ctx); });
+        [f = &frame] { *f->a_out = f->self->algo_a_->elect(*f->a_ctx); },
+        &stacks.a);
     std::optional<typename P::Context>& rr_ctx = frame.rr_ctx;
     std::optional<typename P::Context>& a_ctx = frame.a_ctx;
     rr_ctx.emplace(P::child_context(ctx, rr_fib));
@@ -124,6 +146,22 @@ class CombinedLe final : public ILeaderElect<P> {
   }
 
  private:
+  /// Children run short, iterative sub-elections; the default 128 KB would
+  /// be wasteful at two mappings per participant held for the object's
+  /// lifetime.  Matches the pooled workspace's process-stack size.
+  static constexpr std::size_t kChildStackBytes = 16 * 1024;
+
+  struct ChildStacks {
+    fiber::MmapStack rr;
+    fiber::MmapStack a;
+    ~ChildStacks() {
+      // Back to the thread-local pool (a no-op for never-mapped slots), so
+      // the fresh-kernel path keeps recycling child stacks across trials.
+      fiber::release_stack(std::move(rr));
+      fiber::release_stack(std::move(a));
+    }
+  };
+
   sim::Outcome play_top(typename P::Context& ctx, int side) {
     ctx.publish_stage(stage::make(stage::kTop, 1));
     return le_top_.elect(ctx, side);
@@ -132,6 +170,10 @@ class CombinedLe final : public ILeaderElect<P> {
   RatRacePath<P> ratrace_;
   std::unique_ptr<ILeaderElect<P>> algo_a_;
   Le2<P> le_top_;
+  // One slot per pid: each participant touches only its own entry, so the
+  // vector is safe under hw's racing threads (sized once at construction,
+  // never resized).
+  std::vector<ChildStacks> child_stacks_;
 };
 
 }  // namespace rts::algo

@@ -75,16 +75,20 @@ bool supports(AlgorithmId id, exec::Backend backend) {
 
 const std::vector<AdversaryInfo>& all_adversaries() {
   static const std::vector<AdversaryInfo> kAdversaries = {
-      {AdversaryId::kUniformRandom, "random", false,
+      {AdversaryId::kUniformRandom, "random", false, false,
        "uniformly random among runnable processes; oblivious, so a valid "
        "member of every adversary class"},
-      {AdversaryId::kRoundRobin, "roundrobin", false,
+      {AdversaryId::kRoundRobin, "roundrobin", false, false,
        "cycles through pids; maximal benign interleaving"},
-      {AdversaryId::kSequential, "sequential", false,
+      {AdversaryId::kSequential, "sequential", false, false,
        "runs one process to completion at a time; zero overlap"},
-      {AdversaryId::kCrashAfterOps, "crash", true,
+      {AdversaryId::kCrashAfterOps, "crash", true, false,
        "random scheduling that crashes each process once it exhausts a "
        "seeded per-process op budget (always sparing a survivor)"},
+      {AdversaryId::kReplay, "replay", true, true,
+       "re-drives a recorded schedule (grants and crashes) bit for bit; "
+       "constructed from .rtst traces via rts_bench --replay, never from a "
+       "seed"},
   };
   return kAdversaries;
 }
@@ -122,6 +126,13 @@ sim::AdversaryFactory adversary_factory(AdversaryId id) {
       return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
         return std::make_unique<sim::CrashAfterOpsAdversary>(seed);
       };
+    case AdversaryId::kReplay:
+      // No seed can reconstruct a recorded schedule; replay adversaries are
+      // built from a CellTrace by the campaign executor's --replay path and
+      // the conformance harness.
+      RTS_REQUIRE(false,
+                  "the replay adversary is constructed from a recorded "
+                  "trace (rts_bench --replay DIR), not from a seed");
   }
   RTS_ASSERT_MSG(false, "unknown adversary id");
   return nullptr;

@@ -63,12 +63,18 @@ enum class AdversaryId {
   kRoundRobin,     // oblivious: cycles through pids
   kSequential,     // oblivious: one process at a time, in pid order
   kCrashAfterOps,  // failure injection: crashes processes after an op budget
+  kReplay,         // fixed-schedule replay of a recorded trace (sim/trace.hpp)
 };
 
 struct AdversaryInfo {
   AdversaryId id;
   const char* name;  // stable identifier, e.g. "random"
   bool crashes;      // whether this scheduler may crash processes
+  /// Constructible only from a recorded schedule trace, never from a seed:
+  /// adversary_factory() refuses it, campaign grids reject it (replay runs
+  /// flow through `rts_bench --replay DIR` / exec/conformance.hpp instead),
+  /// and catalogue-wide stress loops skip it.
+  bool from_trace = false;
   const char* description;
 };
 

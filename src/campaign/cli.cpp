@@ -56,6 +56,10 @@ void print_usage(std::FILE* out) {
                "  --csv PATH        also write CSV to PATH ('-' = stdout)\n"
                "  --bench DIR       write a BENCH_<name>.json trajectory\n"
                "                    summary per campaign into DIR\n"
+               "  --record DIR      record every sim trial's schedule into\n"
+               "                    DIR/<campaign>/ (.rtst traces + manifest)\n"
+               "  --replay DIR      re-drive sim trials from traces recorded\n"
+               "                    in DIR/<campaign>/ (bit-for-bit replay)\n"
                "  --time-budget S   stop claiming trials after S seconds\n"
                "  --step-limit N    per-trial kernel step budget\n"
                "  --progress        live progress line on stderr\n"
@@ -108,6 +112,8 @@ struct CliArgs {
   std::string json_path;
   std::string csv_path;
   std::string bench_dir;
+  std::string record_dir;
+  std::string replay_dir;
   bool progress = false;
   bool quiet = false;
   bool list = false;
@@ -206,6 +212,12 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--bench") {
       if ((value = need_value(i, "--bench")) == nullptr) return std::nullopt;
       args.bench_dir = value;
+    } else if (arg == "--record") {
+      if ((value = need_value(i, "--record")) == nullptr) return std::nullopt;
+      args.record_dir = value;
+    } else if (arg == "--replay") {
+      if ((value = need_value(i, "--replay")) == nullptr) return std::nullopt;
+      args.replay_dir = value;
     } else {
       std::fprintf(stderr, "rts_bench: unknown option '%s'\n", argv[i]);
       return std::nullopt;
@@ -375,6 +387,11 @@ int run_cli(int argc, char** argv) {
     print_usage(stderr);
     return 2;
   }
+  if (!args.record_dir.empty() && !args.replay_dir.empty()) {
+    std::fprintf(stderr,
+                 "rts_bench: --record and --replay are mutually exclusive\n");
+    return 2;
+  }
 
   std::vector<CampaignSpec> specs;
   std::vector<const Preset*> preset_of;
@@ -399,13 +416,30 @@ int run_cli(int argc, char** argv) {
     ExecutorOptions options;
     options.workers = args.workers;
     options.time_budget_seconds = args.time_budget;
+    // Traces live in a per-campaign subdirectory, so several presets can
+    // share one --record/--replay root without colliding cell files.
+    if (!args.record_dir.empty()) {
+      options.record_dir = args.record_dir + "/" + spec.name;
+    }
+    if (!args.replay_dir.empty()) {
+      options.replay_dir = args.replay_dir + "/" + spec.name;
+    }
     if (args.progress) options.on_progress = stderr_progress(spec.name.c_str());
 
     if (!args.quiet && args.format == ReportFormat::kTable &&
         preset_of[i] != nullptr) {
       print_banner(*preset_of[i]);
     }
-    const CampaignResult result = run_campaign(spec, options);
+    CampaignResult result;
+    try {
+      result = run_campaign(spec, options);
+    } catch (const Error& error) {
+      // Configuration-level failures (unreadable or spec-mismatched traces,
+      // unwritable record directories) surface here; trial-level replay
+      // divergence is reported per cell as errored trials instead.
+      std::fprintf(stderr, "rts_bench: %s\n", error.what());
+      return 1;
+    }
     if (args.format == ReportFormat::kCsv) {
       report_csv(result, stdout, any_extended);
     } else {

@@ -4,11 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "campaign/reporter.hpp"
 #include "exec/workspace.hpp"
 #include "hw/harness.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/trace.hpp"
 #include "support/assert.hpp"
 
 namespace rts::campaign {
@@ -78,12 +83,95 @@ class WorkQueue {
   bool expired_ = false;
 };
 
+/// Loads and header-validates one cell's trace for replay.  Validation is
+/// against the *expanded* cell, so a spec that drifted since the recording
+/// (different algorithms, sweep, seeds, trial counts) fails before any
+/// trial runs instead of replaying the wrong schedule.
+std::shared_ptr<const sim::CellTrace> load_cell_trace(
+    const std::string& replay_dir, const CellSpec& cell) {
+  auto trace = std::make_shared<sim::CellTrace>();
+  const std::string path =
+      replay_dir + "/" + sim::cell_trace_filename(cell.index);
+  std::string error;
+  RTS_REQUIRE(sim::read_cell_trace_file(path, trace.get(), &error),
+              (path + ": " + error).c_str());
+  const auto check = [&](bool ok, const std::string& what) {
+    RTS_REQUIRE(ok, (path + ": recorded " + what +
+                     " does not match the campaign spec")
+                        .c_str());
+  };
+  check(trace->algorithm == algo::info(cell.algorithm).name,
+        "algorithm '" + trace->algorithm + "'");
+  check(trace->adversary == algo::info(cell.adversary).name,
+        "adversary '" + trace->adversary + "'");
+  check(static_cast<int>(trace->n) == cell.n &&
+            static_cast<int>(trace->k) == cell.k,
+        "geometry (n, k)");
+  check(trace->seed0 == cell.seed0, "seed stream");
+  check(trace->step_limit == cell.step_limit, "step limit");
+  check(trace->trials.size() >= static_cast<std::size_t>(cell.trials),
+        "trial count " + std::to_string(trace->trials.size()));
+  return trace;
+}
+
+/// Writes the per-cell .rtst files and MANIFEST.json of a recorded
+/// campaign.  Called after aggregation on the calling thread, in cell
+/// order, so the directory contents are as deterministic as the reporters.
+void write_recorded_traces(const std::string& record_dir,
+                           const CampaignResult& result,
+                           const std::vector<CellSpec>& cells,
+                           std::vector<sim::TrialTrace>& trial_traces,
+                           const std::vector<unsigned char>& ran) {
+  std::error_code ec;
+  std::filesystem::create_directories(record_dir, ec);
+  RTS_REQUIRE(!ec, ("cannot create trace directory '" + record_dir +
+                    "': " + ec.message())
+                       .c_str());
+  const auto trials = static_cast<std::size_t>(result.spec.trials);
+  std::vector<int> trials_recorded(cells.size(), 0);
+  for (const CellSpec& cell : cells) {
+    if (cell.backend != exec::Backend::kSim) continue;
+    sim::CellTrace out;
+    out.campaign = result.spec.name;
+    out.algorithm = algo::info(cell.algorithm).name;
+    out.adversary = algo::info(cell.adversary).name;
+    out.cell_index = static_cast<std::uint32_t>(cell.index);
+    out.n = static_cast<std::uint32_t>(cell.n);
+    out.k = static_cast<std::uint32_t>(cell.k);
+    out.seed0 = cell.seed0;
+    out.step_limit = cell.step_limit;
+    // Only the contiguous ran prefix: a budget-truncated campaign may have
+    // holes, and a trace with holes could not replay as a stream.
+    const std::size_t base = static_cast<std::size_t>(cell.index) * trials;
+    for (std::size_t t = 0; t < trials && ran[base + t]; ++t) {
+      out.trials.push_back(std::move(trial_traces[base + t]));
+    }
+    trials_recorded[static_cast<std::size_t>(cell.index)] =
+        static_cast<int>(out.trials.size());
+    const std::string path =
+        record_dir + "/" + sim::cell_trace_filename(cell.index);
+    std::string error;
+    RTS_REQUIRE(sim::write_cell_trace_file(path, out, &error),
+                (path + ": " + error).c_str());
+  }
+  const std::string manifest_path = record_dir + "/MANIFEST.json";
+  std::FILE* manifest = std::fopen(manifest_path.c_str(), "w");
+  RTS_REQUIRE(manifest != nullptr,
+              ("cannot write '" + manifest_path + "'").c_str());
+  report_trace_manifest(result, manifest, &trials_recorded);
+  std::fclose(manifest);
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const ExecutorOptions& options) {
   const std::string problem = validate(spec);
   RTS_REQUIRE(problem.empty(), ("invalid campaign: " + problem).c_str());
+  const bool record = !options.record_dir.empty();
+  const bool replay = !options.replay_dir.empty();
+  RTS_REQUIRE(!(record && replay),
+              "a campaign cannot record and replay at once");
 
   int workers = options.workers;
   if (workers <= 0) {
@@ -98,6 +186,20 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const std::vector<CellSpec> cells = expand(spec);
   const auto trials = static_cast<std::size_t>(spec.trials);
   const std::size_t total = cells.size() * trials;
+
+  // Replay mode: load and validate every sim cell's trace up front, before
+  // a single worker starts -- a drifted spec must fail fast and whole.
+  std::vector<std::shared_ptr<const sim::CellTrace>> cell_traces(cells.size());
+  if (replay) {
+    for (const CellSpec& cell : cells) {
+      if (cell.backend != exec::Backend::kSim) continue;
+      cell_traces[static_cast<std::size_t>(cell.index)] =
+          load_cell_trace(options.replay_dir, cell);
+    }
+  }
+  // Record mode: workers fill preallocated per-trial trace slots (actions +
+  // seeds + outcome digest); files are written after aggregation.
+  std::vector<sim::TrialTrace> trial_traces(record ? total : 0);
 
   // Per-cell trial runners, built once and shared read-only by all workers.
   // Sim cells drive trials through the calling worker's pooled
@@ -144,7 +246,55 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       continue;
     }
     sim::LeBuilder builder = algo::sim_builder(cell.algorithm);
+    if (replay) {
+      // Replay cells ignore the catalogue factory: the recorded schedule is
+      // re-driven verbatim, and any divergence from the recorded digest
+      // surfaces as an errored trial (exec/conformance.hpp is the richer,
+      // multi-path form of this check).
+      runners.push_back(
+          [builder = std::move(builder),
+           trace = cell_traces[static_cast<std::size_t>(cell.index)],
+           cell](exec::TrialWorkspace& workspace, int trial) {
+            const sim::TrialTrace& recorded =
+                trace->trials[static_cast<std::size_t>(trial)];
+            sim::ReplayAdversary adversary(&recorded.actions);
+            sim::Kernel::Options kernel_options;
+            kernel_options.step_limit = cell.step_limit;
+            const sim::LeRunResult result = workspace.run_le_once(
+                static_cast<std::uint64_t>(cell.index), builder, cell.n,
+                cell.k, adversary, recorded.trial_seed, kernel_options);
+            const std::string drift = sim::replay_mismatch(recorded, result);
+            if (!drift.empty()) throw Error("replay mismatch: " + drift);
+            return sim::summarize_trial(result);
+          });
+      continue;
+    }
     sim::AdversaryFactory adversary = algo::adversary_factory(cell.adversary);
+    if (record) {
+      runners.push_back(
+          [builder = std::move(builder), adversary = std::move(adversary),
+           cell, traces = &trial_traces,
+           trials](exec::TrialWorkspace& workspace, int trial) {
+            const std::uint64_t seed = sim::trial_seed(cell.seed0, trial);
+            const std::uint64_t adversary_seed = sim::adversary_seed(seed);
+            sim::TrialTrace& out =
+                (*traces)[static_cast<std::size_t>(cell.index) * trials +
+                          static_cast<std::size_t>(trial)];
+            out.trial_seed = seed;
+            out.adversary_seed = adversary_seed;
+            const std::unique_ptr<sim::Adversary> inner =
+                adversary(adversary_seed);
+            sim::RecordingAdversary recorder(*inner, &out.actions);
+            sim::Kernel::Options kernel_options;
+            kernel_options.step_limit = cell.step_limit;
+            const sim::LeRunResult result = workspace.run_le_once(
+                static_cast<std::uint64_t>(cell.index), builder, cell.n,
+                cell.k, recorder, seed, kernel_options);
+            sim::fill_trace_result(out, result);
+            return sim::summarize_trial(result);
+          });
+      continue;
+    }
     runners.push_back(
         [builder = std::move(builder), adversary = std::move(adversary),
          cell](exec::TrialWorkspace& workspace, int trial) {
@@ -269,6 +419,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     result.cells.push_back(std::move(cell_result));
   }
   if (queue.expired()) result.truncated = true;
+  if (record) {
+    write_recorded_traces(options.record_dir, result, cells, trial_traces,
+                          ran);
+  }
   return result;
 }
 

@@ -50,6 +50,20 @@ struct ExecutorOptions {
   /// thread while workers run (and once at completion).  Null disables.
   std::function<void(const Progress&)> on_progress;
   double progress_interval_seconds = 0.5;
+  /// Record every sim trial's schedule + seeds into this directory: one
+  /// .rtst file per sim cell plus MANIFEST.json (see sim/trace.hpp).
+  /// Recording is pure observation -- aggregates and reporter bytes are
+  /// unchanged.  Hw cells are not recordable (the OS scheduler is the
+  /// adversary there) and are skipped.  Empty disables.
+  std::string record_dir;
+  /// Re-drive sim trials from traces previously recorded into this
+  /// directory instead of constructing the spec's adversaries; trace
+  /// headers are validated against the expanded cells, and a faithful
+  /// replay reproduces the recorded campaign's reporter bytes exactly.  A
+  /// trial whose replay diverges from its recorded digest is counted as an
+  /// errored trial, loudly.  Hw cells re-run live.  Empty disables;
+  /// mutually exclusive with record_dir.
+  std::string replay_dir;
 };
 
 struct CellResult {

@@ -209,6 +209,24 @@ std::vector<Preset> build_presets() {
   }
   {
     CampaignSpec spec;
+    spec.name = "conformance";
+    spec.algorithms = {AlgorithmId::kCombinedSift, AlgorithmId::kRatRacePath};
+    spec.adversaries = {AdversaryId::kUniformRandom,
+                        AdversaryId::kCrashAfterOps};
+    spec.ks = {5};
+    spec.trials = 6;
+    spec.seed = 2718;
+    spec.seed_policy = SeedPolicy::kPerCell;
+    presets.push_back({"conformance",
+                       "record/replay conformance corpus (mini adversarial-"
+                       "schedule workload)",
+                       "a recorded schedule replays bit-for-bit through "
+                       "fresh sim, pooled sim, and the scheduled hw drive; "
+                       "the source of the golden traces in tests/golden/",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
     spec.name = "quick";
     spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kRatRacePath};
     spec.adversaries = {AdversaryId::kUniformRandom};

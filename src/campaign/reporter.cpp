@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -303,6 +304,37 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
         fmt_double(cell.agg.wall_seconds.mean()).c_str(),
         cell.agg.violation_runs, cell.agg.crashed_runs,
         cell.incomplete_runs, cell.error_runs);
+  }
+  std::fprintf(out, "]}\n");
+}
+
+void report_trace_manifest(const CampaignResult& result, std::FILE* out,
+                           const std::vector<int>* trials_recorded) {
+  std::fprintf(out,
+               "{\"schema\":\"rts-trace-manifest-1\",\"campaign\":\"%s\","
+               "\"spec_hash\":\"%016llx\",\"format_version\":%llu,"
+               "\"trials\":%d,\"truncated\":%s,\"sim_cells\":[",
+               json_escape(result.spec.name).c_str(),
+               static_cast<unsigned long long>(spec_hash(result.spec)),
+               static_cast<unsigned long long>(sim::kTraceFormatVersion),
+               result.spec.trials, result.truncated ? "true" : "false");
+  bool first = true;
+  for (const CellResult& cell : result.cells) {
+    if (cell.cell.backend != exec::Backend::kSim) continue;
+    const int recorded =
+        trials_recorded != nullptr
+            ? (*trials_recorded)[static_cast<std::size_t>(cell.cell.index)]
+            : cell.trials_run;
+    std::fprintf(
+        out,
+        "%s{\"cell\":%d,\"file\":\"%s\",\"algorithm\":\"%s\","
+        "\"adversary\":\"%s\",\"n\":%d,\"k\":%d,\"trials_recorded\":%d}",
+        first ? "" : ",", cell.cell.index,
+        sim::cell_trace_filename(cell.cell.index).c_str(),
+        algo::info(cell.cell.algorithm).name,
+        algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
+        recorded);
+    first = false;
   }
   std::fprintf(out, "]}\n");
 }

@@ -57,6 +57,17 @@ void report(const CampaignResult& result, ReportFormat format, std::FILE* out);
 /// perf tracking; deliberately includes nondeterministic timing.
 void report_bench_json(const CampaignResult& result, std::FILE* out);
 
+/// The MANIFEST.json of a recorded trace directory (`rts_bench --record`):
+/// campaign identity, spec hash, trace format version, and the recorded sim
+/// cells.  `trials_recorded` (indexed by cell index) is the number of
+/// trials actually stored in each cell's .rtst file -- on a budget-
+/// truncated run that is the contiguous ran prefix, which can be smaller
+/// than the cell's trials_run; null means every cell stored trials_run.
+/// Deterministic for a fixed spec and complete run -- grep-able by CI and
+/// humans; the binary .rtst headers are what --replay validates.
+void report_trace_manifest(const CampaignResult& result, std::FILE* out,
+                           const std::vector<int>* trials_recorded = nullptr);
+
 /// Renders a whole campaign through one reporter into a string (used by the
 /// determinism tests and the CLI's --json/--csv file sinks).
 std::string render_to_string(const CampaignResult& result, ReportFormat format);

@@ -1,5 +1,6 @@
 #include "campaign/spec.hpp"
 
+#include "support/math.hpp"
 #include "support/rng.hpp"
 
 namespace rts::campaign {
@@ -55,6 +56,13 @@ std::string validate(const CampaignSpec& spec) {
       }
     }
   }
+  for (const algo::AdversaryId adversary : spec.adversaries) {
+    if (algo::info(adversary).from_trace) {
+      return std::string("adversary '") + algo::info(adversary).name +
+             "' replays recorded schedules and cannot be a grid axis; "
+             "replay a recorded campaign with rts_bench --replay DIR";
+    }
+  }
   for (const int k : spec.ks) {
     if (k < 1) return "contention values must be >= 1";
     if (spec.fixed_n > 0 && k > spec.fixed_n) {
@@ -73,25 +81,18 @@ std::vector<int> standard_contention_sweep() {
 namespace {
 
 void fnv1a(std::uint64_t& hash, std::string_view text) {
-  for (const char c : text) {
-    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    hash *= 0x100000001b3ULL;
-  }
-  hash ^= 0xffu;  // field separator
-  hash *= 0x100000001b3ULL;
+  support::fnv1a_bytes(hash, text);
+  support::fnv1a_byte(hash, 0xffu);  // field separator
 }
 
 void fnv1a(std::uint64_t& hash, std::uint64_t value) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xffu;
-    hash *= 0x100000001b3ULL;
-  }
+  support::fnv1a_u64(hash, value);
 }
 
 }  // namespace
 
 std::uint64_t spec_hash(const CampaignSpec& spec) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  std::uint64_t hash = support::kFnv1aOffset;
   fnv1a(hash, spec.name);
   for (const exec::Backend backend : spec.backends) {
     fnv1a(hash, exec::to_string(backend));

@@ -1,0 +1,67 @@
+// Differential conformance over recorded schedules.
+//
+// A CellTrace (sim/trace.hpp) pins one adversarial-schedule corpus cell:
+// coin seeds, the exact grant/crash sequence, and a digest of what the
+// recorded run observed.  This harness re-drives each recorded trial through
+// up to three independent execution paths and demands identical observables:
+//
+//   * fresh sim   -- a new kernel per trial (sim::run_le_once),
+//   * pooled sim  -- a rewound exec::TrialWorkspace stream,
+//   * scheduled hw -- the real-atomics HwPlatform, single-threaded, with
+//     every participant on a fiber that yields to the driver after each
+//     shared op, so the recorded schedule is imposed op for op on genuine
+//     std::atomic registers.  Since the library's register model is
+//     sequentially consistent on both backends, a faithful replay must read
+//     the same values, draw the same coins, and elect the same winner.
+//
+// Any divergence -- between paths, or between a path and the recorded
+// digest -- is a conformance failure: the file-backed form of the
+// determinism guarantee the pooled workspace made in-process, and a
+// regression oracle for golden traces checked into tests/golden/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "sim/trace.hpp"
+
+namespace rts::exec {
+
+struct ConformanceOptions {
+  bool fresh_sim = true;
+  bool pooled_sim = true;
+  /// Scheduled hw drive; skipped automatically where the trace is not
+  /// hw-expressible (see hw_expressible).
+  bool hw = true;
+  /// Check only the first N trials of the cell; 0 means all.
+  std::size_t max_trials = 0;
+};
+
+struct ConformanceReport {
+  int trials_checked = 0;
+  int fresh_runs = 0;
+  int pooled_runs = 0;
+  int hw_runs = 0;
+  /// One entry per divergence, e.g. "trial 3 [hw]: pid 2 ops: sim 17, hw 18".
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Whether a recorded cell can be re-driven on the hardware backend: the
+/// algorithm must have an hw factory (every sim-recordable algorithm in the
+/// current catalogue does).  Crash events and starved schedules are
+/// expressible -- a crashed or starved participant's fiber is simply never
+/// resumed again.
+bool hw_expressible(const sim::CellTrace& cell);
+
+/// Replays every trial of the cell through the enabled paths and
+/// cross-checks them; never throws on divergence (divergences come back in
+/// the report).  Throws rts::Error only for an unusable cell (unknown
+/// algorithm name, zero participants).
+ConformanceReport check_cell(const sim::CellTrace& cell,
+                             const ConformanceOptions& options = {});
+
+}  // namespace rts::exec

@@ -73,6 +73,7 @@ void TrialWorkspace::build(Stream& stream, const sim::LeBuilder& builder) {
                          sim::Outcome::kUnknown);
   stream.rngs.clear();
   stream.rngs.reserve(static_cast<std::size_t>(stream.k));
+  stream.adversary.reset();  // a reshaped stream may mean a new scheduler
   Stream* slots = &stream;  // stable: streams_ stores unique_ptrs
   for (int pid = 0; pid < stream.k; ++pid) {
     auto rng = std::make_unique<support::PrngSource>(0);
@@ -88,18 +89,15 @@ void TrialWorkspace::build(Stream& stream, const sim::LeBuilder& builder) {
   stream.fresh = true;
 }
 
-sim::LeRunResult TrialWorkspace::run_le_once(
-    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
-    sim::Adversary& adversary, std::uint64_t seed,
-    sim::Kernel::Options kernel_options) {
-  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
-  Stream& stream = prepare(key, builder, n, k, kernel_options);
+sim::LeRunResult TrialWorkspace::run_on_stream(Stream& stream,
+                                               sim::Adversary& adversary,
+                                               std::uint64_t seed) {
   if (!stream.fresh) {
     stream.kernel->rewind();
     if (stream.built.reset) stream.built.reset();
   }
   stream.fresh = false;
-  for (int pid = 0; pid < k; ++pid) {
+  for (int pid = 0; pid < stream.k; ++pid) {
     stream.rngs[static_cast<std::size_t>(pid)]->reseed(
         support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
     stream.outcomes[static_cast<std::size_t>(pid)] = sim::Outcome::kUnknown;
@@ -107,17 +105,37 @@ sim::LeRunResult TrialWorkspace::run_le_once(
 
   const bool completed = stream.kernel->run(adversary);
   ++trials_run_;
-  return sim::collect_le_result(*stream.kernel, n, k, stream.outcomes,
+  return sim::collect_le_result(*stream.kernel, stream.n, stream.k,
+                                stream.outcomes,
                                 stream.built.declared_registers, completed);
+}
+
+sim::LeRunResult TrialWorkspace::run_le_once(
+    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
+    sim::Adversary& adversary, std::uint64_t seed,
+    sim::Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+  Stream& stream = prepare(key, builder, n, k, kernel_options);
+  return run_on_stream(stream, adversary, seed);
 }
 
 sim::LeRunResult TrialWorkspace::run_le_trial(
     std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
     const sim::AdversaryFactory& adversary_factory, int trial,
     std::uint64_t seed0, sim::Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
   const std::uint64_t seed = sim::trial_seed(seed0, trial);
-  auto adversary = adversary_factory(sim::adversary_seed(seed));
-  return run_le_once(key, builder, n, k, *adversary, seed, kernel_options);
+  const std::uint64_t adversary_seed = sim::adversary_seed(seed);
+  Stream& stream = prepare(key, builder, n, k, kernel_options);
+  // Pooled adversary: reseed the stream's scheduler back to
+  // freshly-constructed state; allocate only on the first trial (or for
+  // bespoke adversaries that cannot reseed).
+  if (stream.adversary == nullptr ||
+      !stream.adversary->reseed(adversary_seed)) {
+    stream.adversary = adversary_factory(adversary_seed);
+    ++adversary_builds_;
+  }
+  return run_on_stream(stream, *stream.adversary, seed);
 }
 
 }  // namespace rts::exec

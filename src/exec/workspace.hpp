@@ -26,8 +26,13 @@
 // A workspace is strictly single-threaded: one per worker lane, never
 // shared.  Streams are keyed by a caller-chosen id (the campaign executor
 // uses the cell index); keys must denote one fixed (builder, n, k, kernel
-// options) configuration.  A bounded LRU of prepared streams caps the fibers
-// and registers a worker holds across cells.
+// options) configuration -- and, for run_le_trial, one fixed adversary
+// factory: the stream pools its adversary object too, reseeding it between
+// trials (sim::Adversary::reseed) instead of reallocating, so feeding one
+// key trials from different factories would silently reseed the wrong
+// scheduler.  Use distinct keys per (cell, adversary) stream, as the
+// executor does.  A bounded LRU of prepared streams caps the fibers and
+// registers a worker holds across cells.
 #pragma once
 
 #include <cstdint>
@@ -62,7 +67,9 @@ class TrialWorkspace {
                                sim::Kernel::Options kernel_options = {});
 
   /// Trial-indexed form mirroring sim::run_le_trial: derives the trial seed
-  /// and a fresh adversary from the stream's (seed0, trial).
+  /// from the stream's (seed0, trial) and drives the stream's *pooled*
+  /// adversary, reseeded per trial; the factory only runs when the stream
+  /// has no adversary yet or the pooled one cannot reseed itself.
   sim::LeRunResult run_le_trial(std::uint64_t key,
                                 const sim::LeBuilder& builder, int n, int k,
                                 const sim::AdversaryFactory& adversary_factory,
@@ -75,6 +82,9 @@ class TrialWorkspace {
   /// Stream (re)builds so far; `trials_run() - stream_builds()` trials ran
   /// allocation-free through a rewound kernel.
   std::uint64_t stream_builds() const { return stream_builds_; }
+  /// Adversary allocations so far; stays at one per stream while every
+  /// pooled adversary keeps reseeding successfully.
+  std::uint64_t adversary_builds() const { return adversary_builds_; }
 
  private:
   struct Stream {
@@ -86,6 +96,7 @@ class TrialWorkspace {
     sim::BuiltLe built;
     std::vector<sim::Outcome> outcomes;        // written by process bodies
     std::vector<support::PrngSource*> rngs;    // owned by kernel processes
+    std::unique_ptr<sim::Adversary> adversary;  // pooled, reseeded per trial
     std::uint64_t last_used = 0;
     bool fresh = true;  // no trial run since (re)build: skip the rewind
   };
@@ -93,12 +104,15 @@ class TrialWorkspace {
   Stream& prepare(std::uint64_t key, const sim::LeBuilder& builder, int n,
                   int k, sim::Kernel::Options kernel_options);
   void build(Stream& stream, const sim::LeBuilder& builder);
+  sim::LeRunResult run_on_stream(Stream& stream, sim::Adversary& adversary,
+                                 std::uint64_t seed);
 
   Options options_;
   std::vector<std::unique_ptr<Stream>> streams_;
   std::uint64_t clock_ = 0;
   std::uint64_t trials_run_ = 0;
   std::uint64_t stream_builds_ = 0;
+  std::uint64_t adversary_builds_ = 0;
 };
 
 }  // namespace rts::exec

@@ -2,6 +2,12 @@
 
 #include <cstdint>
 
+#if RTS_FIBER_ASAN
+#include <pthread.h>
+
+#include <sanitizer/asan_interface.h>
+#endif
+
 #include "support/assert.hpp"
 
 #if RTS_FIBER_FAST_CONTEXT
@@ -16,15 +22,52 @@ void rts_fctx_boot();
 
 namespace rts::fiber {
 
-#if !RTS_FIBER_FAST_CONTEXT
-void switch_context(ExecutionContext& save_into, ExecutionContext& resume) {
-  RTS_ASSERT(&save_into != &resume);
-  const int rc = ::swapcontext(&save_into.uc_, &resume.uc_);
-  RTS_ASSERT_MSG(rc == 0, "swapcontext failed");
+#if RTS_FIBER_ASAN
+void ExecutionContext::asan_capture_thread_stack() {
+  pthread_attr_t attr;
+  if (::pthread_getattr_np(::pthread_self(), &attr) != 0) return;
+  void* bottom = nullptr;
+  std::size_t size = 0;
+  if (::pthread_attr_getstack(&attr, &bottom, &size) == 0) {
+    asan_stack_bottom_ = bottom;
+    asan_stack_size_ = size;
+  }
+  ::pthread_attr_destroy(&attr);
 }
 #endif
 
-Fiber::~Fiber() { release_stack(std::move(stack_)); }
+#if !RTS_FIBER_FAST_CONTEXT
+void switch_context(ExecutionContext& save_into, ExecutionContext& resume) {
+  RTS_ASSERT(&save_into != &resume);
+#if RTS_FIBER_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(save_into.asan_exiting_ ? nullptr : &fake,
+                                 resume.asan_stack_bottom_,
+                                 resume.asan_stack_size_);
+#endif
+  const int rc = ::swapcontext(&save_into.uc_, &resume.uc_);
+  RTS_ASSERT_MSG(rc == 0, "swapcontext failed");
+#if RTS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+#endif
+
+Fiber::~Fiber() {
+  if (borrowed_ == nullptr) release_stack(std::move(stack_));
+}
+
+void Fiber::asan_reset_stack() {
+#if RTS_FIBER_ASAN
+  // Reused stacks (rewind, pool adoption, abandonment) carry stale shadow
+  // poison from the previous activation's frames; clear it so the next
+  // activation starts from clean shadow.
+  __asan_unpoison_memory_region(stack().base(), stack().size());
+  asan_stack_bottom_ = stack().base();
+  asan_stack_size_ = stack().size();
+  asan_exiting_ = false;
+#endif
+}
 
 Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
     : Fiber(std::move(fn), acquire_stack(stack_bytes)) {}
@@ -36,6 +79,13 @@ Fiber::Fiber(std::function<void()> fn, MmapStack stack)
   seed_stack();
 }
 
+Fiber::Fiber(std::function<void()> fn, MmapStack* borrowed)
+    : borrowed_(borrowed), fn_(std::move(fn)) {
+  RTS_ASSERT(fn_ != nullptr);
+  RTS_ASSERT(borrowed_ != nullptr && borrowed_->base() != nullptr);
+  seed_stack();
+}
+
 void Fiber::rewind() {
   finished_ = false;
   seed_stack();
@@ -43,14 +93,21 @@ void Fiber::rewind() {
 
 #if RTS_FIBER_FAST_CONTEXT
 
-void rts_fiber_entry_impl(Fiber* self) { self->run(); }
+void rts_fiber_entry_impl(Fiber* self) {
+#if RTS_FIBER_ASAN
+  // First activation: complete the switch the resumer started.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  self->run();
+}
 
 void Fiber::seed_stack() {
+  asan_reset_stack();
   // Seed the stack so the first switch "returns" into rts_fctx_boot with
   // this Fiber* in r15.  Layout (addresses descending from the 16-aligned
   // stack top): [pad][pad][&boot][rbp][rbx][r12][r13][r14][r15=this].
   auto* top = reinterpret_cast<std::uint64_t*>(
-      static_cast<char*>(stack_.base()) + stack_.size());
+      static_cast<char*>(stack().base()) + stack().size());
   RTS_ASSERT((reinterpret_cast<std::uintptr_t>(top) & 15u) == 0);
   std::uint64_t* sp = top;
   *--sp = 0;                                              // padding
@@ -68,10 +125,11 @@ void Fiber::seed_stack() {
 #else  // ucontext fallback
 
 void Fiber::seed_stack() {
+  asan_reset_stack();
   const int rc = ::getcontext(&uc_);
   RTS_ASSERT_MSG(rc == 0, "getcontext failed");
-  uc_.uc_stack.ss_sp = stack_.base();
-  uc_.uc_stack.ss_size = stack_.size();
+  uc_.uc_stack.ss_sp = stack().base();
+  uc_.uc_stack.ss_size = stack().size();
   uc_.uc_link = nullptr;  // returns are routed through the trampoline instead
   // makecontext only passes ints; split the this-pointer into two 32-bit
   // halves (the portable idiom).
@@ -82,6 +140,9 @@ void Fiber::seed_stack() {
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
+#if RTS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
   const auto self_bits =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
   reinterpret_cast<Fiber*>(self_bits)->run();
@@ -94,6 +155,9 @@ void Fiber::run() {
   finished_ = true;
   RTS_ASSERT_MSG(return_to_ != nullptr,
                  "fiber function returned with no return context set");
+#if RTS_FIBER_ASAN
+  asan_exiting_ = true;  // tell ASan this activation will not be resumed
+#endif
   // Jump out for the last time; saving into our own slot is harmless since
   // nothing may resume a finished fiber.
   switch_context(*this, *return_to_);

@@ -25,6 +25,23 @@
 #include <ucontext.h>
 #endif
 
+// AddressSanitizer needs to be told about every stack switch (it tracks the
+// current stack extent for redzone checks and fake-stack bookkeeping); the
+// annotations are no-ops in regular builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define RTS_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RTS_FIBER_ASAN 1
+#endif
+#endif
+#ifndef RTS_FIBER_ASAN
+#define RTS_FIBER_ASAN 0
+#endif
+#if RTS_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #include <cstddef>
 #include <functional>
 
@@ -37,7 +54,11 @@ namespace rts::fiber {
 /// (default-constructed) or a Fiber's context.
 class ExecutionContext {
  public:
+#if RTS_FIBER_ASAN
+  ExecutionContext() { asan_capture_thread_stack(); }
+#else
   ExecutionContext() = default;
+#endif
   virtual ~ExecutionContext() = default;
 
   ExecutionContext(const ExecutionContext&) = delete;
@@ -50,6 +71,21 @@ class ExecutionContext {
   void* sp_ = nullptr;
 #else
   ucontext_t uc_{};
+#endif
+#if RTS_FIBER_ASAN
+ public:
+  /// Stack extent ASan should adopt when this context is resumed.  Fibers
+  /// set it from their MmapStack; thread-root contexts capture the current
+  /// thread's stack at construction.
+  const void* asan_stack_bottom_ = nullptr;
+  std::size_t asan_stack_size_ = 0;
+  /// Set just before the final switch out of a finishing fiber so ASan can
+  /// free that activation's fake-stack state instead of expecting a return.
+  bool asan_exiting_ = false;
+
+ protected:
+  /// Captures the calling thread's stack extent (thread-root contexts).
+  void asan_capture_thread_stack();
 #endif
 };
 
@@ -73,6 +109,12 @@ class Fiber final : public ExecutionContext {
   /// fiber with no acquire/release round-trip.  The stack is released back to
   /// the thread-local pool on destruction like any other fiber stack.
   Fiber(std::function<void()> fn, MmapStack stack);
+  /// Runs on a *borrowed* stack: ownership stays with the caller, so the
+  /// mapping survives even if this Fiber object is abandoned without
+  /// destruction (dropped on another abandoned fiber's stack -- the combiner
+  /// child-fiber case).  `*stack` must outlive every activation of the
+  /// fiber and must not be shared with a concurrently running fiber.
+  Fiber(std::function<void()> fn, MmapStack* borrowed);
   ~Fiber() override;
 
   /// Where control goes when the fiber's function returns.
@@ -94,9 +136,12 @@ class Fiber final : public ExecutionContext {
   static void trampoline(unsigned hi, unsigned lo);
 #endif
   void seed_stack();
+  void asan_reset_stack();  // no-op outside ASan builds
   void run();
+  MmapStack& stack() { return borrowed_ != nullptr ? *borrowed_ : stack_; }
 
-  MmapStack stack_;
+  MmapStack stack_;                 // owned mode (borrowed_ == nullptr)
+  MmapStack* borrowed_ = nullptr;   // borrowed mode: caller keeps ownership
   std::function<void()> fn_;
   ExecutionContext* return_to_ = nullptr;
   bool finished_ = false;
@@ -108,7 +153,19 @@ extern "C" void rts_fctx_swap(void** save_sp, void* resume_sp);
 inline void switch_context(ExecutionContext& save_into,
                            ExecutionContext& resume) {
   RTS_ASSERT(&save_into != &resume);
+#if RTS_FIBER_ASAN
+  // `fake` lives in this frame on the old stack: the matching finish call
+  // below runs when something later switches back into `save_into`, resuming
+  // exactly this frame.
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(save_into.asan_exiting_ ? nullptr : &fake,
+                                 resume.asan_stack_bottom_,
+                                 resume.asan_stack_size_);
+#endif
   rts_fctx_swap(&save_into.sp_, resume.sp_);
+#if RTS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 }
 #endif
 

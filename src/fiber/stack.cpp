@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -16,6 +17,10 @@ std::size_t page_size() {
   static const std::size_t size = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   return size;
 }
+
+// Atomic: stacks are mapped and released from campaign worker threads and hw
+// participant threads alike.
+std::atomic<std::size_t> live_stacks{0};
 }  // namespace
 
 MmapStack::MmapStack(std::size_t usable_bytes) {
@@ -28,6 +33,7 @@ MmapStack::MmapStack(std::size_t usable_bytes) {
     mapping_ = nullptr;
     throw Error("MmapStack: mmap failed");
   }
+  live_stacks.fetch_add(1, std::memory_order_relaxed);
   if (::mprotect(mapping_, page, PROT_NONE) != 0) {
     release();
     throw Error("MmapStack: mprotect(guard) failed");
@@ -58,6 +64,7 @@ void MmapStack::release() noexcept {
   if (mapping_ != nullptr) {
     ::munmap(mapping_, mapping_bytes_);
     mapping_ = nullptr;
+    live_stacks.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -99,11 +106,16 @@ MmapStack acquire_stack(std::size_t usable_bytes) {
 }
 
 void release_stack(MmapStack stack) noexcept {
+  if (stack.base() == nullptr) return;  // moved-from / never mapped
   constexpr std::size_t kMaxPooledPerSize = 16384;
   auto& bucket = pool().bucket_for(stack.size());
   if (bucket.free.size() < kMaxPooledPerSize) {
     bucket.free.push_back(std::move(stack));
   }
+}
+
+std::size_t live_stack_count() {
+  return live_stacks.load(std::memory_order_relaxed);
 }
 
 }  // namespace rts::fiber

@@ -9,6 +9,9 @@ namespace rts::fiber {
 
 class MmapStack {
  public:
+  /// An empty stack (no mapping); the target of moves and the state a
+  /// borrowed-stack slot starts in before its lazy first acquisition.
+  MmapStack() = default;
   /// Maps `usable_bytes` (rounded up to whole pages) of read/write memory
   /// plus one PROT_NONE guard page below it.  Throws rts::Error on failure.
   explicit MmapStack(std::size_t usable_bytes);
@@ -38,5 +41,11 @@ class MmapStack {
 /// for the exact usable size requested.
 MmapStack acquire_stack(std::size_t usable_bytes);
 void release_stack(MmapStack stack) noexcept;
+
+/// Number of stack mappings currently alive in the whole process, whether in
+/// use by a fiber or parked in a thread-local pool.  Observability for the
+/// abandoned-fiber leak regression tests: a schedule that abandons fibers
+/// owning their stacks would grow this count without bound.
+std::size_t live_stack_count();
 
 }  // namespace rts::fiber

@@ -135,10 +135,16 @@ struct HwPlatform {
     /// Called by the combiner coordinator right after a child yields (one
     /// yield = one shared op), so the budget check -- and any
     /// StepLimitReached -- happens on the coordinator's own stack, where the
-    /// harness can catch it.
+    /// harness can catch it.  Like on_op, it then honors yield_after_op_:
+    /// real hw threads never set it on a root context, but the conformance
+    /// harness's scheduled drive does, and needs exactly one yield per
+    /// shared op -- child ops included -- to hold a recorded schedule.
     void charge_child_op() {
       ++child_ops_;
       if (ops() > step_limit_) throw StepLimitReached{};
+      if (yield_after_op_ != nullptr) {
+        fiber::switch_context(*exec_slot_, *yield_after_op_);
+      }
     }
 
     /// Called by Reg after every shared-memory operation.

@@ -92,6 +92,15 @@ std::uint64_t CrashAfterOpsAdversary::budget(int pid) {
   return budgets_[static_cast<std::size_t>(pid)];
 }
 
+bool CrashAfterOpsAdversary::reseed(std::uint64_t seed) {
+  // Exactly the constructor's state for (seed, min_ops_, max_ops_).
+  rng_.reseed(seed);
+  budget_rng_.reseed(~seed);
+  budgets_.clear();
+  crashes_ = 0;
+  return true;
+}
+
 Action CrashAfterOpsAdversary::next(const KernelView& view) {
   const auto& runnable = view.runnable();
   RTS_ASSERT(!runnable.empty());
@@ -101,6 +110,26 @@ Action CrashAfterOpsAdversary::next(const KernelView& view) {
     return Action::crash(pid);
   }
   return Action::step(pid);
+}
+
+Action ReplayAdversary::next(const KernelView& view) {
+  if (pos_ >= actions_->size()) {
+    throw Error(
+        "replay diverged: schedule exhausted after " +
+        std::to_string(pos_) +
+        " actions but the run still has runnable processes (algorithm or "
+        "seed derivation changed since the trace was recorded?)");
+  }
+  const Action action = (*actions_)[pos_++];
+  // Post-start, both grants and crashes are only valid for runnable pids;
+  // anything else means this run took a different path than the recording.
+  if (action.pid < 0 || action.pid >= view.num_processes() ||
+      !view.is_runnable(action.pid)) {
+    throw Error("replay diverged: recorded action #" + std::to_string(pos_ - 1) +
+                " targets pid " + std::to_string(action.pid) +
+                ", which is not runnable in this run");
+  }
+  return action;
 }
 
 }  // namespace rts::sim

@@ -25,6 +25,11 @@ class FixedScheduleAdversary final : public Adversary {
 
   AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
   Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t) override {
+    pos_ = 0;
+    rr_next_ = 0;
+    return true;
+  }
 
   /// Number of schedule entries consumed (including skipped ones).
   std::size_t consumed() const { return pos_; }
@@ -44,6 +49,10 @@ class RoundRobinAdversary final : public Adversary {
 
   AdversaryClass clazz() const override { return clazz_; }
   Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t) override {
+    next_ = 0;
+    return true;
+  }
 
  private:
   AdversaryClass clazz_;
@@ -62,6 +71,10 @@ class UniformRandomAdversary final : public Adversary {
 
   AdversaryClass clazz() const override { return clazz_; }
   Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t seed) override {
+    rng_.reseed(seed);
+    return true;
+  }
 
  private:
   support::PrngSource rng_;
@@ -97,6 +110,7 @@ class SequentialAdversary final : public Adversary {
  public:
   AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
   Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t) override { return true; }  // stateless
 };
 
 /// Self-contained crash model for the campaign grid (AdversaryId::kCrash-
@@ -113,6 +127,7 @@ class CrashAfterOpsAdversary final : public Adversary {
 
   AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
   Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t seed) override;
 
   int crashes_injected() const { return crashes_; }
 
@@ -125,6 +140,59 @@ class CrashAfterOpsAdversary final : public Adversary {
   std::uint64_t max_ops_;
   std::vector<std::uint64_t> budgets_;  // drawn lazily, in pid order
   int crashes_ = 0;
+};
+
+/// Decorator capturing every decision of an inner adversary into an action
+/// list -- the record side of fixed-schedule replay.  Recording is pure
+/// observation: the inner adversary sees exactly the views (and therefore
+/// produces exactly the schedule) it would without the decorator.
+class RecordingAdversary final : public Adversary {
+ public:
+  RecordingAdversary(Adversary& inner, std::vector<Action>* sink)
+      : inner_(&inner), sink_(sink) {
+    RTS_ASSERT(sink != nullptr);
+  }
+
+  AdversaryClass clazz() const override { return inner_->clazz(); }
+  Action next(const KernelView& view) override {
+    const Action action = inner_->next(view);
+    sink_->push_back(action);
+    return action;
+  }
+
+ private:
+  Adversary* inner_;
+  std::vector<Action>* sink_;
+};
+
+/// The kReplay adversary: re-drives a recorded schedule deterministically,
+/// action for action (grants and crashes alike).  Replay is oblivious by
+/// construction -- the whole schedule is fixed before the run.  Divergence
+/// (the algorithm asking for more decisions than were recorded, or a
+/// recorded grant landing on a non-runnable pid) throws rts::Error: a trace
+/// replayed against changed algorithm code must fail loudly, never
+/// improvise -- that failure *is* the conformance signal.
+class ReplayAdversary final : public Adversary {
+ public:
+  /// Borrows the action list; the trace must outlive the adversary.
+  explicit ReplayAdversary(const std::vector<Action>* actions)
+      : actions_(actions) {
+    RTS_ASSERT(actions != nullptr);
+  }
+
+  AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
+  Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t) override {
+    pos_ = 0;
+    return true;
+  }
+
+  std::size_t consumed() const { return pos_; }
+  bool exhausted() const { return pos_ >= actions_->size(); }
+
+ private:
+  const std::vector<Action>* actions_;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace rts::sim

@@ -95,6 +95,14 @@ class Adversary {
   /// Chooses the next action.  Must return a step for a runnable pid or a
   /// crash for a live pid; the kernel asserts this.
   virtual Action next(const KernelView& view) = 0;
+
+  /// Restores the adversary to the state it would have as freshly
+  /// constructed with `seed` (and its original non-seed parameters), or
+  /// returns false if it cannot.  Pooled trial workspaces reseed their
+  /// per-stream adversary between trials instead of reallocating one; an
+  /// adversary that returns true here must behave bit-for-bit like a fresh
+  /// instance.  The default keeps bespoke adversaries safe: not poolable.
+  virtual bool reseed(std::uint64_t /*seed*/) { return false; }
 };
 
 }  // namespace rts::sim

@@ -6,8 +6,33 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 namespace rts::support {
+
+// FNV-1a (64-bit): the library's one hashing primitive for persistence-
+// critical digests (spec hashes, trace checksums, outcome digests).  One
+// definition, used everywhere, so the constants cannot drift between the
+// producers and the verifiers of on-disk artifacts.
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+inline void fnv1a_byte(std::uint64_t& hash, unsigned char byte) {
+  hash ^= static_cast<std::uint64_t>(byte);
+  hash *= kFnv1aPrime;
+}
+
+inline void fnv1a_bytes(std::uint64_t& hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    fnv1a_byte(hash, static_cast<unsigned char>(c));
+  }
+}
+
+inline void fnv1a_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    fnv1a_byte(hash, static_cast<unsigned char>((value >> (8 * byte)) & 0xffu));
+  }
+}
 
 /// floor(log2(x)) for x >= 1.
 int log2_floor(std::uint64_t x);

@@ -449,11 +449,13 @@ TEST(CampaignPresets, NewPresetsAreRegistered) {
 }
 
 TEST(CampaignPresets, FrozenPresetsStaySimOnlyAndCrashFree) {
-  // The PR-1 tables must keep rendering the historical schema; only the new
-  // presets opt into the extended one.
+  // The PR-1 tables must keep rendering the historical schema; only the
+  // later presets (crash injection, hw backends, the crash-bearing
+  // conformance corpus) opt into the extended one.
   for (const Preset& preset : all_presets()) {
     const bool is_new = std::string_view(preset.name) == "crash" ||
-                        std::string_view(preset.name) == "hw-smoke";
+                        std::string_view(preset.name) == "hw-smoke" ||
+                        std::string_view(preset.name) == "conformance";
     EXPECT_EQ(extended_schema(preset.spec), is_new) << preset.name;
   }
 }

@@ -9,7 +9,10 @@
 #include "algo/cascade.hpp"
 #include "algo/chain.hpp"
 #include "algo/combined.hpp"
+#include "algo/registry.hpp"
 #include "algo/sim_platform.hpp"
+#include "campaign/executor.hpp"
+#include "fiber/stack.hpp"
 #include "sim/runner.hpp"
 #include "sim_harness.hpp"
 
@@ -214,6 +217,65 @@ TEST(Combined, Rule3RemovalAdmitsWinnerlessRuns) {
   }
   EXPECT_GT(winnerless, 0)
       << "dropping rule 3 should admit winnerless executions";
+}
+
+TEST(Combined, AbandonedElectionsDoNotLeakChildStacks) {
+  // Regression for the ROADMAP gap: a combiner process abandoned mid-elect
+  // (crashed or step-limit-starved) drops its elect() frame -- child Fiber
+  // objects included -- without unwinding.  The child stacks are owned by
+  // the CombinedLe's per-pid slots, not the abandoned frame, so repeated
+  // crash campaigns over the combined algorithms must hold the process-wide
+  // live stack count steady.  Before the fix every abandoned election
+  // leaked its two child mappings, growing the count by hundreds per batch.
+  campaign::CampaignSpec spec;
+  spec.name = "combined-crash-stacks";
+  spec.algorithms = {AlgorithmId::kCombinedLogStar,
+                     AlgorithmId::kCombinedSift};
+  spec.adversaries = {AdversaryId::kCrashAfterOps};
+  spec.ks = {6};
+  spec.trials = 25;
+  spec.seed = 91;
+  spec.seed_policy = campaign::SeedPolicy::kPerCell;
+
+  const auto run_batch = [&spec](std::uint64_t seed) {
+    spec.seed = seed;
+    const campaign::CampaignResult result = campaign::run_campaign(spec);
+    int crashed = 0;
+    for (const campaign::CellResult& cell : result.cells) {
+      crashed += cell.agg.crashed_runs;
+      EXPECT_EQ(cell.agg.violation_runs, 0);
+    }
+    // The scenario only bites when elections really get abandoned.
+    EXPECT_GT(crashed, 0) << "crash campaign produced no crashed trials";
+  };
+
+  run_batch(91);  // warm up: maps the pooled kernels, fibers, child slots
+  const std::size_t baseline = fiber::live_stack_count();
+  for (std::uint64_t seed = 92; seed < 96; ++seed) run_batch(seed);
+  // Steady state: later batches reuse the warm-up's mappings (pools may
+  // shuffle stacks between streams, so allow a page-count-free slack well
+  // below the ~2 * trials * cells a leak would add per batch).
+  EXPECT_LE(fiber::live_stack_count(), baseline + 8);
+}
+
+TEST(Combined, StarvedElectionsDoNotLeakChildStacks) {
+  // The step-limit flavour of abandonment: every trial is cut off
+  // mid-election, so every trial abandons its combiner frames.
+  const sim::LeBuilder builder =
+      algo::sim_builder(AlgorithmId::kCombinedSift);
+  const sim::AdversaryFactory factory =
+      algo::adversary_factory(AdversaryId::kUniformRandom);
+  sim::Kernel::Options tiny;
+  tiny.step_limit = 9;
+
+  sim::run_le_many(builder, 6, 6, factory, 10, 7, tiny);  // warm up
+  const std::size_t baseline = fiber::live_stack_count();
+  for (std::uint64_t seed0 = 8; seed0 < 12; ++seed0) {
+    const sim::LeAggregate agg =
+        sim::run_le_many(builder, 6, 6, factory, 10, seed0, tiny);
+    EXPECT_EQ(agg.runs, 10);
+  }
+  EXPECT_LE(fiber::live_stack_count(), baseline + 8);
 }
 
 }  // namespace

@@ -105,6 +105,12 @@ TEST(Registry, NativeAtomicIsHwOnly) {
 
 TEST(Registry, AdversaryFactoriesConstructAndCrashFlagIsHonest) {
   for (const AdversaryInfo& adversary : all_adversaries()) {
+    if (adversary.from_trace) {
+      // Trace-backed schedulers have no seeded factory by design; they are
+      // constructed from recorded CellTraces (sim::ReplayAdversary).
+      EXPECT_THROW(adversary_factory(adversary.id), Error) << adversary.name;
+      continue;
+    }
     const auto factory = adversary_factory(adversary.id);
     ASSERT_NE(factory, nullptr) << adversary.name;
     EXPECT_NE(factory(1), nullptr) << adversary.name;

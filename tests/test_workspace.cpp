@@ -57,6 +57,7 @@ TEST(TrialWorkspace, PooledMatchesFreshAcrossTheCatalogue) {
     if (!algo::supports(algorithm.id, exec::Backend::kSim)) continue;
     const sim::LeBuilder builder = algo::sim_builder(algorithm.id);
     for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
+      if (adversary.from_trace) continue;  // no seeded factory; see replay tests
       const sim::AdversaryFactory factory =
           algo::adversary_factory(adversary.id);
       const std::string label =
@@ -124,11 +125,49 @@ TEST(TrialWorkspace, CrashedTrialLeavesNoResidue) {
       workspace.run_le_trial(3, builder, 8, 8, crash, /*trial=*/0, 17));
   EXPECT_FALSE(crashed.crash_free);
 
+  // Same stream (same kernel, fibers, and pooled adversary) right after the
+  // crashed trial must equal the fresh path.  A stream key denotes one
+  // scheduler -- the workspace pools the adversary object per key -- so the
+  // crash-free follow-up runs on its own key; the crashed kernel's residue
+  // freedom is proven on stream 3 itself.
+  expect_same_summary(
+      sim::summarize_trial(
+          sim::run_le_trial(builder, 8, 8, crash, /*trial=*/1, 17)),
+      sim::summarize_trial(
+          workspace.run_le_trial(3, builder, 8, 8, crash, /*trial=*/1, 17)),
+      "crash stream after crashed trial");
+
   const TrialSummary fresh = sim::summarize_trial(
       sim::run_le_trial(builder, 8, 8, random, /*trial=*/1, 17));
   const TrialSummary pooled = sim::summarize_trial(
-      workspace.run_le_trial(3, builder, 8, 8, random, /*trial=*/1, 17));
+      workspace.run_le_trial(4, builder, 8, 8, random, /*trial=*/1, 17));
   expect_same_summary(fresh, pooled, "after crashed trial");
+}
+
+TEST(TrialWorkspace, AdversaryObjectIsPooledAndReseeded) {
+  // One adversary allocation per stream; every later trial reseeds it.  The
+  // stateful crash scheduler is the adversary most likely to betray a
+  // half-reset (budgets, crash counter, two PRNG streams), so pin it
+  // trial-for-trial against the fresh path, which allocates every time.
+  const sim::LeBuilder builder =
+      algo::sim_builder(algo::AlgorithmId::kRatRacePath);
+  for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
+    if (adversary.from_trace) continue;
+    const sim::AdversaryFactory factory =
+        algo::adversary_factory(adversary.id);
+    TrialWorkspace workspace;
+    Aggregate fresh_agg;
+    Aggregate pooled_agg;
+    for (int t = 0; t < 8; ++t) {
+      accumulate_trial(fresh_agg, sim::summarize_trial(sim::run_le_trial(
+                                      builder, 8, 8, factory, t, 41)));
+      accumulate_trial(pooled_agg,
+                       sim::summarize_trial(workspace.run_le_trial(
+                           0, builder, 8, 8, factory, t, 41)));
+    }
+    expect_same_aggregate(fresh_agg, pooled_agg, adversary.name);
+    EXPECT_EQ(workspace.adversary_builds(), 1u) << adversary.name;
+  }
 }
 
 TEST(TrialWorkspace, LruEvictionBoundsPreparedStreams) {
