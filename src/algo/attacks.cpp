@@ -31,7 +31,13 @@ bool behind_stage(std::uint64_t tag, std::uint32_t j) {
 
 class GroupElectionNeutralizer {
  public:
-  explicit GroupElectionNeutralizer(sim::Kernel& kernel) : kernel_(&kernel) {}
+  /// Binds the decision procedure to the kernel it schedules.  Rebinding is
+  /// cheap and idempotent; the round-robin cursor survives it (it is
+  /// per-trial state, cleared by reset()).
+  void bind(const sim::Kernel& kernel) { kernel_ = &kernel; }
+
+  /// Returns to the freshly-constructed state (pooled-adversary reseed).
+  void reset() { rr_next_ = 0; }
 
   int pick() {
     const auto runnable = kernel_->runnable_pids();
@@ -139,8 +145,34 @@ class GroupElectionNeutralizer {
     return false;
   }
 
-  sim::Kernel* kernel_;
+  const sim::Kernel* kernel_ = nullptr;
   int rr_next_ = 0;
+};
+
+/// Adversary-interface adapter over the neutralizer: one decision procedure
+/// shared with run_attack(), reachable through the black-box scheduling API
+/// so campaigns can record and replay attack schedules.
+class NeutralizerAdversary final : public sim::Adversary {
+ public:
+  sim::AdversaryClass clazz() const override {
+    return sim::AdversaryClass::kAdaptive;
+  }
+
+  sim::Action next(const sim::KernelView& view) override {
+    // The kernel outlives the trial, but pooled streams rewind it between
+    // trials; rebinding every decision keeps the adapter stateless about
+    // kernel identity.
+    neutralizer_.bind(view.adaptive_full_access());
+    return sim::Action::step(neutralizer_.pick());
+  }
+
+  bool reseed(std::uint64_t) override {
+    neutralizer_.reset();
+    return true;
+  }
+
+ private:
+  GroupElectionNeutralizer neutralizer_;
 };
 
 }  // namespace
@@ -171,7 +203,8 @@ AttackResult run_attack(AlgorithmId algorithm, AttackKind kind, int k,
   }
   kernel.start();
 
-  GroupElectionNeutralizer neutralizer(kernel);
+  GroupElectionNeutralizer neutralizer;
+  neutralizer.bind(kernel);
   int rr = 0;
   while (!kernel.all_done()) {
     if (kernel.total_steps() >= options.step_limit) {
@@ -209,6 +242,10 @@ AttackResult run_attack(AlgorithmId algorithm, AttackKind kind, int k,
     result.violations.push_back("liveness: attack run ended without winner");
   }
   return result;
+}
+
+std::unique_ptr<sim::Adversary> make_neutralizer_adversary() {
+  return std::make_unique<NeutralizerAdversary>();
 }
 
 }  // namespace rts::algo

@@ -37,9 +37,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algo/registry.hpp"
+#include "sim/adversary.hpp"
 #include "sim/types.hpp"
 
 namespace rts::algo {
@@ -61,5 +63,14 @@ enum class AttackKind {
 /// Runs the attack against `algorithm` built for n = k with k participants.
 AttackResult run_attack(AlgorithmId algorithm, AttackKind kind, int k,
                         std::uint64_t seed);
+
+/// The group-election neutralizer packaged as a black-box-compatible
+/// sim::Adversary (class: adaptive; it reads stage tags and pending ops via
+/// the view's full kernel access).  Deterministic -- the seed is ignored --
+/// so its schedules are recordable and replayable like any catalogue
+/// scheduler (AdversaryId::kGeNeutralizer), which is what lets the
+/// worst-case hunt turn Section-4 attack executions into .rtst corpus
+/// entries.  run_attack() and this adversary share one decision procedure.
+std::unique_ptr<sim::Adversary> make_neutralizer_adversary();
 
 }  // namespace rts::algo

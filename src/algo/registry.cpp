@@ -1,6 +1,7 @@
 #include "algo/registry.hpp"
 
 #include "algo/aa.hpp"
+#include "algo/attacks.hpp"
 #include "algo/cascade.hpp"
 #include "algo/chain.hpp"
 #include "algo/combined.hpp"
@@ -85,6 +86,10 @@ const std::vector<AdversaryInfo>& all_adversaries() {
       {AdversaryId::kCrashAfterOps, "crash", true, false,
        "random scheduling that crashes each process once it exhausts a "
        "seeded per-process op budget (always sparing a survivor)"},
+      {AdversaryId::kGeNeutralizer, "attack-ge", false, false,
+       "adaptive group-election neutralizer (Section 4 motivation): forces "
+       "Theta(k) steps on the weak-adversary chains; deterministic, so its "
+       "worst cases record and minimize like any schedule"},
       {AdversaryId::kReplay, "replay", true, true,
        "re-drives a recorded schedule (grants and crashes) bit for bit; "
        "constructed from .rtst traces via rts_bench --replay, never from a "
@@ -125,6 +130,10 @@ sim::AdversaryFactory adversary_factory(AdversaryId id) {
     case AdversaryId::kCrashAfterOps:
       return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
         return std::make_unique<sim::CrashAfterOpsAdversary>(seed);
+      };
+    case AdversaryId::kGeNeutralizer:
+      return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
+        return make_neutralizer_adversary();
       };
     case AdversaryId::kReplay:
       // No seed can reconstruct a recorded schedule; replay adversaries are

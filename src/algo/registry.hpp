@@ -54,15 +54,18 @@ std::optional<AlgorithmId> parse_algorithm(std::string_view name);
 /// flag; the factories construct exactly this set).
 bool supports(AlgorithmId id, exec::Backend backend);
 
-/// The black-box schedulers usable as trial adversaries, catalogued so the
-/// campaign engine can expand adversary grids by name.  (The white-box
-/// attack drivers in algo/attacks.hpp need to decode algorithm phases and
-/// are not black-box schedulers; they stay outside this catalogue.)
+/// The schedulers usable as trial adversaries, catalogued so the campaign
+/// engine can expand adversary grids by name.  This includes the adaptive
+/// group-election neutralizer (algo/attacks.hpp) through its Adversary
+/// adapter: it decodes algorithm phases white-box, but it satisfies the
+/// black-box scheduling contract, so campaigns can record, replay, and
+/// minimize its worst-case schedules like any other scheduler's.
 enum class AdversaryId {
   kUniformRandom,  // oblivious: uniformly random among runnable processes
   kRoundRobin,     // oblivious: cycles through pids
   kSequential,     // oblivious: one process at a time, in pid order
   kCrashAfterOps,  // failure injection: crashes processes after an op budget
+  kGeNeutralizer,  // adaptive: the Section-4 group-election neutralizer attack
   kReplay,         // fixed-schedule replay of a recorded trace (sim/trace.hpp)
 };
 

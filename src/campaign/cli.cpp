@@ -8,7 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/hunt.hpp"
 #include "campaign/reporter.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/minimize.hpp"
+#include "sim/trace.hpp"
 #include "support/assert.hpp"
 
 namespace rts::campaign {
@@ -60,6 +64,25 @@ void print_usage(std::FILE* out) {
                "                    DIR/<campaign>/ (.rtst traces + manifest)\n"
                "  --replay DIR      re-drive sim trials from traces recorded\n"
                "                    in DIR/<campaign>/ (bit-for-bit replay)\n"
+               "  --hunt DIR        hunt worst-case schedules: record each\n"
+               "                    sim cell, minimize the worst trial per\n"
+               "                    --pred family, write DIR/*.rtst + corpus\n"
+               "                    MANIFEST.json\n"
+               "  --minimize FILE   delta-debug one trial of a recorded\n"
+               "                    .rtst against --pred; see --trial/--out\n"
+               "  --conform DIR[,DIR...]\n"
+               "                    replay every .rtst in DIR through the\n"
+               "                    differential conformance harness (fresh\n"
+               "                    sim, pooled sim, scheduled hw) and check\n"
+               "                    corpus-manifest minimization claims\n"
+               "  --pred P[,P...]   predicate specs for --hunt/--minimize:\n"
+               "                    a family (max-steps, winner-steps,\n"
+               "                    total-steps, violation, divergence) or\n"
+               "                    family>=N; thresholds default to the\n"
+               "                    worst/recorded value\n"
+               "  --trial N         trial index for --minimize (default 0)\n"
+               "  --out PATH        output path for --minimize (default:\n"
+               "                    FILE with a .min.rtst suffix)\n"
                "  --time-budget S   stop claiming trials after S seconds\n"
                "  --step-limit N    per-trial kernel step budget\n"
                "  --progress        live progress line on stderr\n"
@@ -94,6 +117,11 @@ void print_list() {
               "adversarial single-threaded simulator (deterministic)");
   std::printf("  %-18s %s\n", "hw",
               "real threads on std::atomic registers (os scheduler)");
+  std::printf("\npredicates (--hunt / --minimize; '*' takes >=N):\n");
+  for (const sim::PredicateFamilyInfo& family : sim::predicate_families()) {
+    std::printf("  %-18s%s %s\n", family.name,
+                family.thresholded ? "*" : " ", family.description);
+  }
 }
 
 struct CliArgs {
@@ -114,6 +142,12 @@ struct CliArgs {
   std::string bench_dir;
   std::string record_dir;
   std::string replay_dir;
+  std::string hunt_dir;
+  std::string minimize_file;
+  std::vector<std::string> conform_dirs;
+  std::vector<std::string> predicates;
+  int trial = 0;
+  std::string out_path;
   bool progress = false;
   bool quiet = false;
   bool list = false;
@@ -218,6 +252,26 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--replay") {
       if ((value = need_value(i, "--replay")) == nullptr) return std::nullopt;
       args.replay_dir = value;
+    } else if (arg == "--hunt") {
+      if ((value = need_value(i, "--hunt")) == nullptr) return std::nullopt;
+      args.hunt_dir = value;
+    } else if (arg == "--minimize") {
+      if ((value = need_value(i, "--minimize")) == nullptr) {
+        return std::nullopt;
+      }
+      args.minimize_file = value;
+    } else if (arg == "--conform") {
+      if ((value = need_value(i, "--conform")) == nullptr) return std::nullopt;
+      for (auto& dir : split_csv(value)) args.conform_dirs.push_back(dir);
+    } else if (arg == "--pred") {
+      if ((value = need_value(i, "--pred")) == nullptr) return std::nullopt;
+      for (auto& spec : split_csv(value)) args.predicates.push_back(spec);
+    } else if (arg == "--trial") {
+      if ((value = need_value(i, "--trial")) == nullptr) return std::nullopt;
+      args.trial = std::atoi(value);
+    } else if (arg == "--out") {
+      if ((value = need_value(i, "--out")) == nullptr) return std::nullopt;
+      args.out_path = value;
     } else {
       std::fprintf(stderr, "rts_bench: unknown option '%s'\n", argv[i]);
       return std::nullopt;
@@ -355,6 +409,175 @@ class Sink {
   bool needs_close_ = false;
 };
 
+/// Parses the --pred list; `fallback` fills in when none was given.
+/// std::nullopt + diagnostic on a malformed or unknown spec.
+std::optional<std::vector<sim::PredicateSpec>> parse_predicates(
+    const std::vector<std::string>& specs, const char* fallback) {
+  std::vector<sim::PredicateSpec> parsed;
+  if (specs.empty()) {
+    parsed.push_back(*sim::parse_predicate_spec(fallback));
+    return parsed;
+  }
+  for (const std::string& text : specs) {
+    const auto spec = sim::parse_predicate_spec(text);
+    if (!spec) {
+      std::fprintf(stderr, "rts_bench: unknown predicate '%s' (try --list)\n",
+                   text.c_str());
+      return std::nullopt;
+    }
+    parsed.push_back(*spec);
+  }
+  return parsed;
+}
+
+int run_conform(const std::vector<std::string>& dirs) {
+  int failures = 0;
+  for (const std::string& dir : dirs) {
+    std::printf("== conformance: %s ==\n", dir.c_str());
+    failures += conform_directory(dir, stdout);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "rts_bench: %d conformance failure%s\n", failures,
+                 failures == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
+int run_minimize(const CliArgs& args) {
+  sim::CellTrace cell;
+  std::string error;
+  if (!sim::read_cell_trace_file(args.minimize_file, &cell, &error)) {
+    std::fprintf(stderr, "rts_bench: %s\n", error.c_str());
+    return 1;
+  }
+  if (args.trial < 0 ||
+      static_cast<std::size_t>(args.trial) >= cell.trials.size()) {
+    std::fprintf(stderr, "rts_bench: --trial %d out of range (trace has %zu)\n",
+                 args.trial, cell.trials.size());
+    return 2;
+  }
+  const auto predicates = parse_predicates(args.predicates, "max-steps");
+  if (!predicates) return 2;
+  if (predicates->size() != 1) {
+    std::fprintf(stderr, "rts_bench: --minimize takes exactly one --pred\n");
+    return 2;
+  }
+  const auto id = algo::parse_algorithm(cell.algorithm);
+  if (!id || !algo::supports(*id, exec::Backend::kSim)) {
+    std::fprintf(stderr, "rts_bench: trace algorithm '%s' has no sim factory\n",
+                 cell.algorithm.c_str());
+    return 1;
+  }
+  const sim::LeBuilder builder = algo::sim_builder(*id);
+  const auto trial_index = static_cast<std::size_t>(args.trial);
+
+  sim::PredicateSpec spec = predicates->front();
+  try {
+    if (!spec.threshold.has_value() &&
+        sim::predicate_family_thresholded(spec.family)) {
+      // Default threshold: preserve the recorded trial's own badness.  The
+      // winner-steps metric is not stored in the digest, so replay once.
+      const sim::TrialTrace& trial = cell.trials[trial_index];
+      sim::ReplayAdversary adversary(&trial.actions);
+      sim::Kernel::Options options;
+      if (cell.step_limit > 0) options.step_limit = cell.step_limit;
+      const sim::LeRunResult replayed =
+          sim::run_le_once(builder, static_cast<int>(cell.n),
+                           static_cast<int>(cell.k), adversary,
+                           trial.trial_seed, options);
+      const std::uint64_t metric = sim::hunt_metric(spec, replayed);
+      if (metric == 0) {
+        // E.g. winner-steps on a winnerless trial: a >=0 threshold would
+        // hold on every candidate and "minimize" to a degenerate schedule.
+        std::fprintf(stderr,
+                     "rts_bench: predicate '%s' never reached on trial %d "
+                     "(recorded metric 0); give an explicit threshold\n",
+                     spec.family.c_str(), args.trial);
+        return 1;
+      }
+      spec.threshold = metric;
+    }
+    const sim::TracePredicate predicate = sim::make_predicate(spec);
+    const sim::MinimizeResult minimized =
+        sim::minimize_trial(builder, cell, trial_index, predicate);
+    std::string out_path = args.out_path;
+    if (out_path.empty()) {
+      out_path = args.minimize_file;
+      const std::string ext = ".rtst";
+      if (out_path.size() > ext.size() &&
+          out_path.compare(out_path.size() - ext.size(), ext.size(), ext) ==
+              0) {
+        out_path.resize(out_path.size() - ext.size());
+      }
+      out_path += ".min.rtst";
+    }
+    if (!sim::write_cell_trace_file(out_path, minimized.cell, &error)) {
+      std::fprintf(stderr, "rts_bench: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "minimized %s trial %d against '%s': %zu -> %zu actions "
+        "(%d candidate replays, %d passes)\nwrote %s\n",
+        args.minimize_file.c_str(), args.trial, predicate.spec.c_str(),
+        minimized.stats.original_actions, minimized.stats.minimized_actions,
+        minimized.stats.evals, minimized.stats.passes, out_path.c_str());
+  } catch (const Error& fault) {
+    std::fprintf(stderr, "rts_bench: %s\n", fault.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_hunt_mode(const CliArgs& args, const std::vector<CampaignSpec>& specs) {
+  const auto predicates = parse_predicates(args.predicates, "max-steps");
+  if (!predicates) return 2;
+  HuntOptions options;
+  options.predicates = *predicates;
+
+  std::vector<HuntedCell> all;
+  try {
+    for (const CampaignSpec& spec : specs) {
+      std::vector<HuntedCell> hunted = run_hunt(spec, args.hunt_dir, options);
+      for (HuntedCell& entry : hunted) {
+        if (!args.quiet) {
+          if (entry.file.empty()) {
+            std::printf("[hunt %s] cell %d %s/%s k=%d: skipped (%s)\n",
+                        entry.campaign.c_str(), entry.cell.index,
+                        entry.algorithm.c_str(), entry.adversary.c_str(),
+                        entry.cell.k, entry.note.c_str());
+          } else {
+            std::printf(
+                "[hunt %s] cell %d %s/%s k=%d: trial %d '%s'  %zu -> %zu "
+                "actions (%d replays) -> %s\n",
+                entry.campaign.c_str(), entry.cell.index,
+                entry.algorithm.c_str(), entry.adversary.c_str(),
+                entry.cell.k, entry.worst_trial, entry.predicate.c_str(),
+                entry.stats.original_actions, entry.stats.minimized_actions,
+                entry.stats.evals, entry.file.c_str());
+          }
+        }
+        all.push_back(std::move(entry));
+      }
+    }
+  } catch (const Error& fault) {
+    std::fprintf(stderr, "rts_bench: %s\n", fault.what());
+    return 1;
+  }
+  int written = 0;
+  for (const HuntedCell& entry : all) written += entry.file.empty() ? 0 : 1;
+  if (written == 0) {
+    std::fprintf(stderr, "rts_bench: hunt produced no corpus traces\n");
+    return 1;
+  }
+  write_corpus_manifest(args.hunt_dir + "/MANIFEST.json", all);
+  if (!args.quiet) {
+    std::printf("[hunt] %d trace%s + MANIFEST.json -> %s\n", written,
+                written == 1 ? "" : "s", args.hunt_dir.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 CampaignResult run_preset(std::string_view name,
@@ -382,6 +605,51 @@ int run_cli(int argc, char** argv) {
     print_list();
     return 0;
   }
+  // Trace-tooling modes: mutually exclusive, with their satellite flags
+  // rejected outside them instead of silently ignored.
+  const int modes = (!args.conform_dirs.empty() ? 1 : 0) +
+                    (!args.minimize_file.empty() ? 1 : 0) +
+                    (!args.hunt_dir.empty() ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "rts_bench: --hunt, --minimize, and --conform are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if (modes == 0 &&
+      (!args.predicates.empty() || args.trial != 0 || !args.out_path.empty())) {
+    std::fprintf(stderr,
+                 "rts_bench: --pred/--trial/--out only apply to --hunt and "
+                 "--minimize\n");
+    return 2;
+  }
+  if (!args.conform_dirs.empty() &&
+      (!args.predicates.empty() || args.trial != 0 ||
+       !args.out_path.empty())) {
+    std::fprintf(stderr,
+                 "rts_bench: --conform takes no --pred/--trial/--out\n");
+    return 2;
+  }
+  if (!args.hunt_dir.empty() && (args.trial != 0 || !args.out_path.empty())) {
+    std::fprintf(stderr, "rts_bench: --trial/--out only apply to --minimize\n");
+    return 2;
+  }
+  if (modes > 0 && (!args.record_dir.empty() || !args.replay_dir.empty())) {
+    std::fprintf(stderr,
+                 "rts_bench: --record/--replay cannot be combined with "
+                 "--hunt/--minimize/--conform (a hunt records its own "
+                 "traces)\n");
+    return 2;
+  }
+  if ((!args.conform_dirs.empty() || !args.minimize_file.empty()) &&
+      (!args.presets.empty() || !args.algos.empty())) {
+    std::fprintf(stderr,
+                 "rts_bench: --conform/--minimize work on trace files and "
+                 "take no --preset/--algos\n");
+    return 2;
+  }
+  if (!args.conform_dirs.empty()) return run_conform(args.conform_dirs);
+  if (!args.minimize_file.empty()) return run_minimize(args);
   if (args.presets.empty() && args.algos.empty()) {
     std::fprintf(stderr, "rts_bench: nothing to run\n\n");
     print_usage(stderr);
@@ -396,6 +664,7 @@ int run_cli(int argc, char** argv) {
   std::vector<CampaignSpec> specs;
   std::vector<const Preset*> preset_of;
   if (!collect_specs(args, &specs, &preset_of)) return 2;
+  if (!args.hunt_dir.empty()) return run_hunt_mode(args, specs);
 
   bool any_extended = false;
   for (const CampaignSpec& spec : specs) {

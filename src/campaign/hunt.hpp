@@ -1,0 +1,76 @@
+// Worst-case schedule hunting: the campaign-layer driver that turns
+// transient adversarial executions into the durable, minimized trace corpus
+// under tests/corpus/.
+//
+// A hunt runs every sim cell of a campaign grid (the attack adversaries sit
+// in the ordinary adversary axis, so "drive the attack drivers across the
+// catalogue" is just a preset -- see the "worstcase" preset), records each
+// trial's schedule, ranks trials by a predicate family's metric (worst
+// first), delta-debugs the worst trial down to a 1-minimal schedule
+// (sim/minimize.hpp), and writes one standalone single-trial .rtst per
+// (cell, predicate) plus a corpus MANIFEST.json.  Every emitted trace is
+// then verifiable bit-for-bit by the differential conformance harness --
+// conform_directory() is the CI gate that replays a whole corpus directory
+// through fresh sim, pooled sim, and the scheduled hw drive.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "sim/minimize.hpp"
+
+namespace rts::campaign {
+
+struct HuntOptions {
+  /// Predicate families to hunt each cell under.  A family without a
+  /// threshold gets the worst observed value filled in ("preserve the
+  /// recorded badness"); an explicit threshold keeps only cells that reach
+  /// it.  "divergence" is not huntable (it needs two replays per trial and
+  /// never holds on a healthy tree); pass it to --minimize instead.
+  std::vector<sim::PredicateSpec> predicates;
+};
+
+/// One (cell, predicate) hunt outcome.  `file` is empty when the cell was
+/// skipped; `note` says why (hw cell, predicate never held, ...).
+struct HuntedCell {
+  CellSpec cell;
+  std::string algorithm;  ///< catalogue names, for reporting and manifests
+  std::string adversary;
+  std::string campaign;
+  std::string predicate;  ///< canonical spec with the filled threshold
+  std::string file;       ///< written .rtst path (empty: skipped)
+  std::string note;
+  int worst_trial = -1;
+  std::uint64_t metric = 0;
+  sim::MinimizeStats stats;
+};
+
+/// Hunts worst-case schedules across the campaign's sim cells and writes
+/// minimized corpus traces into `out_dir` (created if needed).  Recording
+/// and minimization are deterministic functions of the spec, so a hunt is
+/// reproducible; file names encode campaign, algorithm, adversary, k, and
+/// predicate family.  Throws rts::Error on an invalid spec or unwritable
+/// output directory.
+std::vector<HuntedCell> run_hunt(const CampaignSpec& spec,
+                                 const std::string& out_dir,
+                                 const HuntOptions& options);
+
+/// Writes the corpus MANIFEST.json (schema rts-corpus-manifest-1): one line
+/// per emitted trace with its predicate and original/minimized action
+/// counts -- the machine-checkable record that every checked-in trace is
+/// strictly smaller than its unminimized source.  Skipped cells are not
+/// listed.
+void write_corpus_manifest(const std::string& path,
+                           const std::vector<HuntedCell>& hunted);
+
+/// Differentially replays every .rtst in `dir` through the conformance
+/// harness (fresh sim, pooled sim, scheduled hw) and, when the directory
+/// carries a corpus MANIFEST.json, re-checks its minimization claims
+/// (listed files exist, action counts match, minimized < original).
+/// Prints one line per file to `out`; returns the number of failures (0 =
+/// the directory conforms).
+int conform_directory(const std::string& dir, std::FILE* out);
+
+}  // namespace rts::campaign

@@ -227,6 +227,28 @@ std::vector<Preset> build_presets() {
   }
   {
     CampaignSpec spec;
+    spec.name = "worstcase";
+    spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kSiftCascade,
+                       AlgorithmId::kRatRacePath, AlgorithmId::kCombinedSift};
+    spec.adversaries = {AdversaryId::kGeNeutralizer,
+                        AdversaryId::kUniformRandom};
+    spec.ks = {10};
+    spec.trials = 12;
+    spec.seed = 40961;
+    spec.seed_policy = SeedPolicy::kPerCell;
+    spec.step_limit = 200'000;
+    presets.push_back({"worstcase",
+                       "worst-case schedule hunt (attack + random "
+                       "schedulers over the Section 2-4 headliners)",
+                       "the adaptive neutralizer forces Theta(k) steps on "
+                       "the weak-adversary chains while RatRace and the "
+                       "combiner resist; `rts_bench --hunt` minimizes each "
+                       "cell's worst trial into the tests/corpus/ regression "
+                       "corpus",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
     spec.name = "quick";
     spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kRatRacePath};
     spec.adversaries = {AdversaryId::kUniformRandom};

@@ -23,10 +23,19 @@ std::string pid_field(const char* field, int pid, std::uint64_t want,
          std::to_string(want) + " vs " + std::to_string(got);
 }
 
-/// First field-level difference between two sim replays of the same trial
-/// (fresh vs pooled), or empty.  Everything observable must match, vectors
-/// included -- this is strictly stronger than the aggregate-byte identity
-/// the workspace tests pin.
+/// One participant of the scheduled hw drive: an election running on a
+/// fiber that yields to the driver after every shared op (combiner child
+/// ops included, via charge_child_op's yield).
+struct HwParticipant {
+  std::optional<support::PrngSource> rng;
+  std::unique_ptr<fiber::Fiber> fib;
+  std::optional<hw::HwPlatform::Context> ctx;
+  sim::Outcome outcome = sim::Outcome::kUnknown;
+  bool crashed = false;
+};
+
+}  // namespace
+
 std::string result_mismatch(const sim::LeRunResult& a,
                             const sim::LeRunResult& b) {
   if (a.k != b.k) return "participant count differs";
@@ -48,16 +57,7 @@ std::string result_mismatch(const sim::LeRunResult& a,
   return {};
 }
 
-/// One participant of the scheduled hw drive: an election running on a
-/// fiber that yields to the driver after every shared op (combiner child
-/// ops included, via charge_child_op's yield).
-struct HwParticipant {
-  std::optional<support::PrngSource> rng;
-  std::unique_ptr<fiber::Fiber> fib;
-  std::optional<hw::HwPlatform::Context> ctx;
-  sim::Outcome outcome = sim::Outcome::kUnknown;
-  bool crashed = false;
-};
+namespace {
 
 /// Re-drives one recorded trial on the hardware platform, single-threaded:
 /// resumes participant fibers in exactly the recorded grant order (one

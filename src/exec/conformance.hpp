@@ -50,6 +50,14 @@ struct ConformanceReport {
   bool ok() const { return mismatches.empty(); }
 };
 
+/// First field-level difference between two sim replays of the same trial
+/// (e.g. fresh vs pooled), or empty when every observable -- per-pid
+/// outcomes and steps included -- matches exactly.  Strictly stronger than
+/// the aggregate-byte identity the workspace tests pin; also the
+/// backend-divergence oracle of the schedule minimizer's predicate library.
+std::string result_mismatch(const sim::LeRunResult& a,
+                            const sim::LeRunResult& b);
+
 /// Whether a recorded cell can be re-driven on the hardware backend: the
 /// algorithm must have an hw factory (every sim-recordable algorithm in the
 /// current catalogue does).  Crash events and starved schedules are

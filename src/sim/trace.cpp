@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "sim/adversaries.hpp"
+#include "support/assert.hpp"
 #include "support/math.hpp"
 
 namespace rts::sim {
@@ -169,6 +172,22 @@ std::string replay_mismatch(const TrialTrace& trace,
                 outcome_digest(result));
   }
   return {};
+}
+
+LeRunResult record_trial_trace(const LeBuilder& builder, int n, int k,
+                               const AdversaryFactory& factory, int trial,
+                               std::uint64_t seed0,
+                               Kernel::Options kernel_options,
+                               TrialTrace* out) {
+  RTS_ASSERT(out != nullptr);
+  out->trial_seed = trial_seed(seed0, trial);
+  out->adversary_seed = adversary_seed(out->trial_seed);
+  const std::unique_ptr<Adversary> inner = factory(out->adversary_seed);
+  RecordingAdversary recorder(*inner, &out->actions);
+  const LeRunResult result =
+      run_le_once(builder, n, k, recorder, out->trial_seed, kernel_options);
+  fill_trace_result(*out, result);
+  return result;
 }
 
 std::string encode_cell_trace(const CellTrace& cell) {

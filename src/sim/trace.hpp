@@ -95,6 +95,17 @@ void fill_trace_result(TrialTrace& trace, const LeRunResult& result);
 /// replayed result, or returns an empty string when they match exactly.
 std::string replay_mismatch(const TrialTrace& trace, const LeRunResult& result);
 
+/// Records trial `trial` of a (builder, n, k, factory, seed0) stream the
+/// way the campaign --record path does -- seeds derived via trial_seed /
+/// adversary_seed, the schedule captured action by action, the digest
+/// filled from the run -- and returns the run's result.  The one recipe
+/// shared by the worst-case hunt and the trace tests, so "records exactly
+/// like --record" cannot drift.
+LeRunResult record_trial_trace(const LeBuilder& builder, int n, int k,
+                               const AdversaryFactory& factory, int trial,
+                               std::uint64_t seed0,
+                               Kernel::Options kernel_options, TrialTrace* out);
+
 /// Serializes a cell trace to the versioned binary format.
 std::string encode_cell_trace(const CellTrace& cell);
 
