@@ -10,6 +10,7 @@
 
 #include "campaign/hunt.hpp"
 #include "campaign/reporter.hpp"
+#include "campaign/soak.hpp"
 #include "sim/adversaries.hpp"
 #include "sim/minimize.hpp"
 #include "sim/trace.hpp"
@@ -88,6 +89,16 @@ void print_usage(std::FILE* out) {
                "  --progress        live progress line on stderr\n"
                "  --quiet           no banners\n"
                "\n"
+               "open-loop soak (hw backend; see EXPERIMENTS.md):\n"
+               "  --soak S          soak for S seconds: fire elections at\n"
+               "                    --rate through a persistent thread pool,\n"
+               "                    heartbeats on stderr, report on stdout\n"
+               "  --rate R          target election arrivals per second\n"
+               "  --soak-preset P   named soak configuration (see --list);\n"
+               "                    --soak/--rate/--algos/--ks/... override\n"
+               "  --pin C[,C...]    pin participant i to cpu C[i % len]; in\n"
+               "                    soak and hw campaign cells (NUMA control)\n"
+               "\n"
                "Sim aggregates are a pure function of the spec: output bytes\n"
                "are identical for any --workers value (absent --time-budget).\n"
                "Hw cells run the same seeded trial streams on real threads\n"
@@ -98,6 +109,10 @@ void print_usage(std::FILE* out) {
 void print_list() {
   std::printf("presets:\n");
   for (const Preset& preset : all_presets()) {
+    std::printf("  %-18s %s\n", preset.name, preset.title);
+  }
+  std::printf("\nsoak presets (--soak-preset; open-loop hw soak):\n");
+  for (const SoakPreset& preset : all_soak_presets()) {
     std::printf("  %-18s %s\n", preset.name, preset.title);
   }
   std::printf("\nalgorithms:\n");
@@ -148,6 +163,10 @@ struct CliArgs {
   std::vector<std::string> predicates;
   int trial = 0;
   std::string out_path;
+  double soak_seconds = 0.0;
+  double rate = 0.0;
+  std::string soak_preset;
+  std::vector<int> pin_cpus;
   bool progress = false;
   bool quiet = false;
   bool list = false;
@@ -269,6 +288,30 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--trial") {
       if ((value = need_value(i, "--trial")) == nullptr) return std::nullopt;
       args.trial = std::atoi(value);
+    } else if (arg == "--soak") {
+      if ((value = need_value(i, "--soak")) == nullptr) return std::nullopt;
+      args.soak_seconds = std::atof(value);
+      if (args.soak_seconds <= 0.0) {
+        std::fprintf(stderr, "rts_bench: --soak needs a positive duration\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--rate") {
+      if ((value = need_value(i, "--rate")) == nullptr) return std::nullopt;
+      args.rate = std::atof(value);
+      if (args.rate <= 0.0) {
+        std::fprintf(stderr, "rts_bench: --rate needs a positive rate\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--soak-preset") {
+      if ((value = need_value(i, "--soak-preset")) == nullptr) {
+        return std::nullopt;
+      }
+      args.soak_preset = value;
+    } else if (arg == "--pin") {
+      if ((value = need_value(i, "--pin")) == nullptr) return std::nullopt;
+      for (auto& cpu : split_csv(value)) {
+        args.pin_cpus.push_back(std::atoi(cpu.c_str()));
+      }
     } else if (arg == "--out") {
       if ((value = need_value(i, "--out")) == nullptr) return std::nullopt;
       args.out_path = value;
@@ -578,6 +621,94 @@ int run_hunt_mode(const CliArgs& args, const std::vector<CampaignSpec>& specs) {
   return 0;
 }
 
+int run_soak_mode(const CliArgs& args) {
+  SoakSpec spec;
+  if (!args.soak_preset.empty()) {
+    const SoakPreset* preset = find_soak_preset(args.soak_preset);
+    if (preset == nullptr) {
+      std::fprintf(stderr, "rts_bench: unknown soak preset '%s' (try --list)\n",
+                   args.soak_preset.c_str());
+      return 2;
+    }
+    spec = preset->spec;
+  } else {
+    // Ad-hoc soak: borrow the smoke preset's algorithm pair and knobs as
+    // defaults; --soak/--rate/--algos/... override below.
+    spec = find_soak_preset("soak-smoke")->spec;
+    spec.name = "soak";
+  }
+  if (args.soak_seconds > 0.0) spec.duration_seconds = args.soak_seconds;
+  if (args.rate > 0.0) spec.rate = args.rate;
+  if (!args.algos.empty()) {
+    spec.algorithms.clear();
+    for (const std::string& name : args.algos) {
+      const auto id = algo::parse_algorithm(name);
+      if (!id) {
+        std::fprintf(stderr, "rts_bench: unknown algorithm '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      if (!algo::supports(*id, exec::Backend::kHw)) {
+        std::fprintf(stderr,
+                     "rts_bench: algorithm '%s' has no hardware backend "
+                     "(soak is hw-only)\n",
+                     name.c_str());
+        return 2;
+      }
+      spec.algorithms.push_back(*id);
+    }
+  }
+  if (!args.ks.empty()) {
+    if (args.ks.size() != 1) {
+      std::fprintf(stderr,
+                   "rts_bench: soak mode takes exactly one --ks value\n");
+      return 2;
+    }
+    spec.k = args.ks.front();
+  }
+  if (args.fixed_n > 0) spec.n = args.fixed_n;
+  if (args.seed) spec.seed = *args.seed;
+  if (args.step_limit) spec.step_limit = *args.step_limit;
+  if (!args.pin_cpus.empty()) spec.pin_cpus = args.pin_cpus;
+
+  if (!args.quiet) {
+    std::fprintf(stderr,
+                 "[%s] open-loop soak: %zu algorithm%s, k=%d, target "
+                 "%.0f elections/s for %.1fs\n",
+                 spec.name.c_str(), spec.algorithms.size(),
+                 spec.algorithms.size() == 1 ? "" : "s", spec.k, spec.rate,
+                 spec.duration_seconds);
+  }
+  std::vector<SoakResult> results;
+  try {
+    results = run_soak(spec, args.quiet ? nullptr : stderr);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "rts_bench: %s\n", error.what());
+    return 1;
+  }
+  report_soak_table(spec, results, stdout);
+  if (!args.json_path.empty()) {
+    bool needs_close = false;
+    std::FILE* sink = open_sink(args.json_path, &needs_close);
+    if (sink == nullptr) {
+      std::fprintf(stderr, "rts_bench: cannot open '%s' for writing\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    report_soak_jsonl(spec, results, sink);
+    if (needs_close) std::fclose(sink);
+  }
+  std::uint64_t violations = 0;
+  for (const SoakResult& result : results) violations += result.violations;
+  if (violations > 0) {
+    std::fprintf(stderr, "rts_bench: soak saw %llu violation%s\n",
+                 static_cast<unsigned long long>(violations),
+                 violations == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 CampaignResult run_preset(std::string_view name,
@@ -604,6 +735,27 @@ int run_cli(int argc, char** argv) {
   if (args.list) {
     print_list();
     return 0;
+  }
+  // Soak mode: its own driver, mutually exclusive with the campaign grid
+  // and every trace-tooling mode.
+  const bool soak = args.soak_seconds > 0.0 || !args.soak_preset.empty();
+  if (soak) {
+    if (!args.presets.empty() || !args.conform_dirs.empty() ||
+        !args.minimize_file.empty() || !args.hunt_dir.empty() ||
+        !args.record_dir.empty() || !args.replay_dir.empty() ||
+        !args.adversaries.empty()) {
+      std::fprintf(stderr,
+                   "rts_bench: --soak/--soak-preset cannot be combined with "
+                   "--preset/--hunt/--minimize/--conform/--record/--replay/"
+                   "--adversaries (soak is an open-loop hw driver; use "
+                   "--soak-preset for canned configurations)\n");
+      return 2;
+    }
+    return run_soak_mode(args);
+  }
+  if (args.rate > 0.0) {
+    std::fprintf(stderr, "rts_bench: --rate only applies to --soak\n");
+    return 2;
   }
   // Trace-tooling modes: mutually exclusive, with their satellite flags
   // rejected outside them instead of silently ignored.
@@ -685,6 +837,7 @@ int run_cli(int argc, char** argv) {
     ExecutorOptions options;
     options.workers = args.workers;
     options.time_budget_seconds = args.time_budget;
+    options.hw_pin_cpus = args.pin_cpus;
     // Traces live in a per-campaign subdirectory, so several presets can
     // share one --record/--replay root without colliding cell files.
     if (!args.record_dir.empty()) {

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "campaign/reporter.hpp"
+#include "campaign/soak.hpp"
 #include "exec/workspace.hpp"
 #include "hw/harness.hpp"
 #include "sim/adversaries.hpp"
@@ -220,29 +221,43 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     std::unique_ptr<hw::HwTrialPool> pool;
   };
   HwPoolSlot hw_pool;  // guarded by hw_mutex
+  // Hardware-counter totals per cell, folded in when the cell's pool
+  // retires (and once more for the final pool after workers join).
+  std::vector<telemetry::PerfCounts> cell_perf(cells.size());
+  const auto retire_hw_pool = [&hw_pool, &cell_perf] {
+    // Caller holds hw_mutex (or the workers are already joined).
+    if (hw_pool.pool != nullptr && hw_pool.cell_index >= 0) {
+      cell_perf[static_cast<std::size_t>(hw_pool.cell_index)].add(
+          hw_pool.pool->perf_totals());
+    }
+    hw_pool.cell_index = -1;
+    hw_pool.pool.reset();  // joins the previous cell's threads
+  };
   using TrialRunner =
       std::function<exec::TrialSummary(exec::TrialWorkspace&, int trial)>;
   std::vector<TrialRunner> runners;
   runners.reserve(cells.size());
   for (const CellSpec& cell : cells) {
     if (cell.backend == exec::Backend::kHw) {
-      runners.push_back(
-          [&hw_mutex, &hw_pool, cell](exec::TrialWorkspace&, int trial) {
-            std::lock_guard<std::mutex> pin(hw_mutex);
-            if (hw_pool.cell_index != cell.index) {
-              // Invalidate before rebuilding: if pool construction throws
-              // (thread-resource exhaustion), a later trial must not take
-              // the fast path into a null pool.
-              hw_pool.cell_index = -1;
-              hw_pool.pool.reset();  // retire the previous cell's threads
-              hw_pool.pool = std::make_unique<hw::HwTrialPool>(cell.k);
-              hw_pool.cell_index = cell.index;
-            }
-            hw::HwRunOptions options;
-            options.step_limit = cell.step_limit;
-            return hw::summarize_trial(hw_pool.pool->run_trial(
-                cell.algorithm, cell.n, trial, cell.seed0, options));
-          });
+      runners.push_back([&hw_mutex, &hw_pool, &retire_hw_pool, &options,
+                         cell](exec::TrialWorkspace&, int trial) {
+        std::lock_guard<std::mutex> pin(hw_mutex);
+        if (hw_pool.cell_index != cell.index) {
+          // Invalidate before rebuilding: if pool construction throws
+          // (thread-resource exhaustion), a later trial must not take
+          // the fast path into a null pool.
+          retire_hw_pool();
+          hw::HwPoolOptions pool_options;
+          pool_options.pin_cpus = options.hw_pin_cpus;
+          hw_pool.pool =
+              std::make_unique<hw::HwTrialPool>(cell.k, pool_options);
+          hw_pool.cell_index = cell.index;
+        }
+        hw::HwRunOptions run_options;
+        run_options.step_limit = cell.step_limit;
+        return hw::summarize_trial(hw_pool.pool->run_trial(
+            cell.algorithm, cell.n, trial, cell.seed0, run_options));
+      });
       continue;
     }
     sim::LeBuilder builder = algo::sim_builder(cell.algorithm);
@@ -311,6 +326,19 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::vector<unsigned char> ran(total, 0);
   std::vector<unsigned char> errored(total, 0);
   std::atomic<std::uint64_t> done{0};
+  // Per-cell finished-trial counts, so progress can report whole cells.
+  std::unique_ptr<std::atomic<int>[]> cell_done(
+      new std::atomic<int>[cells.size()]);
+  for (std::size_t c = 0; c < cells.size(); ++c) cell_done[c].store(0);
+  const auto cells_finished = [&] {
+    std::uint64_t finished = 0;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cell_done[c].load(std::memory_order_relaxed) >= cells[c].trials) {
+        ++finished;
+      }
+    }
+    return finished;
+  };
   std::atomic<int> active{workers};
 
   WorkQueue queue(total, workers);
@@ -340,6 +368,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       summaries[g] = std::move(summary);
       ran[g] = 1;
       done.fetch_add(1, std::memory_order_relaxed);
+      cell_done[g / trials].fetch_add(1, std::memory_order_relaxed);
     }
     active.fetch_sub(1, std::memory_order_release);
   };
@@ -366,6 +395,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         Progress progress;
         progress.trials_done = done.load(std::memory_order_relaxed);
         progress.trials_total = total;
+        progress.cells_done = cells_finished();
+        progress.cells_total = cells.size();
         progress.elapsed_seconds =
             std::chrono::duration<double>(now - start).count();
         options.on_progress(progress);
@@ -373,6 +404,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
   }
   for (std::thread& thread : threads) thread.join();
+  retire_hw_pool();  // workers are joined; fold the last hw cell's counters
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -380,6 +412,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     Progress progress;
     progress.trials_done = done.load(std::memory_order_relaxed);
     progress.trials_total = total;
+    progress.cells_done = cells_finished();
+    progress.cells_total = cells.size();
     progress.elapsed_seconds = result.wall_seconds;
     options.on_progress(progress);
   }
@@ -390,6 +424,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   for (std::size_t c = 0; c < cells.size(); ++c) {
     CellResult cell_result;
     cell_result.cell = cells[c];
+    cell_result.perf = cell_perf[c];
     for (std::size_t t = 0; t < trials; ++t) {
       const std::size_t g = c * trials + t;
       if (!ran[g]) continue;
@@ -429,15 +464,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 std::function<void(const Progress&)> stderr_progress(const char* label) {
   const std::string tag = label != nullptr ? label : "campaign";
   return [tag](const Progress& progress) {
-    const double rate = progress.elapsed_seconds > 0.0
-                            ? static_cast<double>(progress.trials_done) /
-                                  progress.elapsed_seconds
-                            : 0.0;
-    std::fprintf(stderr, "\r[%s] %llu/%llu trials  %.1fs  %.0f trials/s",
-                 tag.c_str(),
-                 static_cast<unsigned long long>(progress.trials_done),
-                 static_cast<unsigned long long>(progress.trials_total),
-                 progress.elapsed_seconds, rate);
+    // Same heartbeat shape as the soak driver, plus the cell counter (a
+    // campaign's natural unit of "how far along are we").
+    char extra[96];
+    const double cell_rate =
+        progress.elapsed_seconds > 0.0
+            ? static_cast<double>(progress.cells_done) /
+                  progress.elapsed_seconds
+            : 0.0;
+    std::snprintf(extra, sizeof extra, "cells %llu/%llu  %.1f cells/s",
+                  static_cast<unsigned long long>(progress.cells_done),
+                  static_cast<unsigned long long>(progress.cells_total),
+                  cell_rate);
+    const std::string line =
+        heartbeat_line(tag, progress.elapsed_seconds, progress.trials_done,
+                       progress.trials_total, "trials", extra);
+    std::fprintf(stderr, "\r%s", line.c_str());
     if (progress.trials_done >= progress.trials_total) {
       std::fputc('\n', stderr);
     }

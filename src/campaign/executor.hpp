@@ -31,12 +31,15 @@
 
 #include "campaign/spec.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace rts::campaign {
 
 struct Progress {
   std::uint64_t trials_done = 0;
   std::uint64_t trials_total = 0;
+  std::uint64_t cells_done = 0;  ///< cells with every trial finished
+  std::uint64_t cells_total = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -64,6 +67,9 @@ struct ExecutorOptions {
   /// errored trial, loudly.  Hw cells re-run live.  Empty disables;
   /// mutually exclusive with record_dir.
   std::string replay_dir;
+  /// CPU affinity list forwarded to every hw cell's HwTrialPool (see
+  /// hw::HwPoolOptions::pin_cpus).  Empty = unpinned.
+  std::vector<int> hw_pin_cpus;
 };
 
 struct CellResult {
@@ -76,6 +82,10 @@ struct CellResult {
   int incomplete_runs = 0;        ///< trials that hit the kernel step limit
   int error_runs = 0;             ///< trials that threw instead of finishing
   std::vector<std::string> first_errors;  ///< up to 3 error messages
+  /// hw cells: summed per-participant hardware counters over the cell's
+  /// trials; all-invalid when perf_event_open is unavailable.  Sim cells
+  /// always all-invalid (nothing to measure).
+  telemetry::PerfCounts perf;
 };
 
 struct CampaignResult {

@@ -9,6 +9,8 @@
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace rts::campaign {
 
@@ -47,6 +49,39 @@ void print_summary_json(std::FILE* out, const char* key,
                fmt_double(s.min).c_str(), fmt_double(s.p50).c_str(),
                fmt_double(s.p95).c_str(), fmt_double(s.max).c_str(),
                fmt_double(s.ci95).c_str());
+}
+
+/// Latency histogram unit per backend: sim cells record per-trial max step
+/// counts, hw cells record wall-clock nanoseconds (see exec::TrialSummary).
+const char* latency_unit(exec::Backend backend) {
+  return backend == exec::Backend::kHw ? "ns" : "steps";
+}
+
+void print_latency_json(std::FILE* out, const char* key,
+                        const telemetry::LatencyHistogram& h,
+                        const char* unit) {
+  std::fprintf(out,
+               "\"%s\":{\"unit\":\"%s\",\"count\":%llu,\"p50\":%llu,"
+               "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
+               key, unit, static_cast<unsigned long long>(h.count()),
+               static_cast<unsigned long long>(h.p50()),
+               static_cast<unsigned long long>(h.p90()),
+               static_cast<unsigned long long>(h.p99()),
+               static_cast<unsigned long long>(h.p999()),
+               static_cast<unsigned long long>(h.max()));
+}
+
+/// Hardware-counter block; the caller must emit it only when perf.any() --
+/// an unavailable counter is *absent*, never rendered as a zero.
+void print_perf_json(std::FILE* out, const telemetry::PerfCounts& perf) {
+  std::fprintf(out, "\"perf\":{\"samples\":%llu",
+               static_cast<unsigned long long>(perf.samples));
+  for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
+    if (!perf.valid[i]) continue;
+    std::fprintf(out, ",\"%s\":%llu", telemetry::PerfCounts::name(i),
+                 static_cast<unsigned long long>(perf.value[i]));
+  }
+  std::fputc('}', out);
 }
 
 void print_backends_json(std::FILE* out, const CampaignSpec& spec) {
@@ -104,8 +139,19 @@ void report_table(const CampaignResult& result, std::FILE* out) {
           "algorithm", "k", "n", "E[max steps]", "p50", "p95", "max",
           "E[mean steps]", "E[regs touched]", "declared regs", "viol",
           "trials"};
+      if (!hw) {
+        // Histogram tail percentiles; sim latency is the max step count,
+        // so the unit matches the p50/p95 step columns.
+        columns.insert(columns.begin() + 6, "p999");
+        columns.insert(columns.begin() + 6, "p99");
+      }
       if (extended) columns.push_back("crashed");
-      if (hw) columns.push_back("E[wall us]");
+      if (hw) {
+        columns.push_back("E[wall us]");
+        // hw latency is wall-clock; tails go beside the wall-time mean.
+        columns.push_back("p99 us");
+        columns.push_back("p999 us");
+      }
       support::Table table(title, columns);
       for (const CellResult& cell : result.cells) {
         if (cell.cell.backend != backend) continue;
@@ -125,6 +171,14 @@ void report_table(const CampaignResult& result, std::FILE* out) {
             support::Table::num(static_cast<std::size_t>(
                 cell.agg.violation_runs)),
             support::Table::num(static_cast<std::size_t>(cell.trials_run))};
+        if (!hw) {
+          row.insert(row.begin() + 6,
+                     support::Table::num(static_cast<std::size_t>(
+                         cell.agg.latency.p999())));
+          row.insert(row.begin() + 6,
+                     support::Table::num(static_cast<std::size_t>(
+                         cell.agg.latency.p99())));
+        }
         if (extended) {
           row.push_back(support::Table::num(
               static_cast<std::size_t>(cell.agg.crashed_runs)));
@@ -132,6 +186,10 @@ void report_table(const CampaignResult& result, std::FILE* out) {
         if (hw) {
           row.push_back(
               support::Table::num(cell.agg.wall_seconds.mean() * 1e6, 1));
+          row.push_back(support::Table::num(
+              static_cast<double>(cell.agg.latency.p99()) / 1e3, 1));
+          row.push_back(support::Table::num(
+              static_cast<double>(cell.agg.latency.p999()) / 1e3, 1));
         }
         table.add_row(row);
       }
@@ -193,6 +251,13 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
         print_summary_json(out, "wall_seconds", cell.agg.wall_seconds);
       }
     }
+    std::fputc(',', out);
+    print_latency_json(out, "latency", cell.agg.latency,
+                       latency_unit(cell.cell.backend));
+    if (extended && cell.perf.any()) {
+      std::fputc(',', out);
+      print_perf_json(out, cell.perf);
+    }
     std::fprintf(out, "}\n");
   }
 }
@@ -205,9 +270,12 @@ void report_csv(const CampaignResult& result, std::FILE* out,
                "declared_registers,max_steps_mean,max_steps_ci95,"
                "max_steps_p50,max_steps_p95,max_steps_max,mean_steps_mean,"
                "total_steps_mean,regs_touched_mean,violation_runs,"
-               "incomplete_runs,error_runs%s\n",
+               "incomplete_runs,error_runs,latency_unit,latency_p50,"
+               "latency_p90,latency_p99,latency_p999,latency_max%s\n",
                extended ? "backend," : "",
-               extended ? ",crashed_runs,unfinished_mean,wall_seconds_mean"
+               extended ? ",crashed_runs,unfinished_mean,wall_seconds_mean,"
+                          "perf_samples,perf_cycles,perf_instructions,"
+                          "perf_cache_misses,perf_dtlb_misses"
                         : "");
   for (const CellResult& cell : result.cells) {
     const support::Summary max_steps = support::summarize(cell.agg.max_steps);
@@ -232,10 +300,28 @@ void report_csv(const CampaignResult& result, std::FILE* out,
                  fmt_double(cell.agg.regs_touched.mean()).c_str(),
                  cell.agg.violation_runs, cell.incomplete_runs,
                  cell.error_runs);
+    std::fprintf(out, ",%s,%llu,%llu,%llu,%llu,%llu",
+                 latency_unit(cell.cell.backend),
+                 static_cast<unsigned long long>(cell.agg.latency.p50()),
+                 static_cast<unsigned long long>(cell.agg.latency.p90()),
+                 static_cast<unsigned long long>(cell.agg.latency.p99()),
+                 static_cast<unsigned long long>(cell.agg.latency.p999()),
+                 static_cast<unsigned long long>(cell.agg.latency.max()));
     if (extended) {
       std::fprintf(out, ",%d,%s,%s", cell.agg.crashed_runs,
                    fmt_double(cell.agg.unfinished.mean()).c_str(),
                    fmt_double(cell.agg.wall_seconds.mean()).c_str());
+      // Invalid counters stay *empty*, distinguishable from measured zeros.
+      std::fprintf(out, ",%llu",
+                   static_cast<unsigned long long>(cell.perf.samples));
+      for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
+        if (cell.perf.valid[i]) {
+          std::fprintf(out, ",%llu",
+                       static_cast<unsigned long long>(cell.perf.value[i]));
+        } else {
+          std::fputc(',', out);
+        }
+      }
     }
     std::fputc('\n', out);
   }
@@ -274,13 +360,35 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
   print_backends_json(out, result.spec);
   std::fprintf(out,
                ",\"seed\":%llu,\"trials\":%d,\"workers\":%d,"
-               "\"wall_seconds\":%s,\"trials_per_second\":%s,"
-               "\"sim_steps\":%llu,\"hw_steps\":%llu,"
-               "\"truncated\":%s,\"cells\":[",
+               "\"wall_seconds\":%s,\"trials_per_second\":%s,",
                static_cast<unsigned long long>(result.spec.seed),
                result.spec.trials, result.workers_used,
                fmt_double(result.wall_seconds).c_str(),
-               fmt_double(trials_per_second).c_str(),
+               fmt_double(trials_per_second).c_str());
+  {
+    // Campaign-level latency beside trials_per_second: one merged histogram
+    // per backend (units differ, so they must not be merged together).
+    telemetry::LatencyHistogram sim_latency;
+    telemetry::LatencyHistogram hw_latency;
+    for (const CellResult& cell : result.cells) {
+      (cell.cell.backend == exec::Backend::kHw ? hw_latency : sim_latency)
+          .merge(cell.agg.latency);
+    }
+    std::fputs("\"latency\":{", out);
+    if (!sim_latency.empty()) {
+      print_latency_json(out, "sim", sim_latency,
+                         latency_unit(exec::Backend::kSim));
+    }
+    if (!hw_latency.empty()) {
+      if (!sim_latency.empty()) std::fputc(',', out);
+      print_latency_json(out, "hw", hw_latency,
+                         latency_unit(exec::Backend::kHw));
+    }
+    std::fputs("},", out);
+  }
+  std::fprintf(out,
+               "\"sim_steps\":%llu,\"hw_steps\":%llu,"
+               "\"truncated\":%s,\"cells\":[",
                static_cast<unsigned long long>(result.sim_steps),
                static_cast<unsigned long long>(result.hw_steps),
                result.truncated ? "true" : "false");
@@ -293,7 +401,7 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
         "\"max_steps_mean\":%s,\"mean_steps_mean\":%s,"
         "\"regs_touched_mean\":%s,\"wall_seconds_mean\":%s,"
         "\"violation_runs\":%d,\"crashed_runs\":%d,\"incomplete_runs\":%d,"
-        "\"error_runs\":%d}",
+        "\"error_runs\":%d,",
         i > 0 ? "," : "", exec::to_string(cell.cell.backend),
         algo::info(cell.cell.algorithm).name,
         algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
@@ -304,6 +412,13 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
         fmt_double(cell.agg.wall_seconds.mean()).c_str(),
         cell.agg.violation_runs, cell.agg.crashed_runs,
         cell.incomplete_runs, cell.error_runs);
+    print_latency_json(out, "latency", cell.agg.latency,
+                       latency_unit(cell.cell.backend));
+    if (cell.perf.any()) {
+      std::fputc(',', out);
+      print_perf_json(out, cell.perf);
+    }
+    std::fputc('}', out);
   }
   std::fprintf(out, "]}\n");
 }

@@ -1,0 +1,336 @@
+#include "campaign/soak.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "exec/backend.hpp"
+#include "hw/harness.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace rts::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const std::vector<SoakPreset>& all_soak_presets() {
+  static const std::vector<SoakPreset> kPresets = [] {
+    std::vector<SoakPreset> presets;
+    {
+      SoakPreset preset;
+      preset.name = "soak-smoke";
+      preset.title = "2-second low-rate soak, 2 algorithms (CI smoke)";
+      preset.spec.name = "soak-smoke";
+      preset.spec.algorithms = {algo::AlgorithmId::kTournament,
+                                algo::AlgorithmId::kNativeAtomic};
+      preset.spec.k = 4;
+      preset.spec.duration_seconds = 2.0;
+      preset.spec.rate = 500.0;
+      preset.spec.seed = 2026;
+      presets.push_back(std::move(preset));
+    }
+    {
+      SoakPreset preset;
+      preset.name = "soak-contend";
+      preset.title = "10-second contended soak of the hw headliners";
+      preset.spec.name = "soak-contend";
+      preset.spec.algorithms = {algo::AlgorithmId::kTournament,
+                                algo::AlgorithmId::kRatRacePath,
+                                algo::AlgorithmId::kCombinedSift,
+                                algo::AlgorithmId::kNativeAtomic};
+      preset.spec.k = 8;
+      preset.spec.duration_seconds = 10.0;
+      preset.spec.rate = 5000.0;
+      preset.spec.seed = 2027;
+      presets.push_back(std::move(preset));
+    }
+    return presets;
+  }();
+  return kPresets;
+}
+
+const SoakPreset* find_soak_preset(std::string_view name) {
+  for (const SoakPreset& preset : all_soak_presets()) {
+    if (preset.name == name) return &preset;
+  }
+  return nullptr;
+}
+
+std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
+                           std::uint64_t done, std::uint64_t total,
+                           const char* unit, std::string_view extra) {
+  const double rate =
+      elapsed_seconds > 0.0 ? static_cast<double>(done) / elapsed_seconds
+                            : 0.0;
+  char head[192];
+  if (total > 0) {
+    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu/%llu %s  %.0f %s/s",
+                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total), unit, rate, unit);
+  } else {
+    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu %s  %.0f %s/s",
+                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
+                  static_cast<unsigned long long>(done), unit, rate, unit);
+  }
+  std::string line = head;
+  if (!extra.empty()) {
+    line += "  ";
+    line += extra;
+  }
+  return line;
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buffer[32];
+  if (ns < 1'000) {
+    std::snprintf(buffer, sizeof buffer, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.2fms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2fs",
+                  static_cast<double>(ns) / 1e9);
+  }
+  return buffer;
+}
+
+SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
+                        std::FILE* heartbeat) {
+  RTS_REQUIRE(spec.rate > 0.0, "soak rate must be positive");
+  RTS_REQUIRE(spec.duration_seconds > 0.0, "soak duration must be positive");
+  RTS_REQUIRE(algo::supports(algorithm, exec::Backend::kHw),
+              "soak algorithm has no hardware backend");
+  const int n = spec.n > 0 ? spec.n : spec.k;
+  RTS_REQUIRE(spec.k >= 1 && spec.k <= n, "soak needs 1 <= k <= n");
+
+  SoakResult result;
+  result.algorithm = algorithm;
+  result.k = spec.k;
+  result.n = n;
+  result.target_rate = spec.rate;
+  result.duration_seconds = spec.duration_seconds;
+  const double period = 1.0 / spec.rate;
+  result.planned = static_cast<std::uint64_t>(std::max(
+      1.0, std::floor(spec.duration_seconds * spec.rate)));
+
+  hw::HwPoolOptions pool_options;
+  pool_options.pin_cpus = spec.pin_cpus;
+  hw::HwTrialPool pool(spec.k, pool_options);
+  hw::HwRunOptions run_options;
+  run_options.step_limit = spec.step_limit;
+
+  const std::string tag = std::string("soak ") + algo::info(algorithm).name;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(spec.duration_seconds));
+  const auto heartbeat_interval =
+      std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(
+          spec.heartbeat_seconds > 0.0 ? spec.heartbeat_seconds : 0.5));
+  Clock::time_point next_heartbeat = start + heartbeat_interval;
+
+  std::uint64_t served = 0;
+  const auto maybe_heartbeat = [&](Clock::time_point now) {
+    if (heartbeat == nullptr || now < next_heartbeat) return;
+    const double elapsed = seconds_between(start, now);
+    const std::uint64_t due = std::min(
+        result.planned,
+        static_cast<std::uint64_t>(std::floor(elapsed / period)) + 1);
+    const std::uint64_t backlog = due > served ? due - served : 0;
+    std::string extra = "backlog " + std::to_string(backlog);
+    if (!result.latency.empty()) {
+      extra += "  p99 " + format_ns(result.latency.p99());
+    }
+    std::fprintf(heartbeat, "%s\n",
+                 heartbeat_line(tag, elapsed, served, result.planned, "elections",
+                                extra)
+                     .c_str());
+    std::fflush(heartbeat);
+    while (next_heartbeat <= now) next_heartbeat += heartbeat_interval;
+  };
+
+  while (served < result.planned) {
+    const Clock::time_point scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(served) * period));
+    Clock::time_point now = Clock::now();
+    // Open-loop arrival: wait for the next scheduled request, waking for
+    // heartbeats, but never past the soak deadline.
+    while (now < scheduled && now < deadline) {
+      Clock::time_point wake = std::min(scheduled, deadline);
+      if (heartbeat != nullptr) wake = std::min(wake, next_heartbeat);
+      std::this_thread::sleep_until(wake);
+      now = Clock::now();
+      maybe_heartbeat(now);
+    }
+    if (now >= deadline) break;
+    maybe_heartbeat(now);
+    const hw::HwRunResult run = pool.run(
+        algorithm, n, support::derive_seed(spec.seed, served), run_options);
+    const Clock::time_point end = Clock::now();
+    // Latency from the *scheduled* arrival, so queue wait under backlog is
+    // charged to the election (coordinated omission stays visible).
+    result.latency.record(static_cast<std::uint64_t>(
+        std::llround(seconds_between(scheduled, end) * 1e9)));
+    ++served;
+    if (!run.violations.empty()) ++result.violations;
+    if (!run.completed) ++result.incomplete;
+    const double elapsed = seconds_between(start, end);
+    const std::uint64_t due = std::min(
+        result.planned,
+        static_cast<std::uint64_t>(std::floor(elapsed / period)) + 1);
+    if (due > served) {
+      result.max_backlog = std::max(result.max_backlog, due - served);
+    }
+  }
+
+  result.completed = served;
+  result.wall_seconds = seconds_between(start, Clock::now());
+  result.perf = pool.perf_totals();
+  if (heartbeat != nullptr) {
+    std::string extra = "done";
+    if (!result.latency.empty()) {
+      extra += "  p99 " + format_ns(result.latency.p99());
+    }
+    std::fprintf(heartbeat, "%s\n",
+                 heartbeat_line(tag, result.wall_seconds, served,
+                                result.planned, "elections", extra)
+                     .c_str());
+    std::fflush(heartbeat);
+  }
+  return result;
+}
+
+std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat) {
+  RTS_REQUIRE(!spec.algorithms.empty(), "soak needs at least one algorithm");
+  std::vector<SoakResult> results;
+  results.reserve(spec.algorithms.size());
+  for (const algo::AlgorithmId algorithm : spec.algorithms) {
+    results.push_back(run_soak_one(spec, algorithm, heartbeat));
+  }
+  return results;
+}
+
+void report_soak_table(const SoakSpec& spec,
+                       const std::vector<SoakResult>& results,
+                       std::FILE* out) {
+  std::string title = spec.name + ": open-loop soak, hw backend, target " +
+                      fmt_double(spec.rate) + "/s for " +
+                      fmt_double(spec.duration_seconds) + "s";
+  support::Table table(title,
+                       {"algorithm", "k", "served", "planned", "throughput/s",
+                        "max backlog", "p50", "p90", "p99", "p999", "max",
+                        "viol", "incomplete"});
+  for (const SoakResult& result : results) {
+    const double throughput =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.completed) / result.wall_seconds
+            : 0.0;
+    table.add_row(
+        {algo::info(result.algorithm).name,
+         support::Table::num(static_cast<std::size_t>(result.k)),
+         support::Table::num(static_cast<std::size_t>(result.completed)),
+         support::Table::num(static_cast<std::size_t>(result.planned)),
+         support::Table::num(throughput, 0),
+         support::Table::num(static_cast<std::size_t>(result.max_backlog)),
+         format_ns(result.latency.p50()), format_ns(result.latency.p90()),
+         format_ns(result.latency.p99()), format_ns(result.latency.p999()),
+         format_ns(result.latency.max()),
+         support::Table::num(static_cast<std::size_t>(result.violations)),
+         support::Table::num(static_cast<std::size_t>(result.incomplete))});
+  }
+  table.print(out);
+  for (const SoakResult& result : results) {
+    std::fprintf(out, "perf[%s]: ", algo::info(result.algorithm).name);
+    if (!result.perf.any() || result.completed == 0) {
+      std::fputs("counters unavailable\n", out);
+      continue;
+    }
+    const double elections = static_cast<double>(result.completed);
+    bool first = true;
+    for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
+      if (!result.perf.valid[i]) continue;
+      std::fprintf(out, "%s%s/election %.0f", first ? "" : "  ",
+                   telemetry::PerfCounts::name(i),
+                   static_cast<double>(result.perf.value[i]) / elections);
+      first = false;
+    }
+    std::fputc('\n', out);
+  }
+}
+
+void report_soak_jsonl(const SoakSpec& spec,
+                       const std::vector<SoakResult>& results,
+                       std::FILE* out) {
+  std::fprintf(out,
+               "{\"type\":\"soak\",\"schema\":\"rts-soak-1\",\"name\":\"%s\","
+               "\"k\":%d,\"rate\":%s,\"duration_seconds\":%s,\"seed\":%llu,"
+               "\"algorithms\":%zu}\n",
+               spec.name.c_str(), spec.k, fmt_double(spec.rate).c_str(),
+               fmt_double(spec.duration_seconds).c_str(),
+               static_cast<unsigned long long>(spec.seed), results.size());
+  for (const SoakResult& result : results) {
+    const double throughput =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.completed) / result.wall_seconds
+            : 0.0;
+    std::fprintf(
+        out,
+        "{\"type\":\"soak-cell\",\"algorithm\":\"%s\",\"k\":%d,\"n\":%d,"
+        "\"target_rate\":%s,\"wall_seconds\":%s,\"planned\":%llu,"
+        "\"completed\":%llu,\"throughput\":%s,\"violations\":%llu,"
+        "\"incomplete\":%llu,\"max_backlog\":%llu,"
+        "\"latency\":{\"unit\":\"ns\",\"count\":%llu,\"p50\":%llu,"
+        "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
+        algo::info(result.algorithm).name, result.k, result.n,
+        fmt_double(result.target_rate).c_str(),
+        fmt_double(result.wall_seconds).c_str(),
+        static_cast<unsigned long long>(result.planned),
+        static_cast<unsigned long long>(result.completed),
+        fmt_double(throughput).c_str(),
+        static_cast<unsigned long long>(result.violations),
+        static_cast<unsigned long long>(result.incomplete),
+        static_cast<unsigned long long>(result.max_backlog),
+        static_cast<unsigned long long>(result.latency.count()),
+        static_cast<unsigned long long>(result.latency.p50()),
+        static_cast<unsigned long long>(result.latency.p90()),
+        static_cast<unsigned long long>(result.latency.p99()),
+        static_cast<unsigned long long>(result.latency.p999()),
+        static_cast<unsigned long long>(result.latency.max()));
+    if (result.perf.any()) {
+      std::fprintf(out, ",\"perf\":{\"samples\":%llu",
+                   static_cast<unsigned long long>(result.perf.samples));
+      for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
+        if (!result.perf.valid[i]) continue;
+        std::fprintf(out, ",\"%s\":%llu", telemetry::PerfCounts::name(i),
+                     static_cast<unsigned long long>(result.perf.value[i]));
+      }
+      std::fputc('}', out);
+    }
+    std::fputs("}\n", out);
+  }
+}
+
+}  // namespace rts::campaign

@@ -1,0 +1,104 @@
+// Open-loop soak harness for the hardware backend.
+//
+// Campaign hw cells are *closed-loop*: the next election starts only after
+// the previous one finishes, so a slow election slows the request stream
+// down and the measured latencies flatter the implementation (the classic
+// coordinated-omission trap).  The soak driver is *open-loop*: election
+// requests arrive on a fixed schedule (`rate` per second), timestamps are
+// taken from the **scheduled arrival**, and elections drain through one
+// persistent HwTrialPool -- so when the service falls behind, the queue
+// wait is charged to every delayed election's latency, exactly as a
+// production arbiter's callers would experience it.
+//
+// Latency unit is wall-clock nanoseconds (hw latency; see
+// exec::TrialSummary::latency).  While running, the driver emits heartbeat
+// lines (throughput, backlog, p99 so far) through the same formatter the
+// campaign executor's --progress uses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/perf_counters.hpp"
+
+namespace rts::campaign {
+
+struct SoakSpec {
+  std::string name = "soak";
+  /// Algorithms soaked back to back; each gets its own pool and report.
+  /// Every entry must support the hw backend.
+  std::vector<algo::AlgorithmId> algorithms;
+  int k = 4;  ///< participant threads per election
+  int n = 0;  ///< object capacity; 0 means n = k
+  double duration_seconds = 2.0;
+  double rate = 1000.0;  ///< target election arrivals per second
+  std::uint64_t seed = 1;
+  /// Per-participant shared-op watchdog (see hw::HwRunOptions::step_limit).
+  std::uint64_t step_limit = 10'000'000;
+  double heartbeat_seconds = 0.5;
+  /// Participant CPU pinning (see hw::HwPoolOptions::pin_cpus).
+  std::vector<int> pin_cpus;
+};
+
+struct SoakResult {
+  algo::AlgorithmId algorithm{};
+  int k = 0;
+  int n = 0;
+  double target_rate = 0.0;
+  double duration_seconds = 0.0;  ///< requested
+  double wall_seconds = 0.0;      ///< measured
+  std::uint64_t planned = 0;      ///< arrivals the schedule called for
+  std::uint64_t completed = 0;    ///< elections actually served
+  std::uint64_t violations = 0;   ///< elections without exactly one winner
+  std::uint64_t incomplete = 0;   ///< elections ended by the step watchdog
+  std::uint64_t max_backlog = 0;  ///< worst arrivals-minus-served arrears
+  /// Nanoseconds from scheduled arrival to completion (queue wait
+  /// included -- the open-loop, coordinated-omission-honest measure).
+  telemetry::LatencyHistogram latency;
+  /// Summed participant hardware counters; all-invalid when
+  /// perf_event_open is unavailable (report as such, never as zeros).
+  telemetry::PerfCounts perf;
+};
+
+/// Named soak configurations (a registry separate from the CampaignSpec
+/// presets: soaks are not campaign grids, and the frozen-preset schema
+/// tests must not see them).
+struct SoakPreset {
+  const char* name;
+  const char* title;
+  SoakSpec spec;
+};
+const std::vector<SoakPreset>& all_soak_presets();
+const SoakPreset* find_soak_preset(std::string_view name);
+
+/// One heartbeat line, shared by the soak driver and the campaign
+/// executor's --progress: "[tag] 12.3s  512/1000 unit  41 unit/s  extra".
+/// `total` 0 omits the "/total"; empty `extra` omits the tail.
+std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
+                           std::uint64_t done, std::uint64_t total,
+                           const char* unit, std::string_view extra);
+
+/// Compact duration rendering for heartbeat/report lines ("812us", "1.3ms").
+std::string format_ns(std::uint64_t ns);
+
+/// Soaks one algorithm.  Heartbeat lines go to `heartbeat` (null disables).
+SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
+                        std::FILE* heartbeat);
+
+/// Runs spec.algorithms back to back.
+std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat);
+
+/// Human-facing final report (aligned table plus a counters line).
+void report_soak_table(const SoakSpec& spec,
+                       const std::vector<SoakResult>& results, std::FILE* out);
+
+/// Machine-facing report: a header line then one JSON object per
+/// algorithm.  Invalid perf counters are *absent*, never fabricated zeros.
+void report_soak_jsonl(const SoakSpec& spec,
+                       const std::vector<SoakResult>& results, std::FILE* out);
+
+}  // namespace rts::campaign

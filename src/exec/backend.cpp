@@ -32,6 +32,7 @@ void accumulate_trial(Aggregate& agg, const TrialSummary& trial) {
   agg.regs_touched.add(static_cast<double>(trial.regs_touched));
   agg.unfinished.add(static_cast<double>(trial.unfinished));
   agg.wall_seconds.add(trial.wall_seconds);
+  agg.latency.record(trial.latency);
   if (!trial.crash_free) ++agg.crashed_runs;
   if (!trial.first_violation.empty()) {
     ++agg.violation_runs;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "support/stats.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace rts::exec {
 
@@ -63,6 +64,10 @@ struct TrialSummary {
   bool crash_free = true;  ///< false when any participant crashed
   bool completed = true;   ///< false if the sim kernel step limit was hit
   double wall_seconds = 0.0;  ///< hw only; sim trials report 0
+  /// Per-election latency sample for the telemetry histogram.  The unit is
+  /// backend-specific: sim reports the trial's max step count (the
+  /// deterministic latency analog), hw reports wall-clock nanoseconds.
+  std::uint64_t latency = 0;
   std::string first_violation;  ///< empty when the trial was clean
 };
 
@@ -75,6 +80,9 @@ struct Aggregate {
   support::Accumulator regs_touched;
   support::Accumulator unfinished;    ///< per-trial unfinished participants
   support::Accumulator wall_seconds;  ///< hw only; all-zero for sim streams
+  /// Latency distribution (sim: steps, hw: ns); exact merge keeps reporter
+  /// percentiles bitwise-identical across worker counts.
+  telemetry::LatencyHistogram latency;
   int runs = 0;
   int violation_runs = 0;
   int crashed_runs = 0;  ///< trials with at least one crashed participant

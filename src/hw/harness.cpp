@@ -3,7 +3,13 @@
 #include <atomic>
 #include <barrier>
 #include <chrono>
+#include <cmath>
 #include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "algo/aa.hpp"
 #include "algo/cascade.hpp"
@@ -195,6 +201,8 @@ exec::TrialSummary summarize_trial(const HwRunResult& result) {
   }
   trial.completed = result.completed;
   trial.wall_seconds = result.wall_seconds;
+  trial.latency = static_cast<std::uint64_t>(
+      std::llround(result.wall_seconds * 1e9));  // wall-clock nanoseconds
   if (!result.violations.empty()) {
     trial.first_violation = result.violations.front();
   }
@@ -206,8 +214,27 @@ HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
   return run_hw_le(id, n, k, sim::trial_seed(seed0, trial), options);
 }
 
-HwTrialPool::HwTrialPool(int k) : k_(k), gate_(k + 1) {
+namespace {
+
+/// Best-effort affinity pin for the calling thread; silently keeps the
+/// thread unpinned where the platform (or the cpuset) refuses.
+void pin_current_thread(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+HwTrialPool::HwTrialPool(int k, HwPoolOptions pool_options)
+    : k_(k), gate_(k + 1), pool_options_(std::move(pool_options)) {
   RTS_REQUIRE(k >= 1, "need at least one participant thread");
+  perf_slots_.resize(static_cast<std::size_t>(k));
   threads_.reserve(static_cast<std::size_t>(k));
   try {
     for (int pid = 0; pid < k; ++pid) {
@@ -237,6 +264,24 @@ HwTrialPool::~HwTrialPool() {
 }
 
 void HwTrialPool::participant(int pid) {
+  if (!pool_options_.pin_cpus.empty()) {
+    pin_current_thread(
+        pool_options_.pin_cpus[static_cast<std::size_t>(pid) %
+                               pool_options_.pin_cpus.size()]);
+  }
+  // The counter group is opened by (and bound to) this thread, so campaign
+  // workers running sim cells never leak cycles into hw measurements.
+  std::unique_ptr<telemetry::PerfCounterGroup> perf;
+  if (pool_options_.perf_counters) {
+    perf = std::make_unique<telemetry::PerfCounterGroup>();
+    if (!perf->available()) {
+      perf.reset();
+      perf_missing_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    perf_missing_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -247,13 +292,26 @@ void HwTrialPool::participant(int pid) {
       seen = job_seq_;
     }
     gate_.arrive_and_wait();  // start line: the trial timer begins here
+    if (perf) perf->start();
     if (run_participant(le_, *native_bit_, pid, seed_, step_limit_,
                         &(*outcomes_)[static_cast<std::size_t>(pid)],
                         &(*ops_)[static_cast<std::size_t>(pid)])) {
       aborted_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (perf) perf_slots_[static_cast<std::size_t>(pid)].add(perf->stop());
     gate_.arrive_and_wait();  // completion; orders our writes before run()
   }
+}
+
+telemetry::PerfCounts HwTrialPool::perf_totals() const {
+  telemetry::PerfCounts totals;
+  if (perf_missing_.load(std::memory_order_relaxed) > 0) {
+    return totals;  // any uninstrumented participant => no honest total
+  }
+  for (const telemetry::PerfCounts& slot : perf_slots_) {
+    totals.add(slot);
+  }
+  return totals;
 }
 
 HwRunResult HwTrialPool::run(algo::AlgorithmId id, int n, std::uint64_t seed,

@@ -23,6 +23,7 @@
 #include "exec/backend.hpp"
 #include "hw/platform.hpp"
 #include "sim/types.hpp"
+#include "telemetry/perf_counters.hpp"
 
 namespace rts::hw {
 
@@ -81,6 +82,20 @@ exec::TrialSummary summarize_trial(const HwRunResult& result);
 HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
                          std::uint64_t seed0, HwRunOptions options = {});
 
+/// Pool-lifetime knobs (as opposed to the per-run HwRunOptions).
+struct HwPoolOptions {
+  /// Open a per-participant perf_event counter group (cycles, instructions,
+  /// cache-misses, dTLB-misses) and bracket each election with it.
+  /// Degrades to a no-op where perf_event_open is unavailable; see
+  /// telemetry::PerfCounterGroup.
+  bool perf_counters = true;
+  /// CPU affinity list: participant pid is pinned to
+  /// pin_cpus[pid % pin_cpus.size()].  Empty = unpinned.  On NUMA boxes,
+  /// passing one socket's CPU list keeps the election's cache traffic
+  /// on-node; interleaving two sockets' CPUs measures cross-node RMRs.
+  std::vector<int> pin_cpus;
+};
+
 /// Persistent pool of `k` parked participant threads reused across hardware
 /// trials: the per-trial cost drops from k thread spawns + joins to two
 /// barrier phases.  One pool per campaign cell (or per run_hw_many stream);
@@ -92,7 +107,7 @@ HwRunResult run_hw_trial(algo::AlgorithmId id, int n, int k, int trial,
 /// build and only the threads are recycled.
 class HwTrialPool {
  public:
-  explicit HwTrialPool(int k);
+  explicit HwTrialPool(int k, HwPoolOptions pool_options = {});
   ~HwTrialPool();
 
   HwTrialPool(const HwTrialPool&) = delete;
@@ -100,6 +115,13 @@ class HwTrialPool {
 
   int capacity() const { return k_; }
   std::uint64_t trials_run() const { return trials_run_; }
+
+  /// Summed per-participant counter readings over every election this pool
+  /// has run.  All-invalid when perf was disabled, unavailable on this
+  /// machine, or any participant failed to open its group (a partial sum
+  /// would undercount, which is worse than honestly reporting nothing).
+  /// Call between trials only (same serialization rule as run()).
+  telemetry::PerfCounts perf_totals() const;
 
   /// One election with the pool's k participants, mirroring
   /// run_hw_le(id, n, k, seed, options).
@@ -134,6 +156,11 @@ class HwTrialPool {
   std::vector<std::uint64_t>* ops_ = nullptr;
   std::atomic<int> aborted_{0};
   std::uint64_t trials_run_ = 0;
+  HwPoolOptions pool_options_;
+  // Slot pid is written only by participant pid, between the election and
+  // the completion barrier (which orders it before run() returns).
+  std::vector<telemetry::PerfCounts> perf_slots_;
+  std::atomic<int> perf_missing_{0};  ///< participants without a counter group
   std::vector<std::jthread> threads_;
 };
 

@@ -90,6 +90,9 @@ LeTrialSummary summarize_trial(const LeRunResult& result) {
   trial.unfinished = result.unfinished;
   trial.crash_free = result.crash_free;
   trial.completed = result.completed;
+  // Sim latency is the trial's max step count: the deterministic analog of
+  // wall time, so histogram percentiles stay bitwise-reproducible.
+  trial.latency = result.max_steps;
   if (!result.violations.empty()) trial.first_violation = result.violations.front();
   return trial;
 }

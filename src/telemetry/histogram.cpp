@@ -1,0 +1,82 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rts::telemetry {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  // Octave e = floor(log2(value)) >= kSubBucketBits.  The top
+  // kSubBucketBits+1 bits of the value select the sub-bucket: the leading
+  // 1 plus kSubBucketBits fractional bits, i.e. (value >> shift) lies in
+  // [kSubBucketCount, 2*kSubBucketCount).
+  const std::uint64_t e = static_cast<std::uint64_t>(std::bit_width(value)) - 1;
+  const std::uint64_t shift = e - kSubBucketBits;
+  const std::uint64_t sub = (value >> shift) - kSubBucketCount;
+  return static_cast<std::size_t>(kSubBucketCount + shift * kSubBucketCount +
+                                  sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t index) {
+  if (index < kSubBucketCount) return index;
+  const std::uint64_t shift = (index - kSubBucketCount) / kSubBucketCount;
+  const std::uint64_t sub = (index - kSubBucketCount) % kSubBucketCount;
+  return (kSubBucketCount + sub) << shift;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < kSubBucketCount) return index;
+  const std::uint64_t shift = (index - kSubBucketCount) / kSubBucketCount;
+  return bucket_lower(index) + ((std::uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  buckets_[bucket_index(value)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  double want = std::ceil(q * static_cast<double>(count_));
+  std::uint64_t rank = want < 1.0 ? 1 : static_cast<std::uint64_t>(want);
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;  // unreachable: seen reaches count_ >= rank
+}
+
+std::uint64_t LatencyHistogram::bucket_count_at(std::size_t index) const {
+  if (index >= buckets_.size()) return 0;
+  return buckets_[index];
+}
+
+}  // namespace rts::telemetry

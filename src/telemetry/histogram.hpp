@@ -1,0 +1,82 @@
+// Fixed-bucket HDR-style latency histogram.
+//
+// The paper's O(log* k) expected-work claim is a statement about a
+// *distribution*, and the service-shaped workloads (the soak harness, hw
+// campaign cells) need tails -- p99/p999 -- not means.  LatencyHistogram is
+// the one latency-distribution type shared by both execution backends:
+//
+//   * sim cells record per-trial step counts (the latency analog of the
+//     deterministic world; see EXPERIMENTS.md "Soak & telemetry"),
+//   * hw cells and the soak driver record wall-clock nanoseconds.
+//
+// Layout is log-linear, the classic HDR shape: values below
+// kSubBucketCount are binned exactly (one bucket per value), and every
+// power-of-two octave above that is split into kSubBucketCount linear
+// sub-buckets, so the relative quantization error is bounded by
+// 1/kSubBucketCount (~3%) across the whole 64-bit range.  Everything is
+// integer arithmetic over fixed bucket counts:
+//
+//   * record() is O(1) (a bit-scan and two shifts),
+//   * merge() is an elementwise add -- exact, associative, commutative --
+//     so merged percentiles are bitwise independent of merge order, the
+//     same determinism contract support::Accumulator gives means,
+//   * percentile() is nearest-rank over bucket counts: a pure function of
+//     the recorded multiset, reproducible across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rts::telemetry {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave; also the exact-binning threshold.
+  static constexpr std::uint64_t kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBucketCount = 1u << kSubBucketBits;
+  /// Octaves [kSubBucketBits, 63] each contribute kSubBucketCount buckets
+  /// on top of the exact region.
+  static constexpr std::size_t kBucketCount =
+      kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;
+
+  /// Bucket index for a value (total order, monotone in the value).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest / largest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  void record(std::uint64_t value);
+  /// Elementwise add; exact, so merging A into B equals merging B into A.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Nearest-rank percentile, q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(q * count)-th smallest sample, clamped to the exact
+  /// tracked extremes (so quantization never reports beyond an observed
+  /// value).  Values below kSubBucketCount are exact.  0 when empty.
+  std::uint64_t percentile(double q) const;
+
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p90() const { return percentile(0.90); }
+  std::uint64_t p99() const { return percentile(0.99); }
+  std::uint64_t p999() const { return percentile(0.999); }
+
+  /// Test/debug introspection: samples recorded into bucket `index`.
+  std::uint64_t bucket_count_at(std::size_t index) const;
+
+ private:
+  // Allocated on first record: an empty histogram (every sim Aggregate
+  // starts with one) costs no 15KB bucket array.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rts::telemetry

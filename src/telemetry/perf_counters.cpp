@@ -1,0 +1,140 @@
+#include "telemetry/perf_counters.hpp"
+
+#include <cmath>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define RTS_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#else
+#define RTS_HAVE_PERF_EVENT 0
+#endif
+
+namespace rts::telemetry {
+
+namespace {
+constexpr const char* kCounterNames[PerfCounts::kCounters] = {
+    "cycles", "instructions", "cache_misses", "dtlb_misses"};
+}  // namespace
+
+const char* PerfCounts::name(std::size_t i) {
+  return i < kCounters ? kCounterNames[i] : "?";
+}
+
+bool PerfCounts::any() const {
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    if (valid[i]) return true;
+  }
+  return false;
+}
+
+void PerfCounts::add(const PerfCounts& other) {
+  if (other.samples == 0 && !other.any()) return;
+  if (samples == 0 && !any()) {
+    *this = other;
+    return;
+  }
+  samples += other.samples;
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    valid[i] = valid[i] && other.valid[i];
+    value[i] = valid[i] ? value[i] + other.value[i] : 0;
+  }
+}
+
+#if RTS_HAVE_PERF_EVENT
+
+namespace {
+
+struct CounterConfig {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Order matches PerfCounts::name(); index 0 is the group leader.
+constexpr CounterConfig kConfigs[PerfCounts::kCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+};
+
+int open_counter(const CounterConfig& cfg, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = cfg.type;
+  attr.config = cfg.config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0UL));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_[0] = open_counter(kConfigs[0], -1);
+  if (fds_[0] < 0) return;  // unavailable: leave every fd closed
+  available_ = true;
+  for (std::size_t i = 1; i < PerfCounts::kCounters; ++i) {
+    // A follower that fails to open (e.g. no dTLB event on this PMU) just
+    // stays invalid; the rest of the group still measures.
+    fds_[i] = open_counter(kConfigs[i], fds_[0]);
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterGroup::start() {
+  if (!available_) return;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounts PerfCounterGroup::stop() {
+  PerfCounts counts;
+  if (!available_) return counts;
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  counts.samples = 1;
+  for (std::size_t i = 0; i < PerfCounts::kCounters; ++i) {
+    if (fds_[i] < 0) continue;
+    // PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING}: value, enabled, running.
+    std::uint64_t raw[3] = {0, 0, 0};
+    if (read(fds_[i], raw, sizeof(raw)) != sizeof(raw)) continue;
+    std::uint64_t scaled = raw[0];
+    if (raw[2] > 0 && raw[2] < raw[1]) {
+      // Counter was multiplexed off-core part of the time; extrapolate.
+      scaled = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(raw[0]) * static_cast<double>(raw[1]) /
+          static_cast<double>(raw[2])));
+    }
+    counts.value[i] = scaled;
+    counts.valid[i] = true;
+  }
+  return counts;
+}
+
+#else  // !RTS_HAVE_PERF_EVENT
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+PerfCounts PerfCounterGroup::stop() { return PerfCounts{}; }
+
+#endif  // RTS_HAVE_PERF_EVENT
+
+}  // namespace rts::telemetry

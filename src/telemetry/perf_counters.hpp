@@ -1,0 +1,66 @@
+// perf_event_open counter-group wrapper for the hw backend.
+//
+// Each HwTrialPool participant thread owns one PerfCounterGroup: a leader
+// (cycles) plus followers (instructions, cache-misses, dTLB-load-misses)
+// opened on the *calling thread only* -- deliberately not inherit-based,
+// so campaign worker threads running sim cells on the same cores never
+// contaminate the counts.  start()/stop() bracket a single election;
+// counts accumulate into per-thread PerfCounts slots that the pool sums.
+//
+// Degradation contract (the CI/container story): when perf_event_open is
+// unavailable (missing syscall, perf_event_paranoid, seccomp, non-Linux
+// build) every operation is a no-op and the resulting PerfCounts marks
+// every counter invalid.  Reporters must render invalid counters as
+// *absent/unavailable*, never as zeros -- a fabricated zero is
+// indistinguishable from a perfectly-cached run.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rts::telemetry {
+
+/// Summed hardware-counter readings.  `valid[i]` says whether counter i
+/// was actually measured; an invalid counter's value is meaningless and
+/// must not be reported.  Multiplexing is compensated by
+/// time_enabled/time_running scaling at read time.
+struct PerfCounts {
+  static constexpr std::size_t kCounters = 4;
+  /// Stable identifier for counter i: "cycles", "instructions",
+  /// "cache_misses", "dtlb_misses".
+  static const char* name(std::size_t i);
+
+  std::uint64_t samples = 0;  ///< elections contributing to the sums
+  std::array<std::uint64_t, kCounters> value{};
+  std::array<bool, kCounters> valid{};
+
+  /// True when at least one counter carries a real measurement.
+  bool any() const;
+  /// Exact sum; a counter stays valid only if valid on *both* sides, so a
+  /// partially-instrumented pool never reports an undercounted total.
+  void add(const PerfCounts& other);
+};
+
+/// One counter group bound to the constructing thread.  Not movable: the
+/// fds reference the thread that opened them.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// False when the group leader could not be opened; start/stop are then
+  /// no-ops and stop() returns all-invalid counts.
+  bool available() const { return available_; }
+
+  void start();       ///< reset + enable the group
+  PerfCounts stop();  ///< disable + read one sample's worth of counts
+
+ private:
+  std::array<int, PerfCounts::kCounters> fds_{-1, -1, -1, -1};
+  bool available_ = false;
+};
+
+}  // namespace rts::telemetry

@@ -1,0 +1,457 @@
+// Tests for the telemetry layer: LatencyHistogram bucket geometry and
+// order-independent merge, perf-counter graceful degradation (unavailable
+// is *absent*, never fabricated zeros), soak preset integrity, the shared
+// heartbeat formatter, and sim-backend latency-percentile reproducibility
+// across executor worker counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/reporter.hpp"
+#include "campaign/soak.hpp"
+#include "campaign/spec.hpp"
+#include "exec/backend.hpp"
+#include "support/assert.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/perf_counters.hpp"
+
+namespace rts::telemetry {
+namespace {
+
+using Histogram = LatencyHistogram;
+
+// ------------------------------------------------------------ histogram --
+
+TEST(LatencyHistogram, SmallValuesBinExactly) {
+  // The identity region: one bucket per value below kSubBucketCount, and
+  // the first octave above it still has width-1 buckets.
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSubBucketCount; ++v) {
+    const std::size_t index = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower(index), v) << v;
+    EXPECT_EQ(Histogram::bucket_upper(index), v) << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesTileTheRange) {
+  // Walk every bucket: lowers are contiguous with the previous upper, the
+  // index map inverts the bounds, and widths double each octave.
+  std::uint64_t expected_lower = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lower = Histogram::bucket_lower(i);
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(lower, expected_lower) << "bucket " << i;
+    EXPECT_GE(upper, lower);
+    EXPECT_EQ(Histogram::bucket_index(lower), i);
+    EXPECT_EQ(Histogram::bucket_index(upper), i);
+    if (upper == UINT64_MAX) {
+      EXPECT_EQ(i, Histogram::kBucketCount - 1);
+      break;
+    }
+    expected_lower = upper + 1;
+  }
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kBucketCount - 1), UINT64_MAX);
+}
+
+TEST(LatencyHistogram, PowerOfTwoBoundariesStartNewOctaves) {
+  for (unsigned e = Histogram::kSubBucketBits; e < 64; ++e) {
+    const std::uint64_t boundary = std::uint64_t{1} << e;
+    EXPECT_EQ(Histogram::bucket_index(boundary),
+              Histogram::bucket_index(boundary - 1) + 1)
+        << "octave " << e;
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::bucket_index(boundary)),
+              boundary);
+  }
+}
+
+TEST(LatencyHistogram, QuantizationErrorIsBoundedPerOctave) {
+  // Log-linear promise: bucket width <= lower / kSubBucketCount, i.e. the
+  // relative error of reporting a bucket upper bound is < ~3%.
+  for (std::size_t i = Histogram::kSubBucketCount;
+       i < Histogram::kBucketCount; i += 7) {
+    const std::uint64_t lower = Histogram::bucket_lower(i);
+    const std::uint64_t width = Histogram::bucket_upper(i) - lower + 1;
+    EXPECT_LE(width, std::max<std::uint64_t>(
+                         1, lower / Histogram::kSubBucketCount))
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile) {
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{17},
+                                std::uint64_t{12345},
+                                std::uint64_t{9'999'999'999}}) {
+    Histogram h;
+    h.record(v);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), v);
+    EXPECT_EQ(h.max(), v);
+    // Quantization clamps to the tracked max, so even a mid-bucket sample
+    // reports exactly itself.
+    EXPECT_EQ(h.percentile(0.0), v);
+    EXPECT_EQ(h.p50(), v);
+    EXPECT_EQ(h.p999(), v);
+    EXPECT_EQ(h.percentile(1.0), v);
+  }
+}
+
+TEST(LatencyHistogram, ExactPercentilesInTheIdentityRegion) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 20; ++v) h.record(v);  // 1..20, exact
+  // Nearest-rank: p50 of 20 samples is the 10th smallest.
+  EXPECT_EQ(h.p50(), 10u);
+  EXPECT_EQ(h.p90(), 18u);
+  EXPECT_EQ(h.p99(), 20u);
+  EXPECT_EQ(h.percentile(0.25), 5u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 20u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.5);
+}
+
+TEST(LatencyHistogram, MergeIsExactAndOrderIndependent) {
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 3000; ++i) {
+    // Mix of magnitudes so several octaves are populated.
+    const int octave = static_cast<int>(rng() % 30);
+    values.push_back(rng() % ((std::uint64_t{2} << octave)));
+  }
+
+  Histogram whole;
+  for (const std::uint64_t v : values) whole.record(v);
+
+  // Shard the same stream three ways, then merge in two different orders.
+  Histogram parts[3];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    parts[i % 3].record(values[i]);
+  }
+  Histogram forward;
+  forward.merge(parts[0]);
+  forward.merge(parts[1]);
+  forward.merge(parts[2]);
+  Histogram backward;
+  backward.merge(parts[2]);
+  backward.merge(parts[1]);
+  backward.merge(parts[0]);
+
+  for (const Histogram* merged : {&forward, &backward}) {
+    EXPECT_EQ(merged->count(), whole.count());
+    EXPECT_EQ(merged->min(), whole.min());
+    EXPECT_EQ(merged->max(), whole.max());
+    EXPECT_DOUBLE_EQ(merged->mean(), whole.mean());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(merged->percentile(q), whole.percentile(q)) << q;
+    }
+  }
+  // Bucket-exact, not just percentile-equal.
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    ASSERT_EQ(forward.bucket_count_at(i), whole.bucket_count_at(i)) << i;
+    ASSERT_EQ(backward.bucket_count_at(i), whole.bucket_count_at(i)) << i;
+  }
+}
+
+TEST(LatencyHistogram, MergingAnEmptyHistogramIsIdentity) {
+  Histogram h;
+  h.record(100);
+  const std::uint64_t before = h.p50();
+  Histogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.p50(), before);
+  empty.merge(h);  // and merging *into* an empty one adopts the counts
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.p50(), before);
+}
+
+// --------------------------------------------------------- perf counters --
+
+TEST(PerfCounts, DefaultIsUnavailableNotZero) {
+  const PerfCounts counts;
+  EXPECT_FALSE(counts.any());
+  EXPECT_EQ(counts.samples, 0u);
+  for (std::size_t i = 0; i < PerfCounts::kCounters; ++i) {
+    EXPECT_FALSE(counts.valid[i]);
+  }
+}
+
+TEST(PerfCounts, CounterNamesAreStable) {
+  EXPECT_STREQ(PerfCounts::name(0), "cycles");
+  EXPECT_STREQ(PerfCounts::name(1), "instructions");
+  EXPECT_STREQ(PerfCounts::name(2), "cache_misses");
+  EXPECT_STREQ(PerfCounts::name(3), "dtlb_misses");
+}
+
+TEST(PerfCounts, AddSumsValidCountersAndPoisonsMismatches) {
+  PerfCounts a;
+  a.samples = 1;
+  a.valid = {true, true, false, false};
+  a.value = {100, 200, 0, 0};
+  PerfCounts b;
+  b.samples = 1;
+  b.valid = {true, false, false, false};
+  b.value = {10, 999, 0, 0};
+
+  PerfCounts sum = a;
+  sum.add(b);
+  EXPECT_EQ(sum.samples, 2u);
+  EXPECT_TRUE(sum.valid[0]);
+  EXPECT_EQ(sum.value[0], 110u);
+  // b never measured instructions: the sum must not pretend it did.
+  EXPECT_FALSE(sum.valid[1]);
+  EXPECT_EQ(sum.value[1], 0u);
+  EXPECT_FALSE(sum.valid[2]);
+
+  // Folding into an empty accumulator adopts the other side verbatim.
+  PerfCounts empty;
+  empty.add(a);
+  EXPECT_EQ(empty.samples, 1u);
+  EXPECT_TRUE(empty.valid[0]);
+  EXPECT_EQ(empty.value[0], 100u);
+}
+
+TEST(PerfCounterGroup, DegradesGracefullyWhereverItRuns) {
+  // On a machine (or container) without perf_event access the group must
+  // report unavailable -- and stop() must return all-invalid counts, not
+  // zeros.  Where perf *is* available, a start/stop cycle must produce a
+  // one-sample reading with a nonzero cycle count.
+  PerfCounterGroup group;
+  if (!group.available()) {
+    group.start();  // no-ops, must not crash
+    const PerfCounts counts = group.stop();
+    EXPECT_FALSE(counts.any());
+    EXPECT_EQ(counts.samples, 0u);
+  } else {
+    group.start();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sink = sink + static_cast<std::uint64_t>(i);
+    }
+    const PerfCounts counts = group.stop();
+    EXPECT_EQ(counts.samples, 1u);
+    ASSERT_TRUE(counts.valid[0]);
+    EXPECT_GT(counts.value[0], 0u) << "cycles";
+  }
+}
+
+}  // namespace
+}  // namespace rts::telemetry
+
+namespace rts::campaign {
+namespace {
+
+CampaignSpec sim_spec() {
+  CampaignSpec spec;
+  spec.name = "telemetry-test";
+  spec.algorithms = {algo::AlgorithmId::kLogStarChain,
+                     algo::AlgorithmId::kCombinedSift};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom};
+  spec.ks = {3, 8};
+  spec.trials = 12;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(TelemetryCampaign, SimLatencyIsTheMaxStepDistribution) {
+  ExecutorOptions options;
+  options.workers = 1;
+  const CampaignResult result = run_campaign(sim_spec(), options);
+  for (const CellResult& cell : result.cells) {
+    const telemetry::LatencyHistogram& latency = cell.agg.latency;
+    ASSERT_EQ(latency.count(),
+              static_cast<std::uint64_t>(cell.trials_run));
+    // Sim latency records per-trial max steps, so the extremes must agree
+    // with the max_steps accumulator exactly.
+    EXPECT_EQ(static_cast<double>(latency.max()), cell.agg.max_steps.max());
+    EXPECT_EQ(static_cast<double>(latency.min()), cell.agg.max_steps.min());
+    // Sim cells never measure hardware counters.
+    EXPECT_FALSE(cell.perf.any());
+  }
+}
+
+TEST(TelemetryCampaign, LatencyPercentilesAreWorkerCountInvariant) {
+  ExecutorOptions serial;
+  serial.workers = 1;
+  const CampaignResult one = run_campaign(sim_spec(), serial);
+  ExecutorOptions wide;
+  wide.workers = 8;
+  const CampaignResult eight = run_campaign(sim_spec(), wide);
+
+  ASSERT_EQ(one.cells.size(), eight.cells.size());
+  for (std::size_t c = 0; c < one.cells.size(); ++c) {
+    const telemetry::LatencyHistogram& a = one.cells[c].agg.latency;
+    const telemetry::LatencyHistogram& b = eight.cells[c].agg.latency;
+    ASSERT_EQ(a.count(), b.count());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(a.percentile(q), b.percentile(q)) << "cell " << c;
+    }
+    EXPECT_EQ(a.max(), b.max());
+  }
+  // And the rendered bytes -- percentiles included -- are identical.
+  EXPECT_EQ(render_to_string(one, ReportFormat::kJsonl),
+            render_to_string(eight, ReportFormat::kJsonl));
+  EXPECT_EQ(render_to_string(one, ReportFormat::kCsv),
+            render_to_string(eight, ReportFormat::kCsv));
+}
+
+TEST(TelemetryCampaign, JsonlAndCsvCarryTheLatencyBlock) {
+  ExecutorOptions options;
+  options.workers = 2;
+  const CampaignResult result = run_campaign(sim_spec(), options);
+  const std::string jsonl = render_to_string(result, ReportFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"latency\":{\"unit\":\"steps\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p999\":"), std::string::npos);
+  // Sim-only campaigns keep the historical non-extended schema.
+  EXPECT_EQ(jsonl.find("backend"), std::string::npos);
+  EXPECT_EQ(jsonl.find("perf"), std::string::npos);
+  const std::string csv = render_to_string(result, ReportFormat::kCsv);
+  EXPECT_NE(csv.find(",latency_unit,latency_p50,latency_p90,latency_p99,"
+                     "latency_p999,latency_max"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",steps,"), std::string::npos);
+}
+
+TEST(TelemetryCampaign, PerfBlockIsAbsentUnlessMeasured) {
+  // Hand-build an extended-schema campaign result: one hw cell whose perf
+  // counters were *not* measured, one whose counters were.  The jsonl
+  // reporter must omit the block entirely for the first and emit only the
+  // valid fields for the second -- absent, never fabricated zeros.
+  CampaignSpec spec;
+  spec.name = "perf-test";
+  spec.backends = {exec::Backend::kHw};
+  spec.algorithms = {algo::AlgorithmId::kTournament,
+                     algo::AlgorithmId::kNativeAtomic};
+  spec.adversaries = {algo::AdversaryId::kUniformRandom};
+  spec.ks = {2};
+  spec.trials = 1;
+
+  CampaignResult result;
+  result.spec = spec;
+  const std::vector<CellSpec> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  for (const CellSpec& cell : cells) {
+    CellResult cell_result;
+    cell_result.cell = cell;
+    exec::TrialSummary trial;
+    trial.backend = exec::Backend::kHw;
+    trial.k = cell.k;
+    trial.max_steps = 4;
+    trial.total_steps = 8;
+    trial.wall_seconds = 1e-6;
+    trial.latency = 1000;
+    exec::accumulate_trial(cell_result.agg, trial);
+    cell_result.trials_run = 1;
+    result.cells.push_back(std::move(cell_result));
+  }
+  // Cell 1 measured cycles + instructions but not the cache counters.
+  result.cells[1].perf.samples = 2;
+  result.cells[1].perf.valid = {true, true, false, false};
+  result.cells[1].perf.value = {1234, 5678, 0, 0};
+
+  const std::string jsonl = render_to_string(result, ReportFormat::kJsonl);
+  const std::size_t first_cell = jsonl.find("\"algorithm\":\"tournament\"");
+  const std::size_t second_cell =
+      jsonl.find("\"algorithm\":\"native-atomic\"");
+  ASSERT_NE(first_cell, std::string::npos);
+  ASSERT_NE(second_cell, std::string::npos);
+  const std::string first_line =
+      jsonl.substr(first_cell, second_cell - first_cell);
+  EXPECT_EQ(first_line.find("\"perf\""), std::string::npos)
+      << "unmeasured counters must be absent, not zero";
+  const std::string second_line = jsonl.substr(second_cell);
+  EXPECT_NE(second_line.find("\"perf\":{\"samples\":2,\"cycles\":1234,"
+                             "\"instructions\":5678}"),
+            std::string::npos);
+  EXPECT_EQ(second_line.find("cache_misses"), std::string::npos);
+  EXPECT_EQ(second_line.find("dtlb_misses"), std::string::npos);
+
+  // CSV: perf columns exist in the extended schema, but unmeasured cells
+  // leave them empty.
+  const std::string csv = render_to_string(result, ReportFormat::kCsv);
+  EXPECT_NE(csv.find(",perf_samples,perf_cycles,perf_instructions,"
+                     "perf_cache_misses,perf_dtlb_misses"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",0,,,,\n"), std::string::npos)
+      << "unmeasured counters must render as empty cells";
+  EXPECT_NE(csv.find(",2,1234,5678,,\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ soak --
+
+TEST(Soak, PresetRegistryHasTheSmokeEntry) {
+  const SoakPreset* smoke = find_soak_preset("soak-smoke");
+  ASSERT_NE(smoke, nullptr);
+  EXPECT_EQ(smoke->spec.algorithms.size(), 2u);
+  EXPECT_DOUBLE_EQ(smoke->spec.duration_seconds, 2.0);
+  EXPECT_LE(smoke->spec.rate, 1000.0) << "smoke preset must stay low-rate";
+  for (const algo::AlgorithmId id : smoke->spec.algorithms) {
+    EXPECT_TRUE(algo::supports(id, exec::Backend::kHw));
+  }
+  EXPECT_EQ(find_soak_preset("no-such-soak"), nullptr);
+  for (const SoakPreset& preset : all_soak_presets()) {
+    EXPECT_EQ(find_soak_preset(preset.name), &preset);
+    for (const algo::AlgorithmId id : preset.spec.algorithms) {
+      EXPECT_TRUE(algo::supports(id, exec::Backend::kHw)) << preset.name;
+    }
+  }
+}
+
+TEST(Soak, ShortSoakServesTheScheduleAndMeasuresLatency) {
+  SoakSpec spec;
+  spec.name = "soak-unit";
+  spec.algorithms = {algo::AlgorithmId::kNativeAtomic};
+  spec.k = 2;
+  spec.duration_seconds = 0.3;
+  spec.rate = 200.0;
+  spec.seed = 7;
+  const std::vector<SoakResult> results = run_soak(spec, nullptr);
+  ASSERT_EQ(results.size(), 1u);
+  const SoakResult& result = results.front();
+  EXPECT_EQ(result.planned, 60u);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_LE(result.completed, result.planned);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.latency.count(), result.completed);
+  EXPECT_GT(result.latency.p50(), 0u);
+  EXPECT_GE(result.latency.p999(), result.latency.p50());
+}
+
+TEST(Soak, RejectsConfigurationsTheHardwareCannotRun) {
+  SoakSpec spec;
+  spec.algorithms = {algo::AlgorithmId::kNativeAtomic};
+  spec.rate = 0.0;  // open loop needs an arrival rate
+  EXPECT_THROW(run_soak_one(spec, spec.algorithms.front(), nullptr), Error);
+  spec.rate = 100.0;
+  spec.duration_seconds = 0.0;
+  EXPECT_THROW(run_soak_one(spec, spec.algorithms.front(), nullptr), Error);
+}
+
+TEST(Soak, HeartbeatLineSharedFormat) {
+  EXPECT_EQ(heartbeat_line("soak", 2.0, 100, 400, "elections", "backlog 3"),
+            "[soak] 2.0s  100/400 elections  50 elections/s  backlog 3");
+  EXPECT_EQ(heartbeat_line("tag", 0.0, 0, 0, "trials", ""),
+            "[tag] 0.0s  0 trials  0 trials/s");
+}
+
+TEST(Soak, FormatNsPicksHumanUnits)  {
+  EXPECT_EQ(format_ns(999), "999ns");
+  EXPECT_EQ(format_ns(1500), "1.5us");
+  EXPECT_EQ(format_ns(2'500'000), "2.50ms");
+  EXPECT_EQ(format_ns(3'000'000'000), "3.00s");
+}
+
+}  // namespace
+}  // namespace rts::campaign
