@@ -1,6 +1,7 @@
 #include "algo/registry.hpp"
 
 #include "algo/aa.hpp"
+#include "algo/abortable.hpp"
 #include "algo/attacks.hpp"
 #include "algo/cascade.hpp"
 #include "algo/chain.hpp"
@@ -51,6 +52,12 @@ const std::vector<AlgoInfo>& all_algorithms() {
        "diagnostic: spins shared reads forever; witnesses the hw step-limit "
        "watchdog (never elects)",
        /*diagnostic=*/true},
+      {AlgorithmId::kAbortableRace, "abortable-race", "O(log k)", "adaptive",
+       exec::kSimOnly,
+       "abortable TAS baseline (arXiv:1805.04840 model): RatRacePath with "
+       "the caller abort flag polled between shared-memory ops; aborted "
+       "callers return abort-or-lose",
+       /*diagnostic=*/false, /*abortable=*/true},
   };
   return kAlgorithms;
 }
@@ -86,14 +93,21 @@ const std::vector<AdversaryInfo>& all_adversaries() {
       {AdversaryId::kCrashAfterOps, "crash", true, false,
        "random scheduling that crashes each process once it exhausts a "
        "seeded per-process op budget (always sparing a survivor)"},
+      {AdversaryId::kAbortAfterOps, "abort", false, false,
+       "random scheduling that sends each process one abort request once it "
+       "exhausts a seeded per-process op budget (abortable algorithms then "
+       "return abort-or-lose)",
+       sim::AdversaryClass::kOblivious, /*aborts=*/true},
       {AdversaryId::kGeNeutralizer, "attack-ge", false, false,
        "adaptive group-election neutralizer (Section 4 motivation): forces "
        "Theta(k) steps on the weak-adversary chains; deterministic, so its "
-       "worst cases record and minimize like any schedule"},
+       "worst cases record and minimize like any schedule",
+       sim::AdversaryClass::kAdaptive},
       {AdversaryId::kReplay, "replay", true, true,
-       "re-drives a recorded schedule (grants and crashes) bit for bit; "
-       "constructed from .rtst traces via rts_bench --replay, never from a "
-       "seed"},
+       "re-drives a recorded schedule (grants, crashes, aborts) bit for "
+       "bit; constructed from .rtst traces via rts_bench --replay, never "
+       "from a seed",
+       sim::AdversaryClass::kOblivious, /*aborts=*/true},
   };
   return kAdversaries;
 }
@@ -130,6 +144,10 @@ sim::AdversaryFactory adversary_factory(AdversaryId id) {
     case AdversaryId::kCrashAfterOps:
       return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
         return std::make_unique<sim::CrashAfterOpsAdversary>(seed);
+      };
+    case AdversaryId::kAbortAfterOps:
+      return [](std::uint64_t seed) -> std::unique_ptr<sim::Adversary> {
+        return std::make_unique<sim::AbortAfterOpsAdversary>(seed);
       };
     case AdversaryId::kGeNeutralizer:
       return [](std::uint64_t) -> std::unique_ptr<sim::Adversary> {
@@ -176,6 +194,8 @@ std::unique_ptr<ILeaderElect<SimPlatform>> make_sim_le(AlgorithmId id,
       return std::make_unique<TournamentLe<P>>(arena, n);
     case AlgorithmId::kAaSiftRatRace:
       return std::make_unique<AaSiftRatRaceLe<P>>(arena, n);
+    case AlgorithmId::kAbortableRace:
+      return std::make_unique<AbortableRace<P>>(arena, n);
     case AlgorithmId::kNativeAtomic:
     case AlgorithmId::kDivergeHw:
       return nullptr;  // hw-only: no simulator form
@@ -194,6 +214,7 @@ sim::LeBuilder sim_builder(AlgorithmId id) {
     sim::BuiltLe built;
     built.keepalive = le;
     built.declared_registers = le->declared_registers();
+    built.abortable = info(id).abortable;
     built.elect = [le](sim::Context& ctx) { return le->elect(ctx); };
     built.reset = [le] { le->reset_trial_state(); };
     return built;

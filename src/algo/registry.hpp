@@ -15,6 +15,7 @@
 #include "algo/platform.hpp"
 #include "algo/sim_platform.hpp"
 #include "exec/backend.hpp"
+#include "sim/adversary.hpp"
 #include "sim/runner.hpp"
 
 namespace rts::algo {
@@ -31,6 +32,7 @@ enum class AlgorithmId {
   kAaSiftRatRace,   // Alistarh-Aspnes 2011: sifting + RatRace backup
   kNativeAtomic,    // hw-only baseline: one std::atomic exchange
   kDivergeHw,       // hw-only diagnostic: never elects (watchdog witness)
+  kAbortableRace,   // abortable TAS baseline (arXiv:1805.04840 model)
 };
 
 struct AlgoInfo {
@@ -44,6 +46,9 @@ struct AlgoInfo {
   /// by name but skipped by preset enumeration and catalogue-wide stress
   /// loops -- they intentionally violate liveness.
   bool diagnostic = false;
+  /// Honours adversary abort requests (may return sim::Outcome::kAbort);
+  /// gates the abort-validity checks in sim::collect_le_result.
+  bool abortable = false;
 };
 
 const std::vector<AlgoInfo>& all_algorithms();
@@ -65,6 +70,7 @@ enum class AdversaryId {
   kRoundRobin,     // oblivious: cycles through pids
   kSequential,     // oblivious: one process at a time, in pid order
   kCrashAfterOps,  // failure injection: crashes processes after an op budget
+  kAbortAfterOps,  // abort injection: abort requests after an op budget
   kGeNeutralizer,  // adaptive: the Section-4 group-election neutralizer attack
   kReplay,         // fixed-schedule replay of a recorded trace (sim/trace.hpp)
 };
@@ -79,6 +85,12 @@ struct AdversaryInfo {
   /// and catalogue-wide stress loops skip it.
   bool from_trace = false;
   const char* description;
+  /// The literature's adversary hierarchy slot this scheduler occupies --
+  /// what it is allowed to observe when deciding the next action (see
+  /// sim/adversary.hpp); shown by `rts_bench --list`.
+  sim::AdversaryClass clazz = sim::AdversaryClass::kOblivious;
+  /// Whether this scheduler may issue abort requests.
+  bool aborts = false;
 };
 
 const std::vector<AdversaryInfo>& all_adversaries();

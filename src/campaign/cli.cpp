@@ -56,6 +56,9 @@ void print_usage(std::FILE* out) {
                "  --seed S          override campaign seed\n"
                "  --ks K[,K...]     override the contention sweep\n"
                "  --n N             fixed object capacity (default: n = k)\n"
+               "  --rmr M[,M...]    RMR charging models: none | cc | dsm\n"
+               "                    (sim only; adds a grid axis and the RMR\n"
+               "                    report columns)\n"
                "  --format F        stdout format: table | jsonl | csv\n"
                "  --json PATH       also write JSONL to PATH ('-' = stdout)\n"
                "  --csv PATH        also write CSV to PATH ('-' = stdout)\n"
@@ -96,7 +99,7 @@ void print_usage(std::FILE* out) {
                "  --rate R          target election arrivals per second\n"
                "  --soak-preset P   named soak configuration (see --list);\n"
                "                    --soak/--rate/--algos/--ks/... override\n"
-               "  --pin C[,C...]    pin participant i to cpu C[i % len]; in\n"
+               "  --pin C[,C...]    pin participant i to cpu C[i %% len]; in\n"
                "                    soak and hw campaign cells (NUMA control)\n"
                "\n"
                "Sim aggregates are a pure function of the spec: output bytes\n"
@@ -125,7 +128,13 @@ void print_list() {
   }
   std::printf("\nadversaries (sim backend; hw cells use the os scheduler):\n");
   for (const algo::AdversaryInfo& adversary : algo::all_adversaries()) {
-    std::printf("  %-18s %s\n", adversary.name, adversary.description);
+    // Class tag: the literature's adversary hierarchy slot, plus what the
+    // scheduler may inject beyond grants.
+    std::string tag = sim::to_string(adversary.clazz);
+    if (adversary.crashes) tag += "+crash";
+    if (adversary.aborts) tag += "+abort";
+    std::printf("  %-18s %-22s %s\n", adversary.name, tag.c_str(),
+                adversary.description);
   }
   std::printf("\nbackends:\n");
   std::printf("  %-18s %s\n", "sim",
@@ -144,6 +153,7 @@ struct CliArgs {
   std::vector<std::string> algos;
   std::vector<std::string> adversaries;
   std::vector<exec::Backend> backends;  // empty: keep each spec's own
+  std::vector<rmr::RmrModel> rmrs;      // empty: keep each spec's own
   std::vector<int> ks;
   int fixed_n = 0;
   std::optional<int> trials;
@@ -219,6 +229,19 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
           return std::nullopt;
         }
         args.backends.push_back(*backend);
+      }
+    } else if (arg == "--rmr") {
+      if ((value = need_value(i, "--rmr")) == nullptr) return std::nullopt;
+      for (const std::string& name : split_csv(value)) {
+        rmr::RmrModel model;
+        if (!rmr::parse_rmr_model(name, &model)) {
+          std::fprintf(stderr,
+                       "rts_bench: unknown rmr model '%s' "
+                       "(expected none, cc, or dsm)\n",
+                       name.c_str());
+          return std::nullopt;
+        }
+        args.rmrs.push_back(model);
       }
     } else if (arg == "--ks") {
       if ((value = need_value(i, "--ks")) == nullptr) return std::nullopt;
@@ -369,6 +392,7 @@ bool collect_specs(const CliArgs& args, std::vector<CampaignSpec>* specs,
   // Apply overrides uniformly.
   for (CampaignSpec& spec : *specs) {
     if (!args.backends.empty()) spec.backends = args.backends;
+    if (!args.rmrs.empty()) spec.rmrs = args.rmrs;
     if (args.trials) spec.trials = *args.trials;
     if (args.seed) spec.seed = *args.seed;
     if (args.step_limit) spec.step_limit = *args.step_limit;
@@ -416,10 +440,12 @@ std::FILE* open_sink(const std::string& path, bool* needs_close) {
 /// column set per file.  (JSONL lines are self-describing; mixing is fine.)
 class Sink {
  public:
-  Sink(std::string path, ReportFormat format, bool force_extended)
+  Sink(std::string path, ReportFormat format, bool force_extended,
+       bool force_rmr)
       : path_(std::move(path)),
         format_(format),
-        force_extended_(force_extended) {}
+        force_extended_(force_extended),
+        force_rmr_(force_rmr) {}
   ~Sink() {
     if (file_ != nullptr && needs_close_) std::fclose(file_);
   }
@@ -437,7 +463,7 @@ class Sink {
       }
     }
     if (format_ == ReportFormat::kCsv) {
-      report_csv(result, file_, force_extended_);
+      report_csv(result, file_, force_extended_, force_rmr_);
     } else {
       report(result, format_, file_);
     }
@@ -448,6 +474,7 @@ class Sink {
   std::string path_;
   ReportFormat format_;
   bool force_extended_;
+  bool force_rmr_ = false;
   std::FILE* file_ = nullptr;
   bool needs_close_ = false;
 };
@@ -819,11 +846,13 @@ int run_cli(int argc, char** argv) {
   if (!args.hunt_dir.empty()) return run_hunt_mode(args, specs);
 
   bool any_extended = false;
+  bool any_rmr = false;
   for (const CampaignSpec& spec : specs) {
     if (extended_schema(spec)) any_extended = true;
+    if (rmr_schema(spec)) any_rmr = true;
   }
-  Sink json_sink(args.json_path, ReportFormat::kJsonl, any_extended);
-  Sink csv_sink(args.csv_path, ReportFormat::kCsv, any_extended);
+  Sink json_sink(args.json_path, ReportFormat::kJsonl, any_extended, any_rmr);
+  Sink csv_sink(args.csv_path, ReportFormat::kCsv, any_extended, any_rmr);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const CampaignSpec& spec = specs[i];
@@ -863,7 +892,7 @@ int run_cli(int argc, char** argv) {
       return 1;
     }
     if (args.format == ReportFormat::kCsv) {
-      report_csv(result, stdout, any_extended);
+      report_csv(result, stdout, any_extended, any_rmr);
     } else {
       report(result, args.format, stdout);
     }

@@ -110,6 +110,8 @@ std::shared_ptr<const sim::CellTrace> load_cell_trace(
         "geometry (n, k)");
   check(trace->seed0 == cell.seed0, "seed stream");
   check(trace->step_limit == cell.step_limit, "step limit");
+  check(trace->rmr == cell.rmr,
+        std::string("rmr model '") + rmr::to_string(trace->rmr) + "'");
   check(trace->trials.size() >= static_cast<std::size_t>(cell.trials),
         "trial count " + std::to_string(trace->trials.size()));
   return trace;
@@ -141,6 +143,7 @@ void write_recorded_traces(const std::string& record_dir,
     out.k = static_cast<std::uint32_t>(cell.k);
     out.seed0 = cell.seed0;
     out.step_limit = cell.step_limit;
+    out.rmr = cell.rmr;
     // Only the contiguous ran prefix: a budget-truncated campaign may have
     // holes, and a trace with holes could not replay as a stream.
     const std::size_t base = static_cast<std::size_t>(cell.index) * trials;
@@ -275,6 +278,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
             sim::ReplayAdversary adversary(&recorded.actions);
             sim::Kernel::Options kernel_options;
             kernel_options.step_limit = cell.step_limit;
+            kernel_options.rmr_model = cell.rmr;
             const sim::LeRunResult result = workspace.run_le_once(
                 static_cast<std::uint64_t>(cell.index), builder, cell.n,
                 cell.k, adversary, recorded.trial_seed, kernel_options);
@@ -302,6 +306,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
             sim::RecordingAdversary recorder(*inner, &out.actions);
             sim::Kernel::Options kernel_options;
             kernel_options.step_limit = cell.step_limit;
+            kernel_options.rmr_model = cell.rmr;
             const sim::LeRunResult result = workspace.run_le_once(
                 static_cast<std::uint64_t>(cell.index), builder, cell.n,
                 cell.k, recorder, seed, kernel_options);
@@ -315,6 +320,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
          cell](exec::TrialWorkspace& workspace, int trial) {
           sim::Kernel::Options kernel_options;
           kernel_options.step_limit = cell.step_limit;
+          kernel_options.rmr_model = cell.rmr;
           return sim::summarize_trial(workspace.run_le_trial(
               static_cast<std::uint64_t>(cell.index), builder, cell.n, cell.k,
               adversary, trial, cell.seed0, kernel_options));

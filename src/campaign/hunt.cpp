@@ -35,8 +35,10 @@ sim::CellTrace record_cell(const CellSpec& cell, const std::string& campaign,
   trace.k = static_cast<std::uint32_t>(cell.k);
   trace.seed0 = cell.seed0;
   trace.step_limit = cell.step_limit;
+  trace.rmr = cell.rmr;
   sim::Kernel::Options kernel_options;
   kernel_options.step_limit = cell.step_limit;
+  kernel_options.rmr_model = cell.rmr;
   for (int t = 0; t < cell.trials; ++t) {
     sim::TrialTrace trial;
     results->push_back(sim::record_trial_trace(builder, cell.n, cell.k,
@@ -49,8 +51,14 @@ sim::CellTrace record_cell(const CellSpec& cell, const std::string& campaign,
 
 std::string corpus_filename(const HuntedCell& hunted,
                             const std::string& family) {
-  return hunted.campaign + "-" + hunted.algorithm + "-" + hunted.adversary +
-         "-k" + std::to_string(hunted.cell.k) + "-" + family + ".rtst";
+  std::string name = hunted.campaign + "-" + hunted.algorithm + "-" +
+                     hunted.adversary + "-k" + std::to_string(hunted.cell.k);
+  // RMR cells get a model segment so a cc and a dsm cell of one grid cannot
+  // collide on the same corpus file.
+  if (hunted.cell.rmr != rmr::RmrModel::kNone) {
+    name += std::string("-") + rmr::to_string(hunted.cell.rmr);
+  }
+  return name + "-" + family + ".rtst";
 }
 
 void json_entry(std::string& out, const HuntedCell& hunted) {
@@ -58,8 +66,11 @@ void json_entry(std::string& out, const HuntedCell& hunted) {
   line << "    {\"file\":\"" << std::filesystem::path(hunted.file).filename().string()
        << "\",\"campaign\":\"" << hunted.campaign << "\",\"algorithm\":\""
        << hunted.algorithm << "\",\"adversary\":\"" << hunted.adversary
-       << "\",\"n\":" << hunted.cell.n << ",\"k\":" << hunted.cell.k
-       << ",\"predicate\":\"" << hunted.predicate
+       << "\",\"n\":" << hunted.cell.n << ",\"k\":" << hunted.cell.k;
+  if (hunted.cell.rmr != rmr::RmrModel::kNone) {
+    line << ",\"rmr\":\"" << rmr::to_string(hunted.cell.rmr) << "\"";
+  }
+  line << ",\"predicate\":\"" << hunted.predicate
        << "\",\"worst_trial\":" << hunted.worst_trial
        << ",\"metric\":" << hunted.metric
        << ",\"original_actions\":" << hunted.stats.original_actions

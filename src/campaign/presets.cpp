@@ -249,6 +249,25 @@ std::vector<Preset> build_presets() {
   }
   {
     CampaignSpec spec;
+    spec.name = "rmr";
+    spec.algorithms = {AlgorithmId::kAbortableRace};
+    spec.adversaries = {AdversaryId::kAbortAfterOps};
+    spec.ks = {8};
+    spec.rmrs = {rmr::RmrModel::kCC, rmr::RmrModel::kDSM};
+    spec.trials = 60;
+    spec.seed = 4840;  // arXiv:1805.04840
+    spec.seed_policy = SeedPolicy::kPerCell;
+    presets.push_back({"rmr",
+                       "RMR accounting (CC vs DSM) over the abortable TAS "
+                       "baseline under abort injection",
+                       "per-trial remote-memory-reference totals under both "
+                       "charging models; aborted callers return abort-or-"
+                       "lose, and the tallies are bitwise-identical for any "
+                       "--workers count",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
     spec.name = "quick";
     spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kRatRacePath};
     spec.adversaries = {AdversaryId::kUniformRandom};

@@ -112,8 +112,19 @@ bool extended_schema(const CampaignSpec& spec) {
   return false;
 }
 
+bool rmr_schema(const CampaignSpec& spec) {
+  for (const rmr::RmrModel model : spec.rmrs) {
+    if (model != rmr::RmrModel::kNone) return true;
+  }
+  for (const algo::AdversaryId adversary : spec.adversaries) {
+    if (algo::info(adversary).aborts) return true;
+  }
+  return false;
+}
+
 void report_table(const CampaignResult& result, std::FILE* out) {
   const bool extended = extended_schema(result.spec);
+  const bool rmr = rmr_schema(result.spec);
   // One table per (backend, adversary) group actually present in the
   // cells, in first-appearance order -- the reporter never re-derives
   // expand()'s grid rules (e.g. the hw adversary collapse), so it cannot
@@ -146,6 +157,14 @@ void report_table(const CampaignResult& result, std::FILE* out) {
         columns.insert(columns.begin() + 6, "p99");
       }
       if (extended) columns.push_back("crashed");
+      if (rmr) {
+        // Per-trial RMR totals under the cell's charging model; "rmr/pid"
+        // is the mean over trials of the worst single process.
+        columns.push_back("rmr");
+        columns.push_back("E[rmr total]");
+        columns.push_back("E[rmr/pid]");
+        columns.push_back("aborted");
+      }
       if (hw) {
         columns.push_back("E[wall us]");
         // hw latency is wall-clock; tails go beside the wall-time mean.
@@ -183,6 +202,13 @@ void report_table(const CampaignResult& result, std::FILE* out) {
           row.push_back(support::Table::num(
               static_cast<std::size_t>(cell.agg.crashed_runs)));
         }
+        if (rmr) {
+          row.push_back(rmr::to_string(cell.cell.rmr));
+          row.push_back(support::Table::num(cell.agg.rmr_total.mean(), 1));
+          row.push_back(support::Table::num(cell.agg.rmr_max.mean(), 1));
+          row.push_back(support::Table::num(
+              static_cast<std::size_t>(cell.agg.aborted_runs)));
+        }
         if (hw) {
           row.push_back(
               support::Table::num(cell.agg.wall_seconds.mean() * 1e6, 1));
@@ -200,6 +226,7 @@ void report_table(const CampaignResult& result, std::FILE* out) {
 
 void report_jsonl(const CampaignResult& result, std::FILE* out) {
   const bool extended = extended_schema(result.spec);
+  const bool rmr = rmr_schema(result.spec);
   std::fprintf(out,
                "{\"type\":\"campaign\",\"name\":\"%s\",\"seed\":%llu,"
                "\"trials\":%d,\"cells\":%zu,",
@@ -220,6 +247,9 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
     if (extended) {
       std::fprintf(out, "\"backend\":\"%s\",",
                    exec::to_string(cell.cell.backend));
+    }
+    if (rmr) {
+      std::fprintf(out, "\"rmr\":\"%s\",", rmr::to_string(cell.cell.rmr));
     }
     std::fprintf(
         out,
@@ -243,6 +273,12 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
     print_summary_json(out, "total_steps", cell.agg.total_steps);
     std::fputc(',', out);
     print_summary_json(out, "regs_touched", cell.agg.regs_touched);
+    if (rmr) {
+      std::fprintf(out, ",\"aborted_runs\":%d,", cell.agg.aborted_runs);
+      print_summary_json(out, "rmr_total", cell.agg.rmr_total);
+      std::fputc(',', out);
+      print_summary_json(out, "rmr_max", cell.agg.rmr_max);
+    }
     if (extended) {
       std::fputc(',', out);
       print_summary_json(out, "unfinished", cell.agg.unfinished);
@@ -263,20 +299,26 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
 }
 
 void report_csv(const CampaignResult& result, std::FILE* out,
-                bool force_extended) {
+                bool force_extended, bool force_rmr) {
   const bool extended = force_extended || extended_schema(result.spec);
+  const bool rmr = force_rmr || rmr_schema(result.spec);
   std::fprintf(out,
                "campaign,%salgorithm,adversary,n,k,trials_run,seed0,"
                "declared_registers,max_steps_mean,max_steps_ci95,"
                "max_steps_p50,max_steps_p95,max_steps_max,mean_steps_mean,"
                "total_steps_mean,regs_touched_mean,violation_runs,"
                "incomplete_runs,error_runs,latency_unit,latency_p50,"
-               "latency_p90,latency_p99,latency_p999,latency_max%s\n",
+               "latency_p90,latency_p99,latency_p999,latency_max%s%s\n",
                extended ? "backend," : "",
                extended ? ",crashed_runs,unfinished_mean,wall_seconds_mean,"
                           "perf_samples,perf_cycles,perf_instructions,"
                           "perf_cache_misses,perf_dtlb_misses"
-                        : "");
+                        : "",
+               // RMR columns ride at the very end so they stay additive over
+               // both the historical and the extended layouts.
+               rmr ? ",rmr,rmr_total_mean,rmr_total_max,rmr_max_mean,"
+                     "aborted_runs"
+                   : "");
   for (const CellResult& cell : result.cells) {
     const support::Summary max_steps = support::summarize(cell.agg.max_steps);
     std::fprintf(out, "%s,", result.spec.name.c_str());
@@ -322,6 +364,13 @@ void report_csv(const CampaignResult& result, std::FILE* out,
           std::fputc(',', out);
         }
       }
+    }
+    if (rmr) {
+      std::fprintf(out, ",%s,%s,%s,%s,%d", rmr::to_string(cell.cell.rmr),
+                   fmt_double(cell.agg.rmr_total.mean()).c_str(),
+                   fmt_double(cell.agg.rmr_total.max()).c_str(),
+                   fmt_double(cell.agg.rmr_max.mean()).c_str(),
+                   cell.agg.aborted_runs);
     }
     std::fputc('\n', out);
   }
@@ -412,6 +461,15 @@ void report_bench_json(const CampaignResult& result, std::FILE* out) {
         fmt_double(cell.agg.wall_seconds.mean()).c_str(),
         cell.agg.violation_runs, cell.agg.crashed_runs,
         cell.incomplete_runs, cell.error_runs);
+    if (rmr_schema(result.spec)) {
+      std::fprintf(out,
+                   "\"rmr\":\"%s\",\"rmr_total_mean\":%s,"
+                   "\"rmr_max_mean\":%s,\"aborted_runs\":%d,",
+                   rmr::to_string(cell.cell.rmr),
+                   fmt_double(cell.agg.rmr_total.mean()).c_str(),
+                   fmt_double(cell.agg.rmr_max.mean()).c_str(),
+                   cell.agg.aborted_runs);
+    }
     print_latency_json(out, "latency", cell.agg.latency,
                        latency_unit(cell.cell.backend));
     if (cell.perf.any()) {
@@ -443,12 +501,17 @@ void report_trace_manifest(const CampaignResult& result, std::FILE* out,
     std::fprintf(
         out,
         "%s{\"cell\":%d,\"file\":\"%s\",\"algorithm\":\"%s\","
-        "\"adversary\":\"%s\",\"n\":%d,\"k\":%d,\"trials_recorded\":%d}",
+        "\"adversary\":\"%s\",\"n\":%d,\"k\":%d,\"trials_recorded\":%d",
         first ? "" : ",", cell.cell.index,
         sim::cell_trace_filename(cell.cell.index).c_str(),
         algo::info(cell.cell.algorithm).name,
         algo::info(cell.cell.adversary).name, cell.cell.n, cell.cell.k,
         recorded);
+    // Additive: pre-RMR manifests carry no rmr key at all.
+    if (cell.cell.rmr != rmr::RmrModel::kNone) {
+      std::fprintf(out, ",\"rmr\":\"%s\"", rmr::to_string(cell.cell.rmr));
+    }
+    std::fputc('}', out);
     first = false;
   }
   std::fprintf(out, "]}\n");

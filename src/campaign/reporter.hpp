@@ -41,14 +41,20 @@ std::optional<ReportFormat> parse_format(std::string_view name);
 /// non-sim backend, or any adversary that may crash processes.
 bool extended_schema(const CampaignSpec& spec);
 
+/// True when the campaign opts into the RMR reporter fields: any non-kNone
+/// RMR model on the grid, or any adversary that may issue abort requests.
+/// Orthogonal to (and additive over) extended_schema(), so every pre-RMR
+/// campaign keeps its historical bytes.
+bool rmr_schema(const CampaignSpec& spec);
+
 void report_table(const CampaignResult& result, std::FILE* out);
 void report_jsonl(const CampaignResult& result, std::FILE* out);
 /// CSV is positional, so a file sink shared by several campaigns must fix
-/// one column set up front: `force_extended` renders the extended columns
-/// even for a campaign that would not opt in by itself (the CLI passes
-/// "any campaign of the invocation is extended").
+/// one column set up front: `force_extended` / `force_rmr` render the
+/// extended / RMR columns even for a campaign that would not opt in by
+/// itself (the CLI passes "any campaign of the invocation opts in").
 void report_csv(const CampaignResult& result, std::FILE* out,
-                bool force_extended = false);
+                bool force_extended = false, bool force_rmr = false);
 
 void report(const CampaignResult& result, ReportFormat format, std::FILE* out);
 

@@ -7,8 +7,9 @@ namespace rts::campaign {
 
 std::vector<CellSpec> expand(const CampaignSpec& spec) {
   std::vector<CellSpec> cells;
-  cells.reserve(spec.backends.size() * spec.algorithms.size() *
-                spec.adversaries.size() * spec.ks.size());
+  cells.reserve(spec.backends.size() * spec.rmrs.size() *
+                spec.algorithms.size() * spec.adversaries.size() *
+                spec.ks.size());
   int index = 0;
   for (const exec::Backend backend : spec.backends) {
     // Hw cells ignore the adversary axis (the os scheduler is the
@@ -16,25 +17,28 @@ std::vector<CellSpec> expand(const CampaignSpec& spec) {
     // hardware measurement: collapse it to the first adversary.
     const std::size_t adversary_count =
         backend == exec::Backend::kHw ? 1 : spec.adversaries.size();
-    for (const algo::AlgorithmId algorithm : spec.algorithms) {
-      for (std::size_t a = 0; a < adversary_count; ++a) {
-        const algo::AdversaryId adversary = spec.adversaries[a];
-        for (const int k : spec.ks) {
-          CellSpec cell;
-          cell.index = index;
-          cell.backend = backend;
-          cell.algorithm = algorithm;
-          cell.adversary = adversary;
-          cell.k = k;
-          cell.n = spec.fixed_n > 0 ? spec.fixed_n : k;
-          cell.trials = spec.trials;
-          cell.seed0 = spec.seed_policy == SeedPolicy::kSharedBase
-                           ? spec.seed
-                           : support::derive_seed(
-                                 spec.seed, static_cast<std::uint64_t>(index));
-          cell.step_limit = spec.step_limit;
-          cells.push_back(cell);
-          ++index;
+    for (const rmr::RmrModel rmr_model : spec.rmrs) {
+      for (const algo::AlgorithmId algorithm : spec.algorithms) {
+        for (std::size_t a = 0; a < adversary_count; ++a) {
+          const algo::AdversaryId adversary = spec.adversaries[a];
+          for (const int k : spec.ks) {
+            CellSpec cell;
+            cell.index = index;
+            cell.backend = backend;
+            cell.algorithm = algorithm;
+            cell.adversary = adversary;
+            cell.rmr = rmr_model;
+            cell.k = k;
+            cell.n = spec.fixed_n > 0 ? spec.fixed_n : k;
+            cell.trials = spec.trials;
+            cell.seed0 = spec.seed_policy == SeedPolicy::kSharedBase
+                             ? spec.seed
+                             : support::derive_seed(
+                                   spec.seed, static_cast<std::uint64_t>(index));
+            cell.step_limit = spec.step_limit;
+            cells.push_back(cell);
+            ++index;
+          }
         }
       }
     }
@@ -71,6 +75,17 @@ std::string validate(const CampaignSpec& spec) {
     }
   }
   if (spec.step_limit == 0) return "step limit must be positive";
+  if (spec.rmrs.empty()) return "campaign has an empty rmr axis";
+  for (const rmr::RmrModel rmr_model : spec.rmrs) {
+    if (rmr_model == rmr::RmrModel::kNone) continue;
+    for (const exec::Backend backend : spec.backends) {
+      if (backend != exec::Backend::kSim) {
+        return std::string("rmr model '") + rmr::to_string(rmr_model) +
+               "' requires the sim backend (RMR accounting lives in the "
+               "simulated memory)";
+      }
+    }
+  }
   return {};
 }
 
@@ -109,6 +124,13 @@ std::uint64_t spec_hash(const CampaignSpec& spec) {
   fnv1a(hash, spec.seed);
   fnv1a(hash, static_cast<std::uint64_t>(spec.seed_policy));
   fnv1a(hash, spec.step_limit);
+  // Hashed only when non-default so every pre-RMR spec keeps its historical
+  // hash (BENCH_*.json trajectory continuity).
+  if (spec.rmrs != std::vector<rmr::RmrModel>{rmr::RmrModel::kNone}) {
+    for (const rmr::RmrModel rmr_model : spec.rmrs) {
+      fnv1a(hash, rmr::to_string(rmr_model));
+    }
+  }
   return hash;
 }
 

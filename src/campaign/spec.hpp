@@ -18,6 +18,7 @@
 
 #include "algo/registry.hpp"
 #include "exec/backend.hpp"
+#include "rmr/model.hpp"
 
 namespace rts::campaign {
 
@@ -39,6 +40,11 @@ struct CampaignSpec {
   std::vector<exec::Backend> backends = {exec::Backend::kSim};
   std::vector<algo::AlgorithmId> algorithms;
   std::vector<algo::AdversaryId> adversaries;
+  /// RMR charging models, crossed right below the backend axis (sim only;
+  /// validate() rejects non-kNone models on hw backends).  The default
+  /// single-kNone axis keeps historical campaigns' cell indexing, per-cell
+  /// seeds, and spec hashes intact.
+  std::vector<rmr::RmrModel> rmrs = {rmr::RmrModel::kNone};
   std::vector<int> ks;  ///< contention sweep: participants per cell
   /// Object capacity the algorithm is built for; 0 means n = k per cell
   /// (the "object sized for its load" convention of most tables).  A fixed
@@ -68,6 +74,10 @@ struct CampaignSpec {
     backends = std::move(list);
     return *this;
   }
+  CampaignSpec& with_rmrs(std::vector<rmr::RmrModel> list) {
+    rmrs = std::move(list);
+    return *this;
+  }
 };
 
 /// One grid point: a (backend, algorithm, adversary, n, k) cell and its
@@ -83,12 +93,15 @@ struct CellSpec {
   int trials = 0;
   std::uint64_t seed0 = 0;  ///< base seed of the cell's trial stream
   std::uint64_t step_limit = 0;
+  rmr::RmrModel rmr = rmr::RmrModel::kNone;  ///< RMR charging model
 };
 
-/// Flattens the grid in deterministic order: backends outermost, then
-/// algorithms, then adversaries, then the k sweep.  For hw backends the
-/// adversary axis collapses to the spec's first adversary (hw cells ignore
-/// it; crossing it would repeat identical hardware measurements).
+/// Flattens the grid in deterministic order: backends outermost, then RMR
+/// models, then algorithms, then adversaries, then the k sweep.  For hw
+/// backends the adversary axis collapses to the spec's first adversary (hw
+/// cells ignore it; crossing it would repeat identical hardware
+/// measurements).  The default rmrs axis {kNone} adds no grid points, so
+/// historical campaigns keep their cell order and per-cell seeds.
 std::vector<CellSpec> expand(const CampaignSpec& spec);
 
 /// Returns a human-readable description of the first problem with the spec,

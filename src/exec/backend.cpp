@@ -33,7 +33,10 @@ void accumulate_trial(Aggregate& agg, const TrialSummary& trial) {
   agg.unfinished.add(static_cast<double>(trial.unfinished));
   agg.wall_seconds.add(trial.wall_seconds);
   agg.latency.record(trial.latency);
+  agg.rmr_total.add(static_cast<double>(trial.rmr_total));
+  agg.rmr_max.add(static_cast<double>(trial.rmr_max));
   if (!trial.crash_free) ++agg.crashed_runs;
+  if (trial.aborted > 0) ++agg.aborted_runs;
   if (!trial.first_violation.empty()) {
     ++agg.violation_runs;
     if (agg.first_violations.size() < 5) {

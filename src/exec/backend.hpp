@@ -68,6 +68,11 @@ struct TrialSummary {
   /// backend-specific: sim reports the trial's max step count (the
   /// deterministic latency analog), hw reports wall-clock nanoseconds.
   std::uint64_t latency = 0;
+  /// RMR accounting (sim only, zero unless an RmrModel is selected):
+  /// all-participant remote-reference total and the largest per-pid tally.
+  std::uint64_t rmr_total = 0;
+  std::uint64_t rmr_max = 0;
+  int aborted = 0;  ///< participants that returned Outcome::kAbort
   std::string first_violation;  ///< empty when the trial was clean
 };
 
@@ -83,9 +88,14 @@ struct Aggregate {
   /// Latency distribution (sim: steps, hw: ns); exact merge keeps reporter
   /// percentiles bitwise-identical across worker counts.
   telemetry::LatencyHistogram latency;
+  /// RMR accounting summaries; all-zero (and unreported) when no trial ran
+  /// under an RmrModel.  Same exact-merge contract as the step counters.
+  support::Accumulator rmr_total;
+  support::Accumulator rmr_max;
   int runs = 0;
   int violation_runs = 0;
   int crashed_runs = 0;  ///< trials with at least one crashed participant
+  int aborted_runs = 0;  ///< trials with at least one kAbort outcome
   std::vector<std::string> first_violations;
 };
 

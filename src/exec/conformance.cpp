@@ -54,6 +54,9 @@ std::string result_mismatch(const sim::LeRunResult& a,
   if (a.completed != b.completed) return "completed differs";
   if (a.crash_free != b.crash_free) return "crash_free differs";
   if (a.violations != b.violations) return "violations differ";
+  if (a.rmr_total != b.rmr_total) return "rmr_total differs";
+  if (a.rmr_max != b.rmr_max) return "rmr_max differs";
+  if (a.abort_requests != b.abort_requests) return "abort_requests differ";
   return {};
 }
 
@@ -167,7 +170,19 @@ bool hw_expressible(const sim::CellTrace& cell) {
   const std::optional<algo::AlgorithmId> id =
       algo::parse_algorithm(cell.algorithm);
   if (!id) return false;
-  return algo::supports(*id, Backend::kHw) && !algo::info(*id).diagnostic;
+  if (!algo::supports(*id, Backend::kHw) || algo::info(*id).diagnostic) {
+    return false;
+  }
+  // RMR accounting lives in the simulated memory, and the scheduled hw
+  // drive has no notion of an adversary abort request: traces that use
+  // either stay on the two sim paths.
+  if (cell.rmr != rmr::RmrModel::kNone) return false;
+  for (const sim::TrialTrace& trial : cell.trials) {
+    for (const sim::Action& action : trial.actions) {
+      if (action.kind == sim::Action::Kind::kAbort) return false;
+    }
+  }
+  return true;
 }
 
 ConformanceReport check_cell(const sim::CellTrace& cell,
@@ -183,6 +198,7 @@ ConformanceReport check_cell(const sim::CellTrace& cell,
   const sim::LeBuilder builder = algo::sim_builder(*id);
   sim::Kernel::Options kernel_options;
   if (cell.step_limit > 0) kernel_options.step_limit = cell.step_limit;
+  kernel_options.rmr_model = cell.rmr;
   const bool hw_ok = options.hw && hw_expressible(cell);
 
   ConformanceReport report;

@@ -19,7 +19,8 @@ namespace {
 constexpr std::size_t kWorkspaceStackBytes = 16 * 1024;
 
 bool same_options(const sim::Kernel::Options& a, const sim::Kernel::Options& b) {
-  return a.step_limit == b.step_limit && a.track_events == b.track_events;
+  return a.step_limit == b.step_limit && a.track_events == b.track_events &&
+         a.rmr_model == b.rmr_model;
 }
 
 }  // namespace
@@ -107,7 +108,8 @@ sim::LeRunResult TrialWorkspace::run_on_stream(Stream& stream,
   ++trials_run_;
   return sim::collect_le_result(*stream.kernel, stream.n, stream.k,
                                 stream.outcomes,
-                                stream.built.declared_registers, completed);
+                                stream.built.declared_registers, completed,
+                                stream.built.abortable);
 }
 
 sim::LeRunResult TrialWorkspace::run_le_once(

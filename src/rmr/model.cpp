@@ -1,0 +1,125 @@
+#include "rmr/model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rts::rmr {
+
+const char* to_string(RmrModel model) {
+  switch (model) {
+    case RmrModel::kNone: return "none";
+    case RmrModel::kCC: return "cc";
+    case RmrModel::kDSM: return "dsm";
+  }
+  return "?";
+}
+
+bool parse_rmr_model(std::string_view text, RmrModel* out) {
+  if (text == "none") { *out = RmrModel::kNone; return true; }
+  if (text == "cc") { *out = RmrModel::kCC; return true; }
+  if (text == "dsm") { *out = RmrModel::kDSM; return true; }
+  return false;
+}
+
+void RmrCounter::configure(RmrModel model, int num_processes) {
+  RTS_ASSERT(num_processes > 0);
+  model_ = model;
+  num_processes_ = num_processes;
+  total_ = 0;
+  pid_tally_.assign(static_cast<std::size_t>(num_processes), 0);
+  reg_tally_.clear();
+  seen_version_.clear();
+  reg_version_.clear();
+  canon_.clear();
+  next_canon_ = 0;
+}
+
+void RmrCounter::reset() {
+  total_ = 0;
+  std::fill(pid_tally_.begin(), pid_tally_.end(), 0);
+  std::fill(reg_tally_.begin(), reg_tally_.end(), 0);
+  std::fill(seen_version_.begin(), seen_version_.end(), 0u);
+  std::fill(reg_version_.begin(), reg_version_.end(), 1u);
+  std::fill(canon_.begin(), canon_.end(), 0u);
+  next_canon_ = 0;
+}
+
+void RmrCounter::ensure_reg(sim::RegId reg) {
+  if (reg < reg_tally_.size()) return;
+  const std::size_t count = static_cast<std::size_t>(reg) + 1;
+  reg_tally_.resize(count, 0);
+  reg_version_.resize(count, 1u);  // versions start at 1 so "seen 0" = never
+  seen_version_.resize(count * static_cast<std::size_t>(num_processes_), 0u);
+  canon_.resize(count, 0u);
+}
+
+bool RmrCounter::dsm_remote(int pid, sim::RegId reg) {
+  // Home by first-touch order, not physical id: physical ids drift with a
+  // pooled kernel's allocation history, first-touch order is a pure function
+  // of the trial (see the header).
+  std::uint32_t& canon = canon_[reg];
+  if (canon == 0) canon = ++next_canon_;
+  return static_cast<int>((canon - 1) %
+                          static_cast<std::uint32_t>(num_processes_)) != pid;
+}
+
+void RmrCounter::charge(int pid, sim::RegId reg) {
+  ++total_;
+  ++pid_tally_[static_cast<std::size_t>(pid)];
+  ++reg_tally_[reg];
+}
+
+void RmrCounter::on_read(int pid, sim::RegId reg) {
+  if (model_ == RmrModel::kNone) return;
+  RTS_ASSERT(pid >= 0 && pid < num_processes_);
+  ensure_reg(reg);
+  if (model_ == RmrModel::kDSM) {
+    if (dsm_remote(pid, reg)) charge(pid, reg);
+    return;
+  }
+  // CC: remote only when the cached copy is stale; then refresh it.
+  std::uint32_t& seen =
+      seen_version_[static_cast<std::size_t>(reg) *
+                        static_cast<std::size_t>(num_processes_) +
+                    static_cast<std::size_t>(pid)];
+  const std::uint32_t current = reg_version_[reg];
+  if (seen != current) {
+    charge(pid, reg);
+    seen = current;
+  }
+}
+
+void RmrCounter::on_write(int pid, sim::RegId reg) {
+  if (model_ == RmrModel::kNone) return;
+  RTS_ASSERT(pid >= 0 && pid < num_processes_);
+  ensure_reg(reg);
+  if (model_ == RmrModel::kDSM) {
+    if (dsm_remote(pid, reg)) charge(pid, reg);
+    return;
+  }
+  // CC: a write always invalidates the other copies (always remote), bumps
+  // the version, and leaves the writer holding the fresh line.
+  charge(pid, reg);
+  const std::uint32_t next = ++reg_version_[reg];
+  seen_version_[static_cast<std::size_t>(reg) *
+                    static_cast<std::size_t>(num_processes_) +
+                static_cast<std::size_t>(pid)] = next;
+}
+
+std::uint64_t RmrCounter::max_by_pid() const {
+  std::uint64_t best = 0;
+  for (const std::uint64_t tally : pid_tally_) best = std::max(best, tally);
+  return best;
+}
+
+std::uint64_t RmrCounter::by_pid(int pid) const {
+  const auto index = static_cast<std::size_t>(pid);
+  return index < pid_tally_.size() ? pid_tally_[index] : 0;
+}
+
+std::uint64_t RmrCounter::by_reg(sim::RegId reg) const {
+  return reg < reg_tally_.size() ? reg_tally_[reg] : 0;
+}
+
+}  // namespace rts::rmr

@@ -1,0 +1,112 @@
+// Remote-memory-reference (RMR) accounting for the sim kernel.
+//
+// The source paper argues step and space complexity, but the modern TAS
+// literature (notably arXiv:1805.04840, the abortable-TAS RMR lower bound)
+// measures algorithms in RMRs under two standard machine models:
+//
+//  * CC (cache-coherent): every process keeps a cached copy of each
+//    register it has accessed.  A read is remote only when the register
+//    changed since this process last accessed it (its cached copy was
+//    invalidated by another writer); a write is always remote (it must
+//    invalidate the other copies).
+//
+//  * DSM (distributed shared memory): every register lives in exactly one
+//    process's memory segment.  Any access to a register homed outside the
+//    accessing process's segment is remote; local-segment accesses are free.
+//    Registers are striped across segments by their *canonical index* -- the
+//    order in which the trial first touches them -- not by the kernel's
+//    physical register id: lazily-built structures materialize at
+//    history-dependent physical ids inside a pooled workspace, while the
+//    first-touch order is a pure function of the trial, which is what keeps
+//    DSM totals bitwise-identical between fresh and pooled kernels (and
+//    hence across campaign worker counts).
+//
+// RmrCounter is a passive tally the sim memory calls into on every
+// read/write when a model is selected (kNone keeps the hot path untouched:
+// the memory holds a null counter pointer).  Charging is a pure function of
+// the access sequence, so totals replay bit-for-bit and merge exactly
+// across campaign workers, the same contract as the step counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rts::rmr {
+
+/// The RMR charging model for a sim run.  kNone means "do not account":
+/// the memory hot path stays exactly as fast as before the subsystem.
+enum class RmrModel : std::uint8_t {
+  kNone = 0,
+  kCC = 1,   ///< cache-coherent: reads remote only on invalidation
+  kDSM = 2,  ///< distributed shared memory: remote outside the home segment
+};
+
+/// Catalogue name of a model: "none", "cc", "dsm".
+const char* to_string(RmrModel model);
+
+/// Parses "none" / "cc" / "dsm"; returns false on anything else.
+bool parse_rmr_model(std::string_view text, RmrModel* out);
+
+/// Per-run RMR tallies, charged by SimMemory on each shared-memory access.
+///
+/// CC bookkeeping: each register carries a version, bumped on every write;
+/// each (pid, register) pair remembers the version it last saw.  A read is
+/// charged when the seen version differs (the cached copy was invalidated),
+/// then syncs the copy.  A write is always charged, bumps the version, and
+/// syncs the writer's own copy (a writer holds the line it just wrote).
+///
+/// DSM bookkeeping: register r is homed at segment canon(r) % k, where
+/// canon(r) is r's first-touch index within the trial (k = number of
+/// processes); an access by pid != home(r) is charged, a local one is not.
+///
+/// Tables grow lazily so an unconfigured counter costs nothing; reset()
+/// between pooled trials clears tallies and CC state without shrinking.
+class RmrCounter {
+ public:
+  /// Selects the model and process count for the coming run.  Must be
+  /// called before any on_read/on_write when model != kNone.
+  void configure(RmrModel model, int num_processes);
+
+  RmrModel model() const { return model_; }
+
+  /// Charges a read access by `pid` to register `reg` under the model.
+  void on_read(int pid, sim::RegId reg);
+  /// Charges a write access by `pid` to register `reg` under the model.
+  void on_write(int pid, sim::RegId reg);
+
+  /// Clears tallies and CC invalidation state; keeps model and capacity.
+  void reset();
+
+  std::uint64_t total() const { return total_; }
+  /// Largest per-pid tally, the "RMR latency" analogue of max_steps.
+  std::uint64_t max_by_pid() const;
+  /// Per-pid tally (0 for pids that never paid an RMR).
+  std::uint64_t by_pid(int pid) const;
+  /// Per-register tally (0 for registers never remotely accessed).
+  std::uint64_t by_reg(sim::RegId reg) const;
+
+ private:
+  void charge(int pid, sim::RegId reg);
+  void ensure_reg(sim::RegId reg);
+  bool dsm_remote(int pid, sim::RegId reg);
+
+  RmrModel model_ = RmrModel::kNone;
+  int num_processes_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> pid_tally_;
+  std::vector<std::uint64_t> reg_tally_;
+  // DSM state: canonical (first-touch) index per register, +1 so 0 means
+  // "not yet touched this trial"; renumbered from 0 every reset().
+  std::vector<std::uint32_t> canon_;
+  std::uint32_t next_canon_ = 0;
+  // CC state, indexed [reg * num_processes_ + pid]: the register version
+  // this pid last observed (0 = never accessed; versions start at 1).
+  std::vector<std::uint32_t> seen_version_;
+  std::vector<std::uint32_t> reg_version_;
+};
+
+}  // namespace rts::rmr

@@ -112,6 +112,49 @@ Action CrashAfterOpsAdversary::next(const KernelView& view) {
   return Action::step(pid);
 }
 
+AbortAfterOpsAdversary::AbortAfterOpsAdversary(std::uint64_t seed,
+                                               std::uint64_t min_ops,
+                                               std::uint64_t max_ops)
+    : rng_(seed), budget_rng_(~seed), min_ops_(min_ops), max_ops_(max_ops) {
+  RTS_REQUIRE(min_ops >= 1 && min_ops <= max_ops,
+              "need 1 <= min_ops <= max_ops");
+}
+
+std::uint64_t AbortAfterOpsAdversary::budget(int pid) {
+  // Budgets are drawn in pid order from a dedicated stream, so budget(pid)
+  // is a pure function of (seed, pid) regardless of scheduling history.
+  while (budgets_.size() <= static_cast<std::size_t>(pid)) {
+    budgets_.push_back(min_ops_ + budget_rng_.draw(max_ops_ - min_ops_ + 1));
+  }
+  return budgets_[static_cast<std::size_t>(pid)];
+}
+
+bool AbortAfterOpsAdversary::reseed(std::uint64_t seed) {
+  // Exactly the constructor's state for (seed, min_ops_, max_ops_).
+  rng_.reseed(seed);
+  budget_rng_.reseed(~seed);
+  budgets_.clear();
+  aborted_.clear();
+  aborts_ = 0;
+  return true;
+}
+
+Action AbortAfterOpsAdversary::next(const KernelView& view) {
+  const auto& runnable = view.runnable();
+  RTS_ASSERT(!runnable.empty());
+  const int pid = runnable[rng_.draw(runnable.size())];
+  if (aborted_.size() <= static_cast<std::size_t>(pid)) {
+    aborted_.resize(static_cast<std::size_t>(pid) + 1, 0);
+  }
+  if (aborted_[static_cast<std::size_t>(pid)] == 0 &&
+      view.steps(pid) >= budget(pid)) {
+    aborted_[static_cast<std::size_t>(pid)] = 1;
+    ++aborts_;
+    return Action::abort_req(pid);
+  }
+  return Action::step(pid);
+}
+
 Action ReplayAdversary::next(const KernelView& view) {
   if (pos_ >= actions_->size()) {
     throw Error(

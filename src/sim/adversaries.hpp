@@ -142,6 +142,38 @@ class CrashAfterOpsAdversary final : public Adversary {
   int crashes_ = 0;
 };
 
+/// Self-contained abort model for the campaign grid (AdversaryId::kAbort-
+/// AfterOps): schedules uniformly at random, but every process carries a
+/// seeded op budget drawn from [min_ops, max_ops]; once a process has taken
+/// that many steps it receives a single abort request (and keeps being
+/// scheduled -- an abortable algorithm must still finish, returning kAbort
+/// or kLose).  The mirror image of CrashAfterOpsAdversary with abort
+/// requests instead of crashes: no process is spared, because aborts do not
+/// kill anyone.
+class AbortAfterOpsAdversary final : public Adversary {
+ public:
+  explicit AbortAfterOpsAdversary(std::uint64_t seed,
+                                  std::uint64_t min_ops = 4,
+                                  std::uint64_t max_ops = 24);
+
+  AdversaryClass clazz() const override { return AdversaryClass::kOblivious; }
+  Action next(const KernelView& view) override;
+  bool reseed(std::uint64_t seed) override;
+
+  int aborts_requested() const { return aborts_; }
+
+ private:
+  std::uint64_t budget(int pid);
+
+  support::PrngSource rng_;
+  support::PrngSource budget_rng_;
+  std::uint64_t min_ops_;
+  std::uint64_t max_ops_;
+  std::vector<std::uint64_t> budgets_;  // drawn lazily, in pid order
+  std::vector<char> aborted_;           // pids already sent their request
+  int aborts_ = 0;
+};
+
 /// Decorator capturing every decision of an inner adversary into an action
 /// list -- the record side of fixed-schedule replay.  Recording is pure
 /// observation: the inner adversary sees exactly the views (and therefore

@@ -76,14 +76,17 @@ class KernelView {
   const std::vector<int>* runnable_;
 };
 
-/// One scheduling decision.
+/// One scheduling decision.  kAbort flags a pid's abort request (an
+/// abortable algorithm must stop trying and return abort-or-lose); it
+/// consumes no step budget and is a lenient no-op on finished processes.
 struct Action {
-  enum class Kind : std::uint8_t { kStep, kCrash };
+  enum class Kind : std::uint8_t { kStep, kCrash, kAbort };
   Kind kind = Kind::kStep;
   int pid = -1;
 
   static Action step(int pid) { return Action{Kind::kStep, pid}; }
   static Action crash(int pid) { return Action{Kind::kCrash, pid}; }
+  static Action abort_req(int pid) { return Action{Kind::kAbort, pid}; }
 };
 
 class Adversary {

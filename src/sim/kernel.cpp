@@ -28,6 +28,11 @@ int Kernel::add_process(std::function<void(Context&)> body,
 void Kernel::start() {
   RTS_REQUIRE(!started_, "kernel already started");
   started_ = true;
+  // RMR accounting needs the process count, which is only final here.
+  if (options_.rmr_model != rmr::RmrModel::kNone && num_processes() > 0) {
+    rmr_.configure(options_.rmr_model, num_processes());
+    memory_.set_rmr_counter(&rmr_);
+  }
   for (auto& proc : processes_) proc->start();
   runnable_dirty_ = true;
 }
@@ -35,8 +40,10 @@ void Kernel::start() {
 void Kernel::rewind() {
   started_ = false;
   total_steps_ = 0;
+  abort_requests_ = 0;
   event_log_.clear();
   memory_.reset_values();
+  rmr_.reset();
   for (auto& proc : processes_) proc->rewind();
   runnable_dirty_ = true;
 }
@@ -127,6 +134,21 @@ void Kernel::crash(int pid) {
   runnable_dirty_ = true;
 }
 
+void Kernel::abort_request(int pid) {
+  RTS_ASSERT(pid >= 0 && pid < num_processes());
+  SimProcess& proc = *processes_[pid];
+  // Lenient by design: an abort that arrives after the process finished or
+  // crashed models a caller whose abort raced completion -- it changes
+  // nothing and is not an error.  Repeat requests are likewise idempotent.
+  if (proc.abort_requested_) return;
+  if (proc.state() != SimProcess::State::kReady &&
+      proc.state() != SimProcess::State::kUnstarted) {
+    return;
+  }
+  proc.abort_requested_ = true;
+  ++abort_requests_;
+}
+
 bool Kernel::run(Adversary& adversary) {
   if (!started_) start();
   const AdversaryClass clazz = adversary.clazz();  // hoisted virtual call
@@ -142,6 +164,9 @@ bool Kernel::run(Adversary& adversary) {
         break;
       case Action::Kind::kCrash:
         crash(action.pid);
+        break;
+      case Action::Kind::kAbort:
+        abort_request(action.pid);
         break;
     }
   }

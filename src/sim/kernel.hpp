@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fiber/fiber.hpp"
+#include "rmr/model.hpp"
 #include "sim/memory.hpp"
 #include "sim/process.hpp"
 #include "sim/types.hpp"
@@ -29,6 +30,8 @@ class Kernel {
     std::uint64_t step_limit = 10'000'000;
     /// Record every executed op in an event log (costs memory).
     bool track_events = false;
+    /// RMR charging model; kNone keeps the memory hot path untouched.
+    rmr::RmrModel rmr_model = rmr::RmrModel::kNone;
   };
 
   Kernel();
@@ -84,6 +87,18 @@ class Kernel {
   /// Crashes a live process; it never takes another step.
   void crash(int pid);
 
+  /// Flags an abort request for pid.  Idempotent; a lenient no-op on
+  /// finished or crashed processes (the adversary may race completion).
+  /// Consumes no step budget -- only granted ops count against the limit.
+  void abort_request(int pid);
+  bool abort_requested(int pid) const { return process(pid).abort_requested(); }
+  /// Number of distinct processes with an abort request this run.
+  int abort_requests() const { return abort_requests_; }
+
+  /// RMR tallies for the current run; all-zero when Options::rmr_model is
+  /// kNone (the counter is never attached to the memory).
+  const rmr::RmrCounter& rmr() const { return rmr_; }
+
   std::uint64_t total_steps() const { return total_steps_; }
 
   /// Observer invoked after every executed operation.
@@ -102,10 +117,12 @@ class Kernel {
 
   Options options_;
   SimMemory memory_;
+  rmr::RmrCounter rmr_;
   std::vector<std::unique_ptr<SimProcess>> processes_;
   fiber::ExecutionContext kernel_slot_;
   bool started_ = false;
   std::uint64_t total_steps_ = 0;
+  int abort_requests_ = 0;
   std::function<void(const OpRecord&)> op_observer_;
   std::vector<OpRecord> event_log_;
   mutable std::vector<int> runnable_cache_;

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "rmr/model.hpp"
 #include "sim/types.hpp"
 #include "support/assert.hpp"
 
@@ -71,6 +72,11 @@ class SimMemory {
   /// that allocated it), sorted by register count descending.
   std::vector<PrefixUsage> usage_by_prefix() const;
 
+  /// Attaches (or detaches, with nullptr) an RMR tally charged on every
+  /// read/write.  Null by default, so runs without RMR accounting keep the
+  /// pre-subsystem hot path: one predictable branch per access.
+  void set_rmr_counter(rmr::RmrCounter* counter) { rmr_ = counter; }
+
  private:
   std::string_view intern(std::string_view name);
 
@@ -80,15 +86,16 @@ class SimMemory {
   std::size_t touched_ = 0;
   std::uint64_t total_reads_ = 0;
   std::uint64_t total_writes_ = 0;
+  rmr::RmrCounter* rmr_ = nullptr;  // not owned; null = no RMR accounting
 };
 
 inline std::uint64_t SimMemory::read(RegId reg, int pid) {
   RTS_ASSERT(reg < slots_.size());
-  (void)pid;
   RegSlot& slot = slots_[reg];
   if (slot.reads == 0 && slot.writes == 0) ++touched_;
   ++slot.reads;
   ++total_reads_;
+  if (rmr_ != nullptr) rmr_->on_read(pid, reg);
   return slot.value;
 }
 
@@ -100,6 +107,7 @@ inline void SimMemory::write(RegId reg, std::uint64_t value, int pid) {
   slot.last_writer = pid;
   ++slot.writes;
   ++total_writes_;
+  if (rmr_ != nullptr) rmr_->on_write(pid, reg);
 }
 
 }  // namespace rts::sim

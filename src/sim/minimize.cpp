@@ -70,6 +70,21 @@ TracePredicate pred_backend_divergence() {
   return predicate;
 }
 
+TracePredicate pred_rmr_at_least(std::uint64_t threshold) {
+  TracePredicate predicate;
+  predicate.spec = "rmr>=" + std::to_string(threshold);
+  predicate.needs_pooled = true;
+  predicate.holds = [threshold](const CandidateRun& run) {
+    // The pooled-accounting identity is part of the property: a candidate
+    // whose fresh and pooled tallies disagree (or whose pooled replay
+    // errored) must not be adopted into the corpus as an rmr witness.
+    if (run.pooled == nullptr) return false;
+    if (run.pooled->rmr_total != run.result->rmr_total) return false;
+    return run.result->rmr_total >= threshold;
+  };
+  return predicate;
+}
+
 const std::vector<PredicateFamilyInfo>& predicate_families() {
   static const std::vector<PredicateFamilyInfo> kFamilies = {
       {"max-steps", true,
@@ -82,6 +97,9 @@ const std::vector<PredicateFamilyInfo>& predicate_families() {
        "the replay records a safety/liveness violation (algorithm bug)"},
       {"divergence", false,
        "fresh and pooled sim replays disagree (execution-stack bug)"},
+      {"rmr", true,
+       "the trial's RMR total under the cell's charging model reaches the "
+       "threshold (cc/dsm cells only)"},
   };
   return kFamilies;
 }
@@ -129,6 +147,7 @@ TracePredicate make_predicate(const PredicateSpec& spec) {
   if (spec.family == "total-steps") {
     return pred_total_steps_at_least(*spec.threshold);
   }
+  if (spec.family == "rmr") return pred_rmr_at_least(*spec.threshold);
   throw Error("unknown predicate family '" + spec.family + "'");
 }
 
@@ -142,6 +161,7 @@ std::uint64_t hunt_metric(const PredicateSpec& spec,
     return result.steps[static_cast<std::size_t>(winner)];
   }
   if (spec.family == "violation") return result.violations.empty() ? 0 : 1;
+  if (spec.family == "rmr") return result.rmr_total;
   throw Error("predicate family '" + spec.family +
               "' cannot rank hunt trials from a single replay");
 }
@@ -156,11 +176,13 @@ std::uint64_t schedule_step_budget(const std::vector<Action>& actions) {
 
 std::optional<LeRunResult> replay_schedule_prefix(
     const LeBuilder& builder, int n, int k,
-    const std::vector<Action>& actions, std::uint64_t trial_seed) {
+    const std::vector<Action>& actions, std::uint64_t trial_seed,
+    rmr::RmrModel rmr_model) {
   const std::uint64_t budget = schedule_step_budget(actions);
   if (budget == 0) return std::nullopt;  // a grant-free schedule is degenerate
   Kernel::Options options;
   options.step_limit = budget;
+  options.rmr_model = rmr_model;
   ReplayAdversary adversary(&actions);
   try {
     return run_le_once(builder, n, k, adversary, trial_seed, options);
@@ -185,12 +207,13 @@ class CandidateEvaluator {
     ++evals_;
     const std::optional<LeRunResult> fresh = replay_schedule_prefix(
         *builder_, static_cast<int>(cell_->n), static_cast<int>(cell_->k),
-        actions, trial_->trial_seed);
+        actions, trial_->trial_seed, cell_->rmr);
     if (!fresh) return false;
     std::optional<LeRunResult> pooled;
     if (predicate_->needs_pooled) {
       Kernel::Options options;
       options.step_limit = schedule_step_budget(actions);
+      options.rmr_model = cell_->rmr;
       ReplayAdversary adversary(&actions);
       try {
         pooled = workspace_.run_le_once(
@@ -279,6 +302,7 @@ MinimizeResult minimize_trial(const LeBuilder& builder, const CellTrace& cell,
   {
     Kernel::Options options;
     if (cell.step_limit > 0) options.step_limit = cell.step_limit;
+    options.rmr_model = cell.rmr;
     ReplayAdversary adversary(&trial.actions);
     LeRunResult replayed;
     try {
@@ -320,7 +344,8 @@ MinimizeResult minimize_trial(const LeBuilder& builder, const CellTrace& cell,
   // package a standalone single-trial cell whose step_limit is the prefix
   // budget -- the standard replay path then reproduces this exact run.
   const std::optional<LeRunResult> final_run =
-      replay_schedule_prefix(builder, n, k, current, trial.trial_seed);
+      replay_schedule_prefix(builder, n, k, current, trial.trial_seed,
+                             cell.rmr);
   RTS_ASSERT_MSG(final_run.has_value(),
                  "minimize: adopted candidate stopped replaying");
   TrialTrace minimized;
@@ -337,6 +362,7 @@ MinimizeResult minimize_trial(const LeBuilder& builder, const CellTrace& cell,
   out.cell.k = cell.k;
   out.cell.seed0 = cell.seed0;
   out.cell.step_limit = schedule_step_budget(minimized.actions);
+  out.cell.rmr = cell.rmr;
   out.cell.trials.push_back(std::move(minimized));
   return out;
 }

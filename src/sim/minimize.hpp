@@ -91,6 +91,14 @@ TracePredicate pred_safety_violation();
 /// stands; the hunting predicate for execution-stack bugs.
 TracePredicate pred_backend_divergence();
 
+/// The trial's RMR total (remote memory references under the cell's
+/// charging model, see rmr/model.hpp) reaches the threshold.  Demands a
+/// pooled replay and that it agree with the fresh one on the RMR total, so
+/// a minimized rmr>=N corpus trace also witnesses the pooled-accounting
+/// identity.  Meaningful only on cells recorded with a non-kNone model (on
+/// others every replay tallies zero and the predicate never holds).
+TracePredicate pred_rmr_at_least(std::uint64_t threshold);
+
 /// A parsed predicate spec: a family name plus an optional ">=N" threshold.
 /// Threshold families ("max-steps", "winner-steps", "total-steps") may omit
 /// the threshold in contexts that supply one (a hunt fills in the worst
@@ -136,13 +144,13 @@ bool predicate_family_thresholded(std::string_view family);
 std::uint64_t schedule_step_budget(const std::vector<Action>& actions);
 
 /// Replays `actions` as a schedule prefix for a trial of the cell's stream
-/// seeded with `trial_seed` (see the convention above).  Returns
-/// std::nullopt when the candidate is not a well-formed schedule for this
-/// trial: a grant or crash targeting a pid that is not runnable at that
-/// point, or a schedule with no grants at all.
+/// seeded with `trial_seed` (see the convention above), tallying RMRs under
+/// `rmr_model`.  Returns std::nullopt when the candidate is not a
+/// well-formed schedule for this trial: a grant or crash targeting a pid
+/// that is not runnable at that point, or a schedule with no grants at all.
 std::optional<LeRunResult> replay_schedule_prefix(
     const LeBuilder& builder, int n, int k, const std::vector<Action>& actions,
-    std::uint64_t trial_seed);
+    std::uint64_t trial_seed, rmr::RmrModel rmr_model = rmr::RmrModel::kNone);
 
 struct MinimizeStats {
   std::size_t original_actions = 0;

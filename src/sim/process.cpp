@@ -11,6 +11,8 @@ support::RandomSource& Context::rng() { return *proc_->rng_; }
 
 void Context::publish_stage(std::uint64_t tag) { proc_->stage_ = tag; }
 
+bool Context::abort_requested() const { return proc_->abort_requested_; }
+
 std::uint64_t Context::sync_op(const PendingOp& op) {
   SimProcess& p = *proc_;
   RTS_ASSERT_MSG(!p.has_pending_, "nested pending operation");
@@ -77,6 +79,7 @@ void SimProcess::rewind() {
   resume_point_ = nullptr;
   steps_ = 0;
   stage_ = 0;
+  abort_requested_ = false;
 }
 
 const PendingOp& SimProcess::pending() const {

@@ -57,6 +57,12 @@ class Context {
   /// coins and the schedule anyway -- made cheap to query.
   void publish_stage(std::uint64_t tag);
 
+  /// True once the adversary has requested this process abort (abortable
+  /// algorithms poll this between operations and bail with Outcome::kAbort).
+  /// Local information, like a caller-side abort flag in the 1805.04840
+  /// model, so reading it is not a shared-memory operation.
+  bool abort_requested() const;
+
   /// After each completed operation, yield to `parent` instead of continuing.
   /// Used by the combiner to interleave two sub-algorithms step by step.
   void set_yield_after_op(fiber::ExecutionContext* parent) {
@@ -95,6 +101,7 @@ class SimProcess {
   const PendingOp& pending() const;
   std::uint64_t steps() const { return steps_; }
   std::uint64_t stage() const { return stage_; }
+  bool abort_requested() const { return abort_requested_; }
   support::RandomSource& rng() { return *rng_; }
 
   /// Rewinds to the unstarted state for another trial over the same body:
@@ -127,6 +134,7 @@ class SimProcess {
   fiber::ExecutionContext* resume_point_ = nullptr;
   std::uint64_t steps_ = 0;
   std::uint64_t stage_ = 0;
+  bool abort_requested_ = false;
 };
 
 }  // namespace rts::sim

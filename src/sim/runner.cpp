@@ -10,13 +10,15 @@ namespace rts::sim {
 
 LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
                               const std::vector<Outcome>& outcomes,
-                              std::size_t declared_registers, bool completed) {
+                              std::size_t declared_registers, bool completed,
+                              bool abortable) {
   LeRunResult result;
   result.n = n;
   result.k = k;
   result.outcomes = outcomes;
   result.declared_registers = declared_registers;
   result.completed = completed;
+  result.abort_requests = kernel.abort_requests();
 
   result.steps.resize(static_cast<std::size_t>(k));
   for (int pid = 0; pid < k; ++pid) {
@@ -29,6 +31,8 @@ LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
   result.total_steps = kernel.total_steps();
   result.regs_allocated = kernel.memory().allocated();
   result.regs_touched = kernel.memory().touched();
+  result.rmr_total = kernel.rmr().total();
+  result.rmr_max = kernel.rmr().max_by_pid();
 
   for (const Outcome outcome : result.outcomes) {
     switch (outcome) {
@@ -37,6 +41,9 @@ LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
         break;
       case Outcome::kLose:
         ++result.losers;
+        break;
+      case Outcome::kAbort:
+        ++result.aborted;
         break;
       case Outcome::kUnknown:
         ++result.unfinished;
@@ -48,9 +55,25 @@ LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
     result.violations.push_back("safety: more than one winner (" +
                                 std::to_string(result.winners) + ")");
   }
-  if (result.completed && result.crash_free && result.winners != 1) {
+  // A requested abort legitimately leaves the run winnerless (every
+  // participant may return kAbort/kLose), so the liveness rule only fires
+  // on abort-free runs.
+  if (result.completed && result.crash_free && result.abort_requests == 0 &&
+      result.winners != 1) {
     result.violations.push_back(
         "liveness: crash-free complete run without exactly one winner");
+  }
+  for (int pid = 0; pid < k; ++pid) {
+    const Outcome outcome = result.outcomes[static_cast<std::size_t>(pid)];
+    if (outcome == Outcome::kAbort && !kernel.abort_requested(pid)) {
+      result.violations.push_back("abort: pid " + std::to_string(pid) +
+                                  " aborted without a request");
+    }
+    if (abortable && outcome == Outcome::kWin && kernel.abort_requested(pid)) {
+      result.violations.push_back(
+          "abort: pid " + std::to_string(pid) +
+          " won despite an abort request (must abort or lose)");
+    }
   }
   return result;
 }
@@ -76,7 +99,7 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
 
   const bool completed = kernel.run(adversary);
   return collect_le_result(kernel, n, k, outcomes, le.declared_registers,
-                           completed);
+                           completed, le.abortable);
 }
 
 LeTrialSummary summarize_trial(const LeRunResult& result) {
@@ -90,6 +113,9 @@ LeTrialSummary summarize_trial(const LeRunResult& result) {
   trial.unfinished = result.unfinished;
   trial.crash_free = result.crash_free;
   trial.completed = result.completed;
+  trial.rmr_total = result.rmr_total;
+  trial.rmr_max = result.rmr_max;
+  trial.aborted = result.aborted;
   // Sim latency is the trial's max step count: the deterministic analog of
   // wall time, so histogram percentiles stay bitwise-reproducible.
   trial.latency = result.max_steps;

@@ -32,6 +32,11 @@ struct BuiltLe {
   /// Registers the structure would occupy if fully materialized (analytic;
   /// lazily-built structures allocate fewer).
   std::size_t declared_registers = 0;
+  /// True when elect() honours adversary abort requests (may return
+  /// Outcome::kAbort); gates the abort-validity checks in
+  /// collect_le_result so non-abortable algorithms are not blamed for
+  /// ignoring a request they cannot see.
+  bool abortable = false;
 };
 
 /// Builds a leader-election instance sized for up to `n` processes.
@@ -50,10 +55,14 @@ struct LeRunResult {
   std::uint64_t total_steps = 0;
   int winners = 0;
   int losers = 0;
+  int aborted = 0;     ///< finished with Outcome::kAbort
   int unfinished = 0;  ///< crashed or starved
+  int abort_requests = 0;  ///< distinct pids the adversary asked to abort
   std::size_t regs_allocated = 0;
   std::size_t regs_touched = 0;
   std::size_t declared_registers = 0;
+  std::uint64_t rmr_total = 0;  ///< all-pid RMR tally (0 under RmrModel::kNone)
+  std::uint64_t rmr_max = 0;    ///< largest per-pid RMR tally
   bool crash_free = true;
   bool completed = true;  ///< false if the kernel step limit was hit
   std::vector<std::string> violations;
@@ -74,7 +83,8 @@ LeRunResult run_le_once(const LeBuilder& builder, int n, int k,
 /// byte-identical.
 LeRunResult collect_le_result(const Kernel& kernel, int n, int k,
                               const std::vector<Outcome>& outcomes,
-                              std::size_t declared_registers, bool completed);
+                              std::size_t declared_registers, bool completed,
+                              bool abortable = false);
 
 /// Sim trials summarize into the backend-agnostic contract shared with the
 /// hardware harness (exec/backend.hpp); the historical Le-prefixed names are

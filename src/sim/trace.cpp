@@ -137,6 +137,7 @@ void fill_trace_result(TrialTrace& trace, const LeRunResult& result) {
   trace.completed = result.completed;
   trace.crash_free = result.crash_free;
   trace.outcome_digest = outcome_digest(result);
+  trace.rmr_total = result.rmr_total;
 }
 
 std::string replay_mismatch(const TrialTrace& trace,
@@ -171,6 +172,9 @@ std::string replay_mismatch(const TrialTrace& trace,
     return diff("outcome_digest", trace.outcome_digest,
                 outcome_digest(result));
   }
+  if (trace.rmr_total != result.rmr_total) {
+    return diff("rmr_total", trace.rmr_total, result.rmr_total);
+  }
   return {};
 }
 
@@ -191,8 +195,23 @@ LeRunResult record_trial_trace(const LeBuilder& builder, int n, int k,
 }
 
 std::string encode_cell_trace(const CellTrace& cell) {
+  // Emit the oldest format that can represent the cell: a cell with no
+  // abort actions and no RMR model encodes to byte-identical v1, so the
+  // pre-v2 corpus regenerates unchanged.
+  bool needs_v2 = cell.rmr != rmr::RmrModel::kNone;
+  for (const TrialTrace& trial : cell.trials) {
+    if (needs_v2) break;
+    for (const Action& action : trial.actions) {
+      if (action.kind == Action::Kind::kAbort) {
+        needs_v2 = true;
+        break;
+      }
+    }
+  }
+  const std::uint64_t version = needs_v2 ? 2 : 1;
+
   std::string out(kMagic, sizeof kMagic);
-  put_varint(out, kTraceFormatVersion);
+  put_varint(out, version);
   put_string(out, cell.campaign);
   put_string(out, cell.algorithm);
   put_string(out, cell.adversary);
@@ -201,17 +220,24 @@ std::string encode_cell_trace(const CellTrace& cell) {
   put_varint(out, cell.k);
   put_varint(out, cell.seed0);
   put_varint(out, cell.step_limit);
+  if (version >= 2) put_varint(out, static_cast<std::uint64_t>(cell.rmr));
   put_varint(out, cell.trials.size());
   for (const TrialTrace& trial : cell.trials) {
     put_varint(out, trial.trial_seed);
     put_varint(out, trial.adversary_seed);
     put_varint(out, trial.actions.size());
     for (const Action& action : trial.actions) {
-      // Low bit: crash flag; the pid rides above it.
-      const std::uint64_t crash_bit =
-          action.kind == Action::Kind::kCrash ? 1u : 0u;
-      put_varint(out,
-                 (static_cast<std::uint64_t>(action.pid) << 1) | crash_bit);
+      if (version >= 2) {
+        // Two kind bits below the pid: 0 = step, 1 = crash, 2 = abort.
+        put_varint(out, (static_cast<std::uint64_t>(action.pid) << 2) |
+                            static_cast<std::uint64_t>(action.kind));
+      } else {
+        // v1: low bit is the crash flag; the pid rides above it.
+        const std::uint64_t crash_bit =
+            action.kind == Action::Kind::kCrash ? 1u : 0u;
+        put_varint(out,
+                   (static_cast<std::uint64_t>(action.pid) << 1) | crash_bit);
+      }
     }
     put_varint(out, trial.total_steps);
     put_varint(out, trial.max_steps);
@@ -220,6 +246,7 @@ std::string encode_cell_trace(const CellTrace& cell) {
     put_varint(out, trial.completed ? 1 : 0);
     put_varint(out, trial.crash_free ? 1 : 0);
     put_varint(out, trial.outcome_digest);
+    if (version >= 2) put_varint(out, trial.rmr_total);
   }
   // Trailing checksum over everything before it, stored as 8 raw bytes.
   std::uint64_t checksum = support::kFnv1aOffset;
@@ -250,7 +277,7 @@ bool decode_cell_trace(std::string_view bytes, CellTrace* out,
   Cursor cursor(payload.substr(sizeof kMagic));
   std::uint64_t version = 0;
   if (!cursor.varint(&version)) return fail(error, "truncated header");
-  if (version != kTraceFormatVersion) {
+  if (version < 1 || version > kTraceFormatVersion) {
     return fail(error, "unsupported format version");
   }
   CellTrace cell;
@@ -267,6 +294,13 @@ bool decode_cell_trace(std::string_view bytes, CellTrace* out,
   cell.k = static_cast<std::uint32_t>(value);
   if (!cursor.varint(&cell.seed0)) return fail(error, "truncated header");
   if (!cursor.varint(&cell.step_limit)) return fail(error, "truncated header");
+  if (version >= 2) {
+    if (!cursor.varint(&value)) return fail(error, "truncated header");
+    if (value > static_cast<std::uint64_t>(rmr::RmrModel::kDSM)) {
+      return fail(error, "unknown rmr model");
+    }
+    cell.rmr = static_cast<rmr::RmrModel>(value);
+  }
   std::uint64_t trial_count = 0;
   if (!cursor.varint(&trial_count)) return fail(error, "truncated header");
   if (trial_count > cursor.remaining()) {
@@ -287,9 +321,19 @@ bool decode_cell_trace(std::string_view bytes, CellTrace* out,
     trial.actions.reserve(action_count);
     for (std::uint64_t a = 0; a < action_count; ++a) {
       if (!cursor.varint(&value)) return fail(error, "truncated actions");
-      const int pid = static_cast<int>(value >> 1);
-      trial.actions.push_back((value & 1u) != 0 ? Action::crash(pid)
-                                                : Action::step(pid));
+      if (version >= 2) {
+        const int pid = static_cast<int>(value >> 2);
+        switch (value & 3u) {
+          case 0: trial.actions.push_back(Action::step(pid)); break;
+          case 1: trial.actions.push_back(Action::crash(pid)); break;
+          case 2: trial.actions.push_back(Action::abort_req(pid)); break;
+          default: return fail(error, "unknown action kind");
+        }
+      } else {
+        const int pid = static_cast<int>(value >> 1);
+        trial.actions.push_back((value & 1u) != 0 ? Action::crash(pid)
+                                                  : Action::step(pid));
+      }
     }
     if (!cursor.varint(&trial.total_steps) ||
         !cursor.varint(&trial.max_steps) ||
@@ -303,6 +347,9 @@ bool decode_cell_trace(std::string_view bytes, CellTrace* out,
     if (!cursor.varint(&value)) return fail(error, "truncated trial digest");
     trial.crash_free = value != 0;
     if (!cursor.varint(&trial.outcome_digest)) {
+      return fail(error, "truncated trial digest");
+    }
+    if (version >= 2 && !cursor.varint(&trial.rmr_total)) {
       return fail(error, "truncated trial digest");
     }
     cell.trials.push_back(std::move(trial));

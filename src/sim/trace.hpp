@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rmr/model.hpp"
 #include "sim/adversary.hpp"
 #include "sim/kernel.hpp"
 #include "sim/runner.hpp"
@@ -44,7 +45,16 @@ std::string format_trace(const Kernel& kernel, std::size_t max_lines = 200);
 // Schedule record/replay.
 
 /// Current on-disk format version; bumped on any encoding change.
-inline constexpr std::uint64_t kTraceFormatVersion = 1;
+///
+/// v2 (additive) extends v1 with abort schedule actions and RMR accounting:
+/// the action varint becomes (pid << 2) | kind (0 = step, 1 = crash,
+/// 2 = abort; v1 packed (pid << 1) | crash), the header gains the RMR model
+/// after step_limit, and each trial digest gains rmr_total after
+/// outcome_digest.  The encoder only emits v2 when a cell actually uses the
+/// new features (an abort action or a non-kNone model), so every trace a v1
+/// reader could produce still encodes to byte-identical v1 -- the existing
+/// corpus replays and regenerates unchanged.  The decoder accepts both.
+inline constexpr std::uint64_t kTraceFormatVersion = 2;
 
 /// A fully re-runnable record of one trial: the coin seeds, the schedule,
 /// and a digest of what the recorded run observed.
@@ -61,6 +71,7 @@ struct TrialTrace {
   bool completed = true;     ///< false when the kernel step limit fired
   bool crash_free = true;
   std::uint64_t outcome_digest = 0;  ///< FNV over per-pid (outcome, steps)
+  std::uint64_t rmr_total = 0;  ///< RMR tally under the cell's model (v2)
 };
 
 /// Everything needed to re-run one campaign cell's trial stream: the cell
@@ -75,6 +86,7 @@ struct CellTrace {
   std::uint32_t k = 0;
   std::uint64_t seed0 = 0;
   std::uint64_t step_limit = 0;
+  rmr::RmrModel rmr = rmr::RmrModel::kNone;  ///< charging model (v2)
   std::vector<TrialTrace> trials;
 };
 

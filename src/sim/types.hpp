@@ -49,6 +49,7 @@ enum class Outcome : std::uint8_t {
   kUnknown = 0,  // crashed / never finished
   kWin,
   kLose,
+  kAbort,  // abortable algorithm honoured an adversary abort request
 };
 
 }  // namespace rts::sim
