@@ -11,6 +11,8 @@
 #include "campaign/hunt.hpp"
 #include "campaign/reporter.hpp"
 #include "campaign/soak.hpp"
+#include "fault/plan.hpp"
+#include "fault/signal.hpp"
 #include "sim/adversaries.hpp"
 #include "sim/minimize.hpp"
 #include "sim/trace.hpp"
@@ -91,6 +93,29 @@ void print_usage(std::FILE* out) {
                "  --step-limit N    per-trial kernel step budget\n"
                "  --progress        live progress line on stderr\n"
                "  --quiet           no banners\n"
+               "\n"
+               "chaos / recovery (see EXPERIMENTS.md, fault/plan.hpp):\n"
+               "  --faults SPEC     seeded fault plan, e.g.\n"
+               "                    'stall:p=0.3,us=3000;noshow:p=0.1;"
+               "die:p=0.001'\n"
+               "                    (hw participants + campaign workers)\n"
+               "  --deadline-us N   per-election deadline; timed-out\n"
+               "                    elections are cancelled and retried\n"
+               "  --retries N       retry attempts after a deadline\n"
+               "                    cancellation (default 2, capped backoff)\n"
+               "  --shed-backlog N  soak only: shed arrivals once the\n"
+               "                    backlog exceeds N elections\n"
+               "  --checkpoint DIR  checkpoint completed sim cells into\n"
+               "                    DIR/<campaign>/ (SIGKILL-safe)\n"
+               "  --checkpoint-every N\n"
+               "                    flush every N completed cells (default 1)\n"
+               "  --resume DIR      resume a checkpointed campaign: preload\n"
+               "                    finished cells, run the rest; final\n"
+               "                    output bytes equal an uninterrupted run\n"
+               "\n"
+               "SIGINT/SIGTERM stop campaign and soak runs gracefully:\n"
+               "partial results are reported (marked interrupted) and, for\n"
+               "campaigns, completed cells are checkpointed for --resume.\n"
                "\n"
                "open-loop soak (hw backend; see EXPERIMENTS.md):\n"
                "  --soak S          soak for S seconds: fire elections at\n"
@@ -177,6 +202,13 @@ struct CliArgs {
   double rate = 0.0;
   std::string soak_preset;
   std::vector<int> pin_cpus;
+  std::string faults_spec;
+  std::uint64_t deadline_us = 0;
+  std::optional<int> retries;
+  std::uint64_t shed_backlog = 0;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  std::string resume_dir;
   bool progress = false;
   bool quiet = false;
   bool list = false;
@@ -335,6 +367,54 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       for (auto& cpu : split_csv(value)) {
         args.pin_cpus.push_back(std::atoi(cpu.c_str()));
       }
+    } else if (arg == "--faults") {
+      if ((value = need_value(i, "--faults")) == nullptr) return std::nullopt;
+      std::string error;
+      if (!fault::FaultPlan::parse(value, &error)) {
+        std::fprintf(stderr, "rts_bench: bad --faults spec: %s\n",
+                     error.c_str());
+        return std::nullopt;
+      }
+      args.faults_spec = value;
+    } else if (arg == "--deadline-us") {
+      if ((value = need_value(i, "--deadline-us")) == nullptr) {
+        return std::nullopt;
+      }
+      args.deadline_us = std::strtoull(value, nullptr, 10);
+      if (args.deadline_us == 0) {
+        std::fprintf(stderr,
+                     "rts_bench: --deadline-us needs a positive value\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--retries") {
+      if ((value = need_value(i, "--retries")) == nullptr) return std::nullopt;
+      args.retries = std::atoi(value);
+      if (*args.retries < 0) {
+        std::fprintf(stderr, "rts_bench: --retries must be >= 0\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--shed-backlog") {
+      if ((value = need_value(i, "--shed-backlog")) == nullptr) {
+        return std::nullopt;
+      }
+      args.shed_backlog = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--checkpoint") {
+      if ((value = need_value(i, "--checkpoint")) == nullptr) {
+        return std::nullopt;
+      }
+      args.checkpoint_dir = value;
+    } else if (arg == "--checkpoint-every") {
+      if ((value = need_value(i, "--checkpoint-every")) == nullptr) {
+        return std::nullopt;
+      }
+      args.checkpoint_every = std::atoi(value);
+      if (args.checkpoint_every < 1) {
+        std::fprintf(stderr, "rts_bench: --checkpoint-every must be >= 1\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--resume") {
+      if ((value = need_value(i, "--resume")) == nullptr) return std::nullopt;
+      args.resume_dir = value;
     } else if (arg == "--out") {
       if ((value = need_value(i, "--out")) == nullptr) return std::nullopt;
       args.out_path = value;
@@ -697,6 +777,14 @@ int run_soak_mode(const CliArgs& args) {
   if (args.seed) spec.seed = *args.seed;
   if (args.step_limit) spec.step_limit = *args.step_limit;
   if (!args.pin_cpus.empty()) spec.pin_cpus = args.pin_cpus;
+  if (!args.faults_spec.empty()) {
+    spec.faults = *fault::FaultPlan::parse(args.faults_spec, nullptr);
+  }
+  if (args.deadline_us > 0) spec.deadline_ns = args.deadline_us * 1000;
+  if (args.retries) spec.max_retries = *args.retries;
+  if (args.shed_backlog > 0) spec.shed_backlog = args.shed_backlog;
+  fault::install_interrupt_handler();
+  spec.cancel = fault::interrupt_flag();
 
   if (!args.quiet) {
     std::fprintf(stderr,
@@ -726,12 +814,21 @@ int run_soak_mode(const CliArgs& args) {
     if (needs_close) std::fclose(sink);
   }
   std::uint64_t violations = 0;
-  for (const SoakResult& result : results) violations += result.violations;
+  bool interrupted = false;
+  for (const SoakResult& result : results) {
+    violations += result.violations;
+    interrupted = interrupted || result.interrupted;
+  }
   if (violations > 0) {
     std::fprintf(stderr, "rts_bench: soak saw %llu violation%s\n",
                  static_cast<unsigned long long>(violations),
                  violations == 1 ? "" : "s");
     return 1;
+  }
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "rts_bench: soak interrupted; partial results reported\n");
+    return 130;
   }
   return 0;
 }
@@ -778,10 +875,34 @@ int run_cli(int argc, char** argv) {
                    "--soak-preset for canned configurations)\n");
       return 2;
     }
+    if (!args.checkpoint_dir.empty() || !args.resume_dir.empty()) {
+      std::fprintf(stderr,
+                   "rts_bench: --checkpoint/--resume only apply to campaign "
+                   "runs (a soak is a live service, not a resumable grid)\n");
+      return 2;
+    }
     return run_soak_mode(args);
   }
   if (args.rate > 0.0) {
     std::fprintf(stderr, "rts_bench: --rate only applies to --soak\n");
+    return 2;
+  }
+  if (args.shed_backlog > 0) {
+    std::fprintf(stderr, "rts_bench: --shed-backlog only applies to --soak\n");
+    return 2;
+  }
+  if (!args.checkpoint_dir.empty() && !args.resume_dir.empty()) {
+    std::fprintf(stderr,
+                 "rts_bench: use either --checkpoint DIR (fresh run) or "
+                 "--resume DIR (continue into the same directory), not "
+                 "both\n");
+    return 2;
+  }
+  if ((!args.checkpoint_dir.empty() || !args.resume_dir.empty()) &&
+      (!args.record_dir.empty() || !args.replay_dir.empty())) {
+    std::fprintf(stderr,
+                 "rts_bench: --checkpoint/--resume cannot be combined with "
+                 "--record/--replay\n");
     return 2;
   }
   // Trace-tooling modes: mutually exclusive, with their satellite flags
@@ -875,6 +996,29 @@ int run_cli(int argc, char** argv) {
     if (!args.replay_dir.empty()) {
       options.replay_dir = args.replay_dir + "/" + spec.name;
     }
+    if (!args.faults_spec.empty()) {
+      options.fault_plan = *fault::FaultPlan::parse(args.faults_spec, nullptr);
+    }
+    options.hw_deadline_ns = args.deadline_us * 1000;
+    if (args.retries) options.hw_max_retries = *args.retries;
+    options.checkpoint_every = args.checkpoint_every;
+    // Checkpoints live in a per-campaign subdirectory like traces do;
+    // --resume points at the same root and keeps checkpointing into it.
+    if (!args.checkpoint_dir.empty()) {
+      options.checkpoint_dir = args.checkpoint_dir + "/" + spec.name;
+    }
+    if (!args.resume_dir.empty()) {
+      options.checkpoint_dir = args.resume_dir + "/" + spec.name;
+      options.resume = true;
+    }
+    fault::install_interrupt_handler();
+    options.cancel = fault::interrupt_flag();
+    // The fallback interrupt checkpoint nests <name>/ the same way
+    // --checkpoint DIR does, so `--resume <name>.interrupt-ckpt` just works.
+    const std::string interrupt_root = spec.name + ".interrupt-ckpt";
+    if (options.checkpoint_dir.empty()) {
+      options.interrupt_checkpoint_dir = interrupt_root + "/" + spec.name;
+    }
     if (args.progress) options.on_progress = stderr_progress(spec.name.c_str());
 
     if (!args.quiet && args.format == ReportFormat::kTable &&
@@ -899,17 +1043,46 @@ int run_cli(int argc, char** argv) {
     if (!args.quiet) {
       std::fprintf(stderr,
                    "[%s] %zu cells, %d workers, %.2fs wall, "
-                   "%llu simulated steps, %llu hw ops%s\n",
+                   "%llu simulated steps, %llu hw ops%s%s\n",
                    spec.name.c_str(), result.cells.size(),
                    result.workers_used, result.wall_seconds,
                    static_cast<unsigned long long>(result.sim_steps),
                    static_cast<unsigned long long>(result.hw_steps),
-                   result.truncated ? "  [TRUNCATED]" : "");
+                   result.truncated ? "  [TRUNCATED]" : "",
+                   result.interrupted ? "  [INTERRUPTED]" : "");
+      if (result.faults.worker_deaths > 0) {
+        std::fprintf(
+            stderr, "[%s] %llu simulated worker death%s (die: clause)\n",
+            spec.name.c_str(),
+            static_cast<unsigned long long>(result.faults.worker_deaths),
+            result.faults.worker_deaths == 1 ? "" : "s");
+      }
+      if (result.cells_resumed > 0) {
+        std::fprintf(stderr, "[%s] resumed %llu cell%s from %s\n",
+                     spec.name.c_str(),
+                     static_cast<unsigned long long>(result.cells_resumed),
+                     result.cells_resumed == 1 ? "" : "s",
+                     options.checkpoint_dir.c_str());
+      }
     }
     if (!json_sink.write(result)) return 1;
     if (!csv_sink.write(result)) return 1;
     if (!args.bench_dir.empty() && !write_bench_file(args.bench_dir, result)) {
       return 1;
+    }
+    if (result.interrupted) {
+      // Partial jsonl/csv/table are flushed above; name the checkpoint the
+      // run is resumable from and stop (remaining specs would start cold).
+      const std::string resume_from = !options.checkpoint_dir.empty()
+                                          ? args.checkpoint_dir.empty()
+                                                ? args.resume_dir
+                                                : args.checkpoint_dir
+                                          : interrupt_root;
+      std::fprintf(stderr,
+                   "rts_bench: interrupted; partial results reported.  "
+                   "Continue with: rts_bench ... --resume %s\n",
+                   resume_from.c_str());
+      return 130;
     }
   }
   return 0;

@@ -12,16 +12,22 @@
 #include "campaign/reporter.hpp"
 #include "campaign/soak.hpp"
 #include "exec/workspace.hpp"
+#include "fault/checkpoint.hpp"
 #include "hw/harness.hpp"
 #include "sim/adversaries.hpp"
 #include "sim/trace.hpp"
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace rts::campaign {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Seed-stream salt for hw retry attempts (mirrors the soak driver's):
+/// attempt a > 0 of a trial runs on derive_seed(trial_seed, kRetrySalt + a).
+constexpr std::uint64_t kRetrySalt = 0xfa01'7e72;
 
 /// A worker's contiguous slice of the flattened trial index space.
 struct Slice {
@@ -176,6 +182,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const bool replay = !options.replay_dir.empty();
   RTS_REQUIRE(!(record && replay),
               "a campaign cannot record and replay at once");
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  RTS_REQUIRE(!(checkpointing && (record || replay)),
+              "checkpointing cannot combine with record/replay (their "
+              "directories carry per-trial state of their own)");
+  RTS_REQUIRE(!options.resume || checkpointing,
+              "resume needs the checkpoint directory");
+  RTS_REQUIRE(options.checkpoint_every >= 1,
+              "checkpoint interval must be at least one cell");
+  RTS_REQUIRE(options.hw_max_retries >= 0,
+              "hw retry count must be non-negative");
 
   int workers = options.workers;
   if (workers <= 0) {
@@ -204,6 +220,21 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // Record mode: workers fill preallocated per-trial trace slots (actions +
   // seeds + outcome digest); files are written after aggregation.
   std::vector<sim::TrialTrace> trial_traces(record ? total : 0);
+
+  const std::uint64_t campaign_hash = spec_hash(spec);
+  // Resume mode: preload every checkpointed cell's per-trial summaries into
+  // the slots a live worker would have filled; the trial-order fold below
+  // cannot tell the difference, which is the byte-identity guarantee.
+  std::vector<unsigned char> preloaded(cells.size(), 0);
+  std::vector<fault::CellCheckpoint> resumed;
+  if (options.resume) {
+    resumed = fault::load_checkpoints(options.checkpoint_dir, campaign_hash,
+                                      spec.trials,
+                                      static_cast<int>(cells.size()));
+    for (const fault::CellCheckpoint& cell : resumed) {
+      preloaded[static_cast<std::size_t>(cell.cell_index)] = 1;
+    }
+  }
 
   // Per-cell trial runners, built once and shared read-only by all workers.
   // Sim cells drive trials through the calling worker's pooled
@@ -258,8 +289,41 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         }
         hw::HwRunOptions run_options;
         run_options.step_limit = cell.step_limit;
-        return hw::summarize_trial(hw_pool.pool->run_trial(
-            cell.algorithm, cell.n, trial, cell.seed0, run_options));
+        run_options.deadline_ns = options.hw_deadline_ns;
+        // Deadline + retry service: a timed-out election is cancelled by
+        // the pool watchdog and retried on a salted seed (fresh fault
+        // coins each attempt) under capped, jittered backoff.  The final
+        // attempt's summary is kept either way -- a still-timed-out trial
+        // is reported as such, never as a fabricated completion.
+        const std::uint64_t trial_seed = sim::trial_seed(cell.seed0, trial);
+        const bool chaos = options.fault_plan.active();
+        hw::HwRunResult run;
+        int attempt = 0;
+        for (;; ++attempt) {
+          const std::uint64_t attempt_seed =
+              attempt == 0
+                  ? trial_seed
+                  : support::derive_seed(
+                        trial_seed,
+                        kRetrySalt + static_cast<std::uint64_t>(attempt));
+          fault::TrialFaults trial_faults;
+          if (chaos) {
+            trial_faults = options.fault_plan.for_trial(attempt_seed, cell.k);
+            run_options.faults = &trial_faults;
+          }
+          run = hw_pool.pool->run(cell.algorithm, cell.n, attempt_seed,
+                                  run_options);
+          run_options.faults = nullptr;
+          if (!run.timed_out || attempt >= options.hw_max_retries) break;
+          const std::uint64_t pause_us =
+              options.backoff.delay_us(attempt + 1, trial_seed);
+          if (pause_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+          }
+        }
+        exec::TrialSummary summary = hw::summarize_trial(run);
+        summary.retries = attempt;
+        return summary;
       });
       continue;
     }
@@ -283,7 +347,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                 static_cast<std::uint64_t>(cell.index), builder, cell.n,
                 cell.k, adversary, recorded.trial_seed, kernel_options);
             const std::string drift = sim::replay_mismatch(recorded, result);
-            if (!drift.empty()) throw Error("replay mismatch: " + drift);
+            if (!drift.empty()) {
+              // Full provenance, so a mismatch in a thousand-cell replay
+              // names its trial instead of reading "replay mismatch".
+              throw Error("replay mismatch: campaign '" + trace->campaign +
+                          "' cell " + std::to_string(cell.index) + " (" +
+                          algo::info(cell.algorithm).name + " vs " +
+                          algo::info(cell.adversary).name +
+                          ", k=" + std::to_string(cell.k) + ") trial " +
+                          std::to_string(trial) + ": " + drift);
+            }
             return sim::summarize_trial(result);
           });
       continue;
@@ -333,9 +406,76 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::vector<unsigned char> errored(total, 0);
   std::atomic<std::uint64_t> done{0};
   // Per-cell finished-trial counts, so progress can report whole cells.
+  // Workers bump a cell's count with acq_rel: the bump that completes the
+  // cell synchronizes with every earlier bump's release, so the completing
+  // worker reads the other workers' summary slots safely for checkpointing.
   std::unique_ptr<std::atomic<int>[]> cell_done(
       new std::atomic<int>[cells.size()]);
   for (std::size_t c = 0; c < cells.size(); ++c) cell_done[c].store(0);
+
+  // Apply the resumed checkpoints to the same slots and counters.
+  for (fault::CellCheckpoint& cell : resumed) {
+    const std::size_t base =
+        static_cast<std::size_t>(cell.cell_index) * trials;
+    for (std::size_t t = 0; t < trials; ++t) {
+      summaries[base + t] = std::move(cell.summaries[t]);
+      ran[base + t] = cell.ran[t];
+      errored[base + t] = cell.errored[t];
+      if (cell.ran[t]) done.fetch_add(1, std::memory_order_relaxed);
+    }
+    cell_done[static_cast<std::size_t>(cell.cell_index)].store(
+        spec.trials, std::memory_order_relaxed);
+  }
+  result.cells_resumed = resumed.size();
+  resumed.clear();
+
+  // Durable checkpoint machinery: the worker whose bump completes a sim
+  // cell queues it; every checkpoint_every completions the queue flushes
+  // (atomic tmp + rename per cell, see fault/checkpoint.hpp).
+  std::mutex ckpt_mutex;
+  std::vector<int> ckpt_pending;  // guarded by ckpt_mutex
+  const auto checkpoint_cell = [&](const std::string& dir, int cell_index,
+                                   bool warn) {
+    const std::size_t c = static_cast<std::size_t>(cell_index);
+    fault::CellCheckpoint out;
+    out.cell_index = cell_index;
+    out.ran.assign(ran.begin() + static_cast<std::ptrdiff_t>(c * trials),
+                   ran.begin() + static_cast<std::ptrdiff_t>((c + 1) * trials));
+    out.errored.assign(
+        errored.begin() + static_cast<std::ptrdiff_t>(c * trials),
+        errored.begin() + static_cast<std::ptrdiff_t>((c + 1) * trials));
+    out.summaries.assign(
+        summaries.begin() + static_cast<std::ptrdiff_t>(c * trials),
+        summaries.begin() + static_cast<std::ptrdiff_t>((c + 1) * trials));
+    std::string error;
+    if (!fault::write_cell_checkpoint(dir, campaign_hash, out, &error) &&
+        warn) {
+      std::fprintf(stderr, "rts_bench: checkpoint write failed: %s\n",
+                   error.c_str());
+    }
+  };
+  const auto flush_pending = [&](bool force) {
+    // Caller holds ckpt_mutex.
+    if (ckpt_pending.empty() ||
+        (!force && ckpt_pending.size() <
+                       static_cast<std::size_t>(options.checkpoint_every))) {
+      return;
+    }
+    for (const int cell_index : ckpt_pending) {
+      checkpoint_cell(options.checkpoint_dir, cell_index, /*warn=*/true);
+    }
+    ckpt_pending.clear();
+  };
+  if (checkpointing) {
+    std::string error;
+    RTS_REQUIRE(fault::write_checkpoint_manifest(
+                    options.checkpoint_dir, spec.name, campaign_hash,
+                    spec.trials, static_cast<int>(cells.size()), &error),
+                ("cannot write checkpoint manifest: " + error).c_str());
+  }
+
+  std::atomic<std::uint64_t> worker_deaths{0};
+  std::atomic<bool> interrupted{false};
   const auto cells_finished = [&] {
     std::uint64_t finished = 0;
     for (std::size_t c = 0; c < cells.size(); ++c) {
@@ -358,9 +498,27 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const auto worker_body = [&](int worker) {
     // Each worker lane owns one pooled workspace for the whole campaign.
     exec::TrialWorkspace workspace;
+    const bool mortal = options.fault_plan.die_p > 0.0;
+    std::uint64_t claims = 0;
     std::size_t g = 0;
-    while (queue.claim(worker, &g, deadline, has_deadline)) {
-      const CellSpec& cell = cells[g / trials];
+    for (;;) {
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      // Simulated worker death (die: clause): the worker stops *before*
+      // claiming, so no trial is lost -- survivors steal its slice and the
+      // campaign's results are byte-identical with or without the deaths.
+      if (mortal && options.fault_plan.worker_dies(spec.seed, worker,
+                                                   claims++)) {
+        worker_deaths.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!queue.claim(worker, &g, deadline, has_deadline)) break;
+      const std::size_t c = g / trials;
+      if (ran[g]) continue;  // preloaded from a resume checkpoint
+      const CellSpec& cell = cells[c];
       const int trial = static_cast<int>(g % trials);
       exec::TrialSummary summary;
       try {
@@ -374,7 +532,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       summaries[g] = std::move(summary);
       ran[g] = 1;
       done.fetch_add(1, std::memory_order_relaxed);
-      cell_done[g / trials].fetch_add(1, std::memory_order_relaxed);
+      const int before = cell_done[c].fetch_add(1, std::memory_order_acq_rel);
+      if (checkpointing && before + 1 == cell.trials &&
+          cell.backend == exec::Backend::kSim && !preloaded[c]) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        ckpt_pending.push_back(cell.index);
+        flush_pending(/*force=*/false);
+      }
     }
     active.fetch_sub(1, std::memory_order_release);
   };
@@ -413,6 +577,33 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   retire_hw_pool();  // workers are joined; fold the last hw cell's counters
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  result.interrupted = interrupted.load(std::memory_order_relaxed);
+  result.faults.worker_deaths =
+      worker_deaths.load(std::memory_order_relaxed);
+
+  if (checkpointing) {
+    std::lock_guard<std::mutex> lock(ckpt_mutex);
+    flush_pending(/*force=*/true);
+  } else if (result.interrupted && !options.interrupt_checkpoint_dir.empty()) {
+    // Interrupted without up-front checkpointing: salvage every completed
+    // sim cell so the run is still resumable.
+    std::string error;
+    if (fault::write_checkpoint_manifest(
+            options.interrupt_checkpoint_dir, spec.name, campaign_hash,
+            spec.trials, static_cast<int>(cells.size()), &error)) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cells[c].backend != exec::Backend::kSim) continue;
+        if (cell_done[c].load(std::memory_order_acquire) < cells[c].trials) {
+          continue;
+        }
+        checkpoint_cell(options.interrupt_checkpoint_dir,
+                        static_cast<int>(c), /*warn=*/true);
+      }
+    } else {
+      std::fprintf(stderr, "rts_bench: interrupt checkpoint failed: %s\n",
+                   error.c_str());
+    }
+  }
 
   if (options.on_progress) {
     Progress progress;
@@ -464,6 +655,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     write_recorded_traces(options.record_dir, result, cells, trial_traces,
                           ran);
   }
+  // Chaos provenance for the reporters.  The participant-fault counters are
+  // the *planned* first-attempt injections over the hw grid -- a pure
+  // function of (plan, spec), so a checkpoint-resumed run reports the same
+  // bytes as an uninterrupted one (retry attempts and worker deaths are
+  // wall-clock-dependent and stay out of deterministic output).
+  if (options.fault_plan.active()) {
+    result.fault_spec = options.fault_plan.spec;
+    for (const CellSpec& cell : cells) {
+      if (cell.backend != exec::Backend::kHw) continue;
+      for (int t = 0; t < cell.trials; ++t) {
+        result.faults.add(options.fault_plan.for_trial(
+            sim::trial_seed(cell.seed0, t), cell.k));
+      }
+    }
+  }
+  result.deadlines = options.hw_deadline_ns > 0;
   return result;
 }
 

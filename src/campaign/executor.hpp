@@ -25,11 +25,15 @@
 // such results are flagged `truncated`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "fault/backoff.hpp"
+#include "fault/plan.hpp"
 #include "sim/runner.hpp"
 #include "telemetry/perf_counters.hpp"
 
@@ -70,6 +74,35 @@ struct ExecutorOptions {
   /// CPU affinity list forwarded to every hw cell's HwTrialPool (see
   /// hw::HwPoolOptions::pin_cpus).  Empty = unpinned.
   std::vector<int> hw_pin_cpus;
+  /// Seeded chaos plan (see fault/plan.hpp): participant faults are dealt
+  /// to every hw trial's first attempt, and `die:` clauses kill campaign
+  /// workers mid-run (worker 0 is immune, and a dying worker stops *before*
+  /// claiming, so survivors steal its slice and results are unchanged).
+  fault::FaultPlan fault_plan;
+  /// Per-election wall-clock deadline for hw trials; 0 disables.  A
+  /// timed-out trial is retried (fresh seed-derived faults each attempt) up
+  /// to hw_max_retries times, paced by `backoff`; the final attempt's
+  /// summary is kept either way, with retries / timed_out recorded.
+  std::uint64_t hw_deadline_ns = 0;
+  int hw_max_retries = 2;
+  fault::BackoffPolicy backoff;
+  /// Cooperative cancellation: once *cancel is true workers stop claiming
+  /// trials (already-claimed trials finish) and the result is flagged
+  /// `interrupted`.  Typically fault::interrupt_flag(); null disables.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Durable checkpointing (see fault/checkpoint.hpp): completed sim cells'
+  /// per-trial summaries are written here, `checkpoint_every` completed
+  /// cells per flush.  With `resume`, matching checkpoints in the directory
+  /// preload their cells and only the remainder runs -- final reporter
+  /// bytes equal an uninterrupted run's.  Mutually exclusive with
+  /// record/replay.  Empty disables.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
+  /// Fallback checkpoint written only when the run ends interrupted and no
+  /// checkpoint_dir was set: completed sim cells land here so the campaign
+  /// is resumable even if checkpointing wasn't requested up front.
+  std::string interrupt_checkpoint_dir;
 };
 
 struct CellResult {
@@ -96,6 +129,18 @@ struct CampaignResult {
   std::uint64_t sim_steps = 0;    ///< total simulated shared-memory steps
   std::uint64_t hw_steps = 0;     ///< total hardware shared-memory ops
   bool truncated = false;
+  /// The active fault plan's spec string; empty when no plan was set.
+  /// Reporters gate the chaos fields on this (plus `deadlines`) so
+  /// chaos-free campaigns keep their historical bytes.
+  std::string fault_spec;
+  bool deadlines = false;  ///< hw deadline/retry service was armed
+  /// *Planned* first-attempt participant injections over the hw grid -- a
+  /// deterministic function of (plan, spec), so checkpoint-resumed runs
+  /// report identical bytes -- plus the worker deaths that actually fired
+  /// (reported to stderr only, never in deterministic output).
+  fault::FaultCounters faults;
+  bool interrupted = false;        ///< workers stopped on the cancel flag
+  std::uint64_t cells_resumed = 0; ///< cells preloaded from checkpoints
 };
 
 CampaignResult run_campaign(const CampaignSpec& spec,

@@ -268,6 +268,25 @@ std::vector<Preset> build_presets() {
   }
   {
     CampaignSpec spec;
+    spec.name = "chaos";
+    spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kSiftCascade,
+                       AlgorithmId::kRatRacePath, AlgorithmId::kCombinedSift};
+    spec.adversaries = {AdversaryId::kUniformRandom};
+    spec.ks = {64, 256, 1024};
+    spec.trials = 400;
+    spec.seed = 8128;
+    spec.seed_policy = SeedPolicy::kPerCell;
+    presets.push_back({"chaos",
+                       "checkpoint/resume torture workload (sim-only, many "
+                       "cells, long enough to kill mid-run)",
+                       "a campaign SIGKILLed mid-run and resumed with "
+                       "--resume renders byte-identical jsonl/csv/table to "
+                       "an uninterrupted run; the CI kill-resume gate runs "
+                       "exactly this",
+                       spec});
+  }
+  {
+    CampaignSpec spec;
     spec.name = "quick";
     spec.algorithms = {AlgorithmId::kLogStarChain, AlgorithmId::kRatRacePath};
     spec.adversaries = {AdversaryId::kUniformRandom};

@@ -122,9 +122,14 @@ bool rmr_schema(const CampaignSpec& spec) {
   return false;
 }
 
+bool chaos_schema(const CampaignResult& result) {
+  return !result.fault_spec.empty() || result.deadlines;
+}
+
 void report_table(const CampaignResult& result, std::FILE* out) {
   const bool extended = extended_schema(result.spec);
   const bool rmr = rmr_schema(result.spec);
+  const bool chaos = chaos_schema(result);
   // One table per (backend, adversary) group actually present in the
   // cells, in first-appearance order -- the reporter never re-derives
   // expand()'s grid rules (e.g. the hw adversary collapse), so it cannot
@@ -146,6 +151,7 @@ void report_table(const CampaignResult& result, std::FILE* out) {
                   : std::string(adversary) + " scheduling";
       if (extended && !hw) title += "  [sim]";
       if (result.truncated) title += "  [TRUNCATED by budget]";
+      if (result.interrupted) title += "  [INTERRUPTED]";
       std::vector<std::string> columns = {
           "algorithm", "k", "n", "E[max steps]", "p50", "p95", "max",
           "E[mean steps]", "E[regs touched]", "declared regs", "viol",
@@ -157,6 +163,10 @@ void report_table(const CampaignResult& result, std::FILE* out) {
         columns.insert(columns.begin() + 6, "p99");
       }
       if (extended) columns.push_back("crashed");
+      if (chaos) {
+        columns.push_back("t/o");
+        columns.push_back("retried");
+      }
       if (rmr) {
         // Per-trial RMR totals under the cell's charging model; "rmr/pid"
         // is the mean over trials of the worst single process.
@@ -202,6 +212,12 @@ void report_table(const CampaignResult& result, std::FILE* out) {
           row.push_back(support::Table::num(
               static_cast<std::size_t>(cell.agg.crashed_runs)));
         }
+        if (chaos) {
+          row.push_back(support::Table::num(
+              static_cast<std::size_t>(cell.agg.timed_out_runs)));
+          row.push_back(support::Table::num(
+              static_cast<std::size_t>(cell.agg.retried_runs)));
+        }
         if (rmr) {
           row.push_back(rmr::to_string(cell.cell.rmr));
           row.push_back(support::Table::num(cell.agg.rmr_total.mean(), 1));
@@ -227,6 +243,7 @@ void report_table(const CampaignResult& result, std::FILE* out) {
 void report_jsonl(const CampaignResult& result, std::FILE* out) {
   const bool extended = extended_schema(result.spec);
   const bool rmr = rmr_schema(result.spec);
+  const bool chaos = chaos_schema(result);
   std::fprintf(out,
                "{\"type\":\"campaign\",\"name\":\"%s\",\"seed\":%llu,"
                "\"trials\":%d,\"cells\":%zu,",
@@ -238,8 +255,22 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
     std::fprintf(out, ",\"spec_hash\":\"%016llx\",",
                  static_cast<unsigned long long>(spec_hash(result.spec)));
   }
-  std::fprintf(out, "\"truncated\":%s}\n",
+  std::fprintf(out, "\"truncated\":%s",
                result.truncated ? "true" : "false");
+  if (chaos) {
+    // Planned first-attempt injections (deterministic; see executor.hpp) --
+    // worker deaths are wall-clock-dependent and deliberately absent.
+    std::fprintf(out,
+                 ",\"faults\":{\"plan\":\"%s\",\"stalls\":%llu,"
+                 "\"no_shows\":%llu,\"delays\":%llu},\"deadlines\":%s",
+                 json_escape(result.fault_spec).c_str(),
+                 static_cast<unsigned long long>(result.faults.stalls),
+                 static_cast<unsigned long long>(result.faults.no_shows),
+                 static_cast<unsigned long long>(result.faults.delays),
+                 result.deadlines ? "true" : "false");
+  }
+  if (result.interrupted) std::fputs(",\"interrupted\":true", out);
+  std::fputs("}\n", out);
   for (const CellResult& cell : result.cells) {
     std::fprintf(
         out, "{\"type\":\"cell\",\"campaign\":\"%s\",",
@@ -263,6 +294,13 @@ void report_jsonl(const CampaignResult& result, std::FILE* out) {
         static_cast<unsigned long long>(cell.cell.seed0),
         cell.declared_registers, cell.agg.violation_runs,
         cell.incomplete_runs, cell.error_runs);
+    if (chaos) {
+      std::fprintf(out,
+                   "\"timed_out_runs\":%d,\"retried_runs\":%d,"
+                   "\"retries_total\":%llu,",
+                   cell.agg.timed_out_runs, cell.agg.retried_runs,
+                   static_cast<unsigned long long>(cell.agg.retries_total));
+    }
     if (extended) {
       std::fprintf(out, "\"crashed_runs\":%d,", cell.agg.crashed_runs);
     }

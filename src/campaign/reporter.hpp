@@ -47,6 +47,12 @@ bool extended_schema(const CampaignSpec& spec);
 /// campaign keeps its historical bytes.
 bool rmr_schema(const CampaignSpec& spec);
 
+/// True when the run opts into the chaos reporter fields: a fault plan was
+/// active or the hw deadline/retry service was armed.  Keyed off the
+/// *result* (chaos is an executor option, not a spec axis), additive over
+/// both schemas above, so chaos-free runs keep their historical bytes.
+bool chaos_schema(const CampaignResult& result);
+
 void report_table(const CampaignResult& result, std::FILE* out);
 void report_jsonl(const CampaignResult& result, std::FILE* out);
 /// CSV is positional, so a file sink shared by several campaigns must fix

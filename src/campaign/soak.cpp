@@ -17,6 +17,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Seed-stream salt for retry attempts: attempt a > 0 of arrival i runs on
+/// derive_seed(arrival_seed, kRetrySalt + a), so retries draw fresh fault
+/// coins without perturbing any other arrival's stream.
+constexpr std::uint64_t kRetrySalt = 0xfa01'7e72;
+
 std::string fmt_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.10g", value);
@@ -25,6 +30,13 @@ std::string fmt_double(double value) {
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+fault::FaultPlan parse_plan_or_die(const char* spec) {
+  std::string error;
+  auto plan = fault::FaultPlan::parse(spec, &error);
+  RTS_REQUIRE(plan.has_value(), "preset fault plan must parse");
+  return *plan;
 }
 
 }  // namespace
@@ -60,6 +72,28 @@ const std::vector<SoakPreset>& all_soak_presets() {
       preset.spec.seed = 2027;
       presets.push_back(std::move(preset));
     }
+    {
+      // Aggressive chaos smoke: the 3ms stalls dominate the 1.5ms deadline,
+      // so most first attempts cancel; the arrival rate far outruns the
+      // degraded service rate, so the shedding gate must engage.  CI asserts
+      // the run *survives* with nonzero timed_out / retried / shed counts.
+      SoakPreset preset;
+      preset.name = "soak-chaos";
+      preset.title =
+          "2-second chaos soak: stalls past the deadline, no-shows, shedding";
+      preset.spec.name = "soak-chaos";
+      preset.spec.algorithms = {algo::AlgorithmId::kTournament};
+      preset.spec.k = 4;
+      preset.spec.duration_seconds = 2.0;
+      preset.spec.rate = 4000.0;
+      preset.spec.seed = 2028;
+      preset.spec.deadline_ns = 1'500'000;  // 1.5ms
+      preset.spec.max_retries = 2;
+      preset.spec.shed_backlog = 32;
+      preset.spec.faults = parse_plan_or_die(
+          "stall:p=0.3,us=3000;noshow:p=0.15;delay:p=0.2,us=200");
+      presets.push_back(std::move(preset));
+    }
     return presets;
   }();
   return kPresets;
@@ -72,57 +106,16 @@ const SoakPreset* find_soak_preset(std::string_view name) {
   return nullptr;
 }
 
-std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
-                           std::uint64_t done, std::uint64_t total,
-                           const char* unit, std::string_view extra) {
-  const double rate =
-      elapsed_seconds > 0.0 ? static_cast<double>(done) / elapsed_seconds
-                            : 0.0;
-  char head[192];
-  if (total > 0) {
-    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu/%llu %s  %.0f %s/s",
-                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
-                  static_cast<unsigned long long>(done),
-                  static_cast<unsigned long long>(total), unit, rate, unit);
-  } else {
-    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu %s  %.0f %s/s",
-                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
-                  static_cast<unsigned long long>(done), unit, rate, unit);
-  }
-  std::string line = head;
-  if (!extra.empty()) {
-    line += "  ";
-    line += extra;
-  }
-  return line;
-}
-
-std::string format_ns(std::uint64_t ns) {
-  char buffer[32];
-  if (ns < 1'000) {
-    std::snprintf(buffer, sizeof buffer, "%lluns",
-                  static_cast<unsigned long long>(ns));
-  } else if (ns < 1'000'000) {
-    std::snprintf(buffer, sizeof buffer, "%.1fus",
-                  static_cast<double>(ns) / 1e3);
-  } else if (ns < 1'000'000'000) {
-    std::snprintf(buffer, sizeof buffer, "%.2fms",
-                  static_cast<double>(ns) / 1e6);
-  } else {
-    std::snprintf(buffer, sizeof buffer, "%.2fs",
-                  static_cast<double>(ns) / 1e9);
-  }
-  return buffer;
-}
-
 SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
                         std::FILE* heartbeat) {
   RTS_REQUIRE(spec.rate > 0.0, "soak rate must be positive");
   RTS_REQUIRE(spec.duration_seconds > 0.0, "soak duration must be positive");
+  RTS_REQUIRE(spec.max_retries >= 0, "soak retries must be non-negative");
   RTS_REQUIRE(algo::supports(algorithm, exec::Backend::kHw),
               "soak algorithm has no hardware backend");
   const int n = spec.n > 0 ? spec.n : spec.k;
   RTS_REQUIRE(spec.k >= 1 && spec.k <= n, "soak needs 1 <= k <= n");
+  const bool chaos = spec.faults.active();
 
   SoakResult result;
   result.algorithm = algorithm;
@@ -139,6 +132,7 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
   hw::HwTrialPool pool(spec.k, pool_options);
   hw::HwRunOptions run_options;
   run_options.step_limit = spec.step_limit;
+  run_options.deadline_ns = spec.deadline_ns;
 
   const std::string tag = std::string("soak ") + algo::info(algorithm).name;
   const Clock::time_point start = Clock::now();
@@ -150,31 +144,51 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
           spec.heartbeat_seconds > 0.0 ? spec.heartbeat_seconds : 0.5));
   Clock::time_point next_heartbeat = start + heartbeat_interval;
 
-  std::uint64_t served = 0;
-  const auto maybe_heartbeat = [&](Clock::time_point now) {
-    if (heartbeat == nullptr || now < next_heartbeat) return;
+  // Arrivals dealt with, served or shed; also the arrival-seed stream index,
+  // so every arrival's coins are fixed by its schedule position alone.
+  std::uint64_t handled = 0;
+  const auto backlog_at = [&](Clock::time_point now) -> std::uint64_t {
     const double elapsed = seconds_between(start, now);
     const std::uint64_t due = std::min(
         result.planned,
         static_cast<std::uint64_t>(std::floor(elapsed / period)) + 1);
-    const std::uint64_t backlog = due > served ? due - served : 0;
+    return due > handled ? due - handled : 0;
+  };
+  const auto maybe_heartbeat = [&](Clock::time_point now) {
+    if (heartbeat == nullptr || now < next_heartbeat) return;
+    const double elapsed = seconds_between(start, now);
+    const std::uint64_t backlog = backlog_at(now);
     std::string extra = "backlog " + std::to_string(backlog);
     if (!result.latency.empty()) {
       extra += "  p99 " + format_ns(result.latency.p99());
     }
+    if (result.timed_out > 0) {
+      extra += "  t/o " + std::to_string(result.timed_out);
+    }
+    if (result.shed > 0) extra += "  shed " + std::to_string(result.shed);
+    // Honest degraded-mode flag: the service is currently shedding, so the
+    // throughput in this line is the degraded number, not the offered load.
+    if (spec.shed_backlog > 0 && backlog > spec.shed_backlog) {
+      extra += "  DEGRADED";
+    }
     std::fprintf(heartbeat, "%s\n",
-                 heartbeat_line(tag, elapsed, served, result.planned, "elections",
-                                extra)
+                 heartbeat_line(tag, elapsed, handled, result.planned,
+                                "elections", extra)
                      .c_str());
     std::fflush(heartbeat);
     while (next_heartbeat <= now) next_heartbeat += heartbeat_interval;
   };
 
-  while (served < result.planned) {
+  while (handled < result.planned) {
+    if (spec.cancel != nullptr &&
+        spec.cancel->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
     const Clock::time_point scheduled =
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(
-                        static_cast<double>(served) * period));
+                        static_cast<double>(handled) * period));
     Clock::time_point now = Clock::now();
     // Open-loop arrival: wait for the next scheduled request, waking for
     // heartbeats, but never past the soak deadline.
@@ -187,35 +201,72 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
     }
     if (now >= deadline) break;
     maybe_heartbeat(now);
-    const hw::HwRunResult run = pool.run(
-        algorithm, n, support::derive_seed(spec.seed, served), run_options);
-    const Clock::time_point end = Clock::now();
-    // Latency from the *scheduled* arrival, so queue wait under backlog is
-    // charged to the election (coordinated omission stays visible).
-    result.latency.record(static_cast<std::uint64_t>(
-        std::llround(seconds_between(scheduled, end) * 1e9)));
-    ++served;
-    if (!run.violations.empty()) ++result.violations;
-    if (!run.completed) ++result.incomplete;
-    const double elapsed = seconds_between(start, end);
-    const std::uint64_t due = std::min(
-        result.planned,
-        static_cast<std::uint64_t>(std::floor(elapsed / period)) + 1);
-    if (due > served) {
-      result.max_backlog = std::max(result.max_backlog, due - served);
+
+    // Graceful degradation: over the backlog threshold the arrival is shed
+    // (counted, never served) instead of queueing unboundedly.
+    if (spec.shed_backlog > 0 && backlog_at(now) > spec.shed_backlog) {
+      ++result.shed;
+      result.degraded = true;
+      ++handled;
+      continue;
     }
+
+    const std::uint64_t arrival_seed = support::derive_seed(spec.seed, handled);
+    hw::HwRunResult run;
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t attempt_seed =
+          attempt == 0 ? arrival_seed
+                       : support::derive_seed(
+                             arrival_seed,
+                             kRetrySalt + static_cast<std::uint64_t>(attempt));
+      fault::TrialFaults trial_faults;
+      if (chaos) {
+        trial_faults = spec.faults.for_trial(attempt_seed, spec.k);
+        run_options.faults = &trial_faults;
+      }
+      run = pool.run(algorithm, n, attempt_seed, run_options);
+      run_options.faults = nullptr;  // trial_faults dies with this iteration
+      result.faults.add(trial_faults);
+      if (!run.violations.empty()) ++result.violations;
+      if (!run.timed_out || attempt >= spec.max_retries) break;
+      ++result.retried;
+      const std::uint64_t pause_us =
+          spec.backoff.delay_us(attempt + 1, arrival_seed);
+      if (pause_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    ++handled;
+    if (run.timed_out) {
+      // Out of retries: the arrival times out.  No latency sample -- a
+      // fabricated one would poison the completed-election distribution.
+      ++result.timed_out;
+    } else {
+      ++result.completed;
+      // Latency from the *scheduled* arrival, so queue wait under backlog
+      // (and retry backoff) is charged to the election (coordinated
+      // omission stays visible).
+      result.latency.record(static_cast<std::uint64_t>(
+          std::llround(seconds_between(scheduled, end) * 1e9)));
+      if (!run.completed) ++result.incomplete;  // step-limit watchdog
+    }
+    result.max_backlog = std::max(result.max_backlog, backlog_at(end));
   }
 
-  result.completed = served;
   result.wall_seconds = seconds_between(start, Clock::now());
   result.perf = pool.perf_totals();
   if (heartbeat != nullptr) {
-    std::string extra = "done";
+    std::string extra = result.interrupted ? "interrupted" : "done";
     if (!result.latency.empty()) {
       extra += "  p99 " + format_ns(result.latency.p99());
     }
+    if (result.timed_out > 0) {
+      extra += "  t/o " + std::to_string(result.timed_out);
+    }
+    if (result.shed > 0) extra += "  shed " + std::to_string(result.shed);
     std::fprintf(heartbeat, "%s\n",
-                 heartbeat_line(tag, result.wall_seconds, served,
+                 heartbeat_line(tag, result.wall_seconds, handled,
                                 result.planned, "elections", extra)
                      .c_str());
     std::fflush(heartbeat);
@@ -229,6 +280,7 @@ std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat) {
   results.reserve(spec.algorithms.size());
   for (const algo::AlgorithmId algorithm : spec.algorithms) {
     results.push_back(run_soak_one(spec, algorithm, heartbeat));
+    if (results.back().interrupted) break;  // partial results, honestly marked
   }
   return results;
 }
@@ -240,9 +292,9 @@ void report_soak_table(const SoakSpec& spec,
                       fmt_double(spec.rate) + "/s for " +
                       fmt_double(spec.duration_seconds) + "s";
   support::Table table(title,
-                       {"algorithm", "k", "served", "planned", "throughput/s",
-                        "max backlog", "p50", "p90", "p99", "p999", "max",
-                        "viol", "incomplete"});
+                       {"algorithm", "k", "served", "planned", "t/o", "shed",
+                        "retried", "throughput/s", "max backlog", "p50", "p90",
+                        "p99", "p999", "max", "viol", "incomplete"});
   for (const SoakResult& result : results) {
     const double throughput =
         result.wall_seconds > 0.0
@@ -253,6 +305,9 @@ void report_soak_table(const SoakSpec& spec,
          support::Table::num(static_cast<std::size_t>(result.k)),
          support::Table::num(static_cast<std::size_t>(result.completed)),
          support::Table::num(static_cast<std::size_t>(result.planned)),
+         support::Table::num(static_cast<std::size_t>(result.timed_out)),
+         support::Table::num(static_cast<std::size_t>(result.shed)),
+         support::Table::num(static_cast<std::size_t>(result.retried)),
          support::Table::num(throughput, 0),
          support::Table::num(static_cast<std::size_t>(result.max_backlog)),
          format_ns(result.latency.p50()), format_ns(result.latency.p90()),
@@ -263,6 +318,18 @@ void report_soak_table(const SoakSpec& spec,
   }
   table.print(out);
   for (const SoakResult& result : results) {
+    if (result.degraded || result.interrupted || result.faults.any()) {
+      std::fprintf(out, "chaos[%s]:%s%s", algo::info(result.algorithm).name,
+                   result.degraded ? " DEGRADED (backlog shed engaged)" : "",
+                   result.interrupted ? " INTERRUPTED (partial run)" : "");
+      if (result.faults.any()) {
+        std::fprintf(out, " faults stalls=%llu no_shows=%llu delays=%llu",
+                     static_cast<unsigned long long>(result.faults.stalls),
+                     static_cast<unsigned long long>(result.faults.no_shows),
+                     static_cast<unsigned long long>(result.faults.delays));
+      }
+      std::fputc('\n', out);
+    }
     std::fprintf(out, "perf[%s]: ", algo::info(result.algorithm).name);
     if (!result.perf.any() || result.completed == 0) {
       std::fputs("counters unavailable\n", out);
@@ -285,12 +352,25 @@ void report_soak_jsonl(const SoakSpec& spec,
                        const std::vector<SoakResult>& results,
                        std::FILE* out) {
   std::fprintf(out,
-               "{\"type\":\"soak\",\"schema\":\"rts-soak-1\",\"name\":\"%s\","
+               "{\"type\":\"soak\",\"schema\":\"rts-soak-2\",\"name\":\"%s\","
                "\"k\":%d,\"rate\":%s,\"duration_seconds\":%s,\"seed\":%llu,"
-               "\"algorithms\":%zu}\n",
+               "\"algorithms\":%zu",
                spec.name.c_str(), spec.k, fmt_double(spec.rate).c_str(),
                fmt_double(spec.duration_seconds).c_str(),
                static_cast<unsigned long long>(spec.seed), results.size());
+  if (spec.deadline_ns > 0) {
+    std::fprintf(out, ",\"deadline_ns\":%llu,\"max_retries\":%d",
+                 static_cast<unsigned long long>(spec.deadline_ns),
+                 spec.max_retries);
+  }
+  if (spec.shed_backlog > 0) {
+    std::fprintf(out, ",\"shed_backlog\":%llu",
+                 static_cast<unsigned long long>(spec.shed_backlog));
+  }
+  if (spec.faults.active()) {
+    std::fprintf(out, ",\"faults_plan\":\"%s\"", spec.faults.spec.c_str());
+  }
+  std::fputs("}\n", out);
   for (const SoakResult& result : results) {
     const double throughput =
         result.wall_seconds > 0.0
@@ -302,8 +382,8 @@ void report_soak_jsonl(const SoakSpec& spec,
         "\"target_rate\":%s,\"wall_seconds\":%s,\"planned\":%llu,"
         "\"completed\":%llu,\"throughput\":%s,\"violations\":%llu,"
         "\"incomplete\":%llu,\"max_backlog\":%llu,"
-        "\"latency\":{\"unit\":\"ns\",\"count\":%llu,\"p50\":%llu,"
-        "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
+        "\"outcomes\":{\"completed\":%llu,\"timed_out\":%llu,"
+        "\"retried\":%llu,\"shed\":%llu},\"degraded\":%s",
         algo::info(result.algorithm).name, result.k, result.n,
         fmt_double(result.target_rate).c_str(),
         fmt_double(result.wall_seconds).c_str(),
@@ -313,6 +393,24 @@ void report_soak_jsonl(const SoakSpec& spec,
         static_cast<unsigned long long>(result.violations),
         static_cast<unsigned long long>(result.incomplete),
         static_cast<unsigned long long>(result.max_backlog),
+        static_cast<unsigned long long>(result.completed),
+        static_cast<unsigned long long>(result.timed_out),
+        static_cast<unsigned long long>(result.retried),
+        static_cast<unsigned long long>(result.shed),
+        result.degraded ? "true" : "false");
+    if (result.interrupted) std::fputs(",\"interrupted\":true", out);
+    if (spec.faults.active()) {
+      std::fprintf(out,
+                   ",\"faults\":{\"stalls\":%llu,\"no_shows\":%llu,"
+                   "\"delays\":%llu}",
+                   static_cast<unsigned long long>(result.faults.stalls),
+                   static_cast<unsigned long long>(result.faults.no_shows),
+                   static_cast<unsigned long long>(result.faults.delays));
+    }
+    std::fprintf(
+        out,
+        ",\"latency\":{\"unit\":\"ns\",\"count\":%llu,\"p50\":%llu,"
+        "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
         static_cast<unsigned long long>(result.latency.count()),
         static_cast<unsigned long long>(result.latency.p50()),
         static_cast<unsigned long long>(result.latency.p90()),

@@ -10,22 +10,42 @@
 // wait is charged to every delayed election's latency, exactly as a
 // production arbiter's callers would experience it.
 //
+// The chaos layer (src/fault/) turns the driver into an election *service*:
+// per-election deadlines cancel wedged elections (watchdog-assisted),
+// cancelled elections retry under capped exponential backoff with seeded
+// jitter, and once the backlog crosses `shed_backlog` the driver sheds
+// arrivals instead of queueing unboundedly.  Every arrival the driver
+// handles lands in exactly one outcome bucket -- completed / timed_out /
+// shed -- and `retried` counts the extra attempts; arrivals still queued
+// when the wall deadline expires are simply not handled (the served vs
+// planned gap the table has always shown).  Latency is recorded only for
+// completed elections (honest absence, never fabricated success).
+//
 // Latency unit is wall-clock nanoseconds (hw latency; see
 // exec::TrialSummary::latency).  While running, the driver emits heartbeat
-// lines (throughput, backlog, p99 so far) through the same formatter the
-// campaign executor's --progress uses.
+// lines (throughput, backlog, p99 so far, degraded-mode flag) through the
+// shared telemetry formatter.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "algo/registry.hpp"
+#include "fault/backoff.hpp"
+#include "fault/plan.hpp"
+#include "telemetry/heartbeat.hpp"
 #include "telemetry/histogram.hpp"
 #include "telemetry/perf_counters.hpp"
 
 namespace rts::campaign {
+
+// The formatters grew out of this header and moved to telemetry/heartbeat;
+// re-exported so existing call sites keep reading naturally.
+using telemetry::format_ns;
+using telemetry::heartbeat_line;
 
 struct SoakSpec {
   std::string name = "soak";
@@ -42,6 +62,21 @@ struct SoakSpec {
   double heartbeat_seconds = 0.5;
   /// Participant CPU pinning (see hw::HwPoolOptions::pin_cpus).
   std::vector<int> pin_cpus;
+  /// Per-election deadline in nanoseconds; 0 disables.  A timed-out
+  /// election is cancelled by the pool watchdog (cancellation is
+  /// cooperative: participants notice at their next shared op).
+  std::uint64_t deadline_ns = 0;
+  /// Retry attempts after a deadline cancellation, paced by `backoff`.
+  int max_retries = 2;
+  fault::BackoffPolicy backoff;
+  /// Shed arrivals once the backlog exceeds this many elections; 0 keeps
+  /// the unbounded-queue behavior.
+  std::uint64_t shed_backlog = 0;
+  /// Seeded fault injection applied to every attempt (see fault/plan.hpp).
+  fault::FaultPlan faults;
+  /// Cooperative cancellation hook, checked once per arrival; null
+  /// disables.  Typically fault::interrupt_flag().
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SoakResult {
@@ -52,12 +87,21 @@ struct SoakResult {
   double duration_seconds = 0.0;  ///< requested
   double wall_seconds = 0.0;      ///< measured
   std::uint64_t planned = 0;      ///< arrivals the schedule called for
-  std::uint64_t completed = 0;    ///< elections actually served
+  std::uint64_t completed = 0;    ///< elections served within their deadline
+  std::uint64_t timed_out = 0;    ///< elections cancelled after max_retries
+  std::uint64_t retried = 0;      ///< extra attempts across all arrivals
+  std::uint64_t shed = 0;         ///< arrivals dropped on the backlog gate
   std::uint64_t violations = 0;   ///< elections without exactly one winner
   std::uint64_t incomplete = 0;   ///< elections ended by the step watchdog
   std::uint64_t max_backlog = 0;  ///< worst arrivals-minus-served arrears
+  bool degraded = false;          ///< the shedding gate engaged at least once
+  bool interrupted = false;       ///< run ended early on SIGINT/SIGTERM
+  /// Faults the plan dealt to the attempts actually run (exact counts).
+  fault::FaultCounters faults;
   /// Nanoseconds from scheduled arrival to completion (queue wait
   /// included -- the open-loop, coordinated-omission-honest measure).
+  /// Completed elections only: a timed-out election contributes a
+  /// timed_out count, never a fabricated latency sample.
   telemetry::LatencyHistogram latency;
   /// Summed participant hardware counters; all-invalid when
   /// perf_event_open is unavailable (report as such, never as zeros).
@@ -75,21 +119,12 @@ struct SoakPreset {
 const std::vector<SoakPreset>& all_soak_presets();
 const SoakPreset* find_soak_preset(std::string_view name);
 
-/// One heartbeat line, shared by the soak driver and the campaign
-/// executor's --progress: "[tag] 12.3s  512/1000 unit  41 unit/s  extra".
-/// `total` 0 omits the "/total"; empty `extra` omits the tail.
-std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
-                           std::uint64_t done, std::uint64_t total,
-                           const char* unit, std::string_view extra);
-
-/// Compact duration rendering for heartbeat/report lines ("812us", "1.3ms").
-std::string format_ns(std::uint64_t ns);
-
 /// Soaks one algorithm.  Heartbeat lines go to `heartbeat` (null disables).
 SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
                         std::FILE* heartbeat);
 
-/// Runs spec.algorithms back to back.
+/// Runs spec.algorithms back to back.  Stops early (returning the partial
+/// results, including the interrupted algorithm's) when spec.cancel fires.
 std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat);
 
 /// Human-facing final report (aligned table plus a counters line).
@@ -97,7 +132,8 @@ void report_soak_table(const SoakSpec& spec,
                        const std::vector<SoakResult>& results, std::FILE* out);
 
 /// Machine-facing report: a header line then one JSON object per
-/// algorithm.  Invalid perf counters are *absent*, never fabricated zeros.
+/// algorithm.  Invalid perf counters are *absent*, never fabricated zeros;
+/// the faults block appears only when a fault plan was active.
 void report_soak_jsonl(const SoakSpec& spec,
                        const std::vector<SoakResult>& results, std::FILE* out);
 

@@ -1,5 +1,7 @@
 #include "exec/backend.hpp"
 
+#include <bit>
+
 namespace rts::exec {
 
 const char* to_string(Backend backend) {
@@ -37,12 +39,111 @@ void accumulate_trial(Aggregate& agg, const TrialSummary& trial) {
   agg.rmr_max.add(static_cast<double>(trial.rmr_max));
   if (!trial.crash_free) ++agg.crashed_runs;
   if (trial.aborted > 0) ++agg.aborted_runs;
+  if (trial.timed_out) ++agg.timed_out_runs;
+  if (trial.retries > 0) {
+    ++agg.retried_runs;
+    agg.retries_total += static_cast<std::uint64_t>(trial.retries);
+  }
   if (!trial.first_violation.empty()) {
     ++agg.violation_runs;
     if (agg.first_violations.size() < 5) {
       agg.first_violations.push_back(trial.first_violation);
     }
   }
+}
+
+namespace {
+
+void append_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+bool read_u8(const unsigned char** cursor, const unsigned char* end,
+             std::uint8_t* out) {
+  if (*cursor + 1 > end) return false;
+  *out = **cursor;
+  *cursor += 1;
+  return true;
+}
+
+bool read_u64(const unsigned char** cursor, const unsigned char* end,
+              std::uint64_t* out) {
+  if (end - *cursor < 8) return false;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>((*cursor)[i]) << (8 * i);
+  }
+  *cursor += 8;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+void append_trial_summary(std::string& out, const TrialSummary& trial) {
+  append_u8(out, static_cast<std::uint8_t>(trial.backend));
+  append_u64(out, static_cast<std::uint64_t>(trial.k));
+  append_u64(out, trial.max_steps);
+  append_u64(out, trial.total_steps);
+  append_u64(out, static_cast<std::uint64_t>(trial.regs_touched));
+  append_u64(out, static_cast<std::uint64_t>(trial.declared_registers));
+  append_u64(out, static_cast<std::uint64_t>(trial.unfinished));
+  append_u8(out, trial.crash_free ? 1 : 0);
+  append_u8(out, trial.completed ? 1 : 0);
+  append_u64(out, std::bit_cast<std::uint64_t>(trial.wall_seconds));
+  append_u64(out, trial.latency);
+  append_u64(out, trial.rmr_total);
+  append_u64(out, trial.rmr_max);
+  append_u64(out, static_cast<std::uint64_t>(trial.aborted));
+  append_u64(out, static_cast<std::uint64_t>(trial.retries));
+  append_u8(out, trial.timed_out ? 1 : 0);
+  append_u64(out, trial.first_violation.size());
+  out.append(trial.first_violation);
+}
+
+bool read_trial_summary(const unsigned char** cursor,
+                        const unsigned char* end, TrialSummary* out) {
+  std::uint8_t u8 = 0;
+  std::uint64_t u64 = 0;
+  if (!read_u8(cursor, end, &u8)) return false;
+  out->backend = static_cast<Backend>(u8);
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->k = static_cast<int>(u64);
+  if (!read_u64(cursor, end, &out->max_steps)) return false;
+  if (!read_u64(cursor, end, &out->total_steps)) return false;
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->regs_touched = static_cast<std::size_t>(u64);
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->declared_registers = static_cast<std::size_t>(u64);
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->unfinished = static_cast<int>(u64);
+  if (!read_u8(cursor, end, &u8)) return false;
+  out->crash_free = u8 != 0;
+  if (!read_u8(cursor, end, &u8)) return false;
+  out->completed = u8 != 0;
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->wall_seconds = std::bit_cast<double>(u64);
+  if (!read_u64(cursor, end, &out->latency)) return false;
+  if (!read_u64(cursor, end, &out->rmr_total)) return false;
+  if (!read_u64(cursor, end, &out->rmr_max)) return false;
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->aborted = static_cast<int>(u64);
+  if (!read_u64(cursor, end, &u64)) return false;
+  out->retries = static_cast<int>(u64);
+  if (!read_u8(cursor, end, &u8)) return false;
+  out->timed_out = u8 != 0;
+  if (!read_u64(cursor, end, &u64)) return false;
+  if (static_cast<std::uint64_t>(end - *cursor) < u64) return false;
+  out->first_violation.assign(reinterpret_cast<const char*>(*cursor),
+                              static_cast<std::size_t>(u64));
+  *cursor += u64;
+  return true;
 }
 
 }  // namespace rts::exec

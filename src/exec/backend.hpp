@@ -73,6 +73,10 @@ struct TrialSummary {
   std::uint64_t rmr_total = 0;
   std::uint64_t rmr_max = 0;
   int aborted = 0;  ///< participants that returned Outcome::kAbort
+  /// Deadline/retry taxonomy (the chaos layer): how many retry attempts the
+  /// election consumed, and whether it still ended cancelled on deadline.
+  int retries = 0;
+  bool timed_out = false;
   std::string first_violation;  ///< empty when the trial was clean
 };
 
@@ -96,6 +100,12 @@ struct Aggregate {
   int violation_runs = 0;
   int crashed_runs = 0;  ///< trials with at least one crashed participant
   int aborted_runs = 0;  ///< trials with at least one kAbort outcome
+  /// Chaos-layer outcome taxonomy: deadline-cancelled trials, trials that
+  /// needed at least one retry, and the exact total retry count (integer
+  /// sums merge exactly, so the accounting is identical across --workers).
+  int timed_out_runs = 0;
+  int retried_runs = 0;
+  std::uint64_t retries_total = 0;
   std::vector<std::string> first_violations;
 };
 
@@ -103,5 +113,14 @@ struct Aggregate {
 /// "run trial, accumulate_trial", so any executor calling this in trial
 /// order reproduces the serial harness aggregates bit for bit.
 void accumulate_trial(Aggregate& agg, const TrialSummary& trial);
+
+/// Checkpoint codec: fixed-width little-endian serialization of one
+/// TrialSummary (the campaign checkpoint stores summaries, never folded
+/// aggregates, so a resumed campaign re-folds in trial order and reproduces
+/// the uninterrupted reporter bytes exactly).  append/read are inverses;
+/// read returns false (leaving *out unspecified) on truncated input.
+void append_trial_summary(std::string& out, const TrialSummary& trial);
+bool read_trial_summary(const unsigned char** cursor,
+                        const unsigned char* end, TrialSummary* out);
 
 }  // namespace rts::exec

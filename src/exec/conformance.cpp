@@ -209,7 +209,13 @@ ConformanceReport check_cell(const sim::CellTrace& cell,
           : cell.trials.size();
   for (std::size_t t = 0; t < limit; ++t) {
     const sim::TrialTrace& trial = cell.trials[t];
-    const std::string prefix = "trial " + std::to_string(t);
+    // Full provenance in every mismatch line: a conformance failure in a CI
+    // log must identify its trace without the reader re-running anything.
+    const std::string prefix = "campaign '" + cell.campaign + "' cell " +
+                               std::to_string(cell.cell_index) + " (" +
+                               cell.algorithm + " vs " + cell.adversary +
+                               ", k=" + std::to_string(cell.k) + ") trial " +
+                               std::to_string(t);
     ++report.trials_checked;
 
     std::optional<sim::LeRunResult> fresh;

@@ -1,0 +1,26 @@
+#include "fault/backoff.hpp"
+
+#include "support/rng.hpp"
+
+namespace rts::fault {
+
+namespace {
+constexpr std::uint64_t kBackoffSalt = 0xb0ff'0000;
+}  // namespace
+
+std::uint64_t BackoffPolicy::delay_us(int attempt, std::uint64_t seed) const {
+  if (attempt < 1) attempt = 1;
+  std::uint64_t delay = base_us;
+  for (int i = 1; i < attempt && delay < cap_us; ++i) delay *= 2;
+  if (delay > cap_us) delay = cap_us;
+  if (jitter <= 0.0 || delay == 0) return delay;
+  const double clamped = jitter >= 1.0 ? 1.0 : jitter;
+  const auto span = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(delay));
+  if (span == 0) return delay;
+  support::PrngSource rng(support::derive_seed(
+      seed, kBackoffSalt + static_cast<std::uint64_t>(attempt)));
+  return delay - rng.draw(span + 1);
+}
+
+}  // namespace rts::fault

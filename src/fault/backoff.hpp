@@ -1,0 +1,26 @@
+// Capped exponential backoff with seeded jitter for election retries.
+//
+// delay_us(attempt, seed) is a pure function: the soak driver and the
+// campaign executor both derive their retry pacing from the arrival/trial
+// seed, so a chaos run's retry schedule replays exactly.  Jitter is
+// subtractive (classic decorrelated style): the returned delay lies in
+// [(1 - jitter) * capped, capped], never above the cap.
+#pragma once
+
+#include <cstdint>
+
+namespace rts::fault {
+
+struct BackoffPolicy {
+  std::uint64_t base_us = 100;
+  std::uint64_t cap_us = 10'000;
+  /// Fraction of the capped delay randomized away, in [0, 1].
+  double jitter = 0.5;
+
+  /// Delay before retry `attempt` (1 = first retry).  Grows base * 2^(a-1)
+  /// up to cap_us; the seeded jitter keeps k retrying callers from
+  /// resubmitting in lockstep while staying reproducible.
+  std::uint64_t delay_us(int attempt, std::uint64_t seed) const;
+};
+
+}  // namespace rts::fault

@@ -1,0 +1,57 @@
+// Durable campaign checkpoints: completed cells' per-trial summaries,
+// written atomically (tmp + rename) so a SIGKILL at any instant leaves the
+// directory either without the cell or with it whole.
+//
+// The invariant that makes `rts_bench --resume` byte-exact: a checkpoint
+// stores raw exec::TrialSummary records, never folded aggregates.  On
+// resume the executor preloads them into the same per-trial slots a live
+// worker would have filled and re-runs the trial-order fold, so the
+// reporter bytes of (run, kill, resume) equal those of one uninterrupted
+// run.  Only sim cells are checkpointed -- hw trials carry scheduling
+// weather and re-run live on resume.
+//
+// File layout per cell (cell-NNNN.ckpt, little-endian):
+//   "RTSC" magic | u32 version | u64 spec_hash | u32 cell_index |
+//   u32 trials | per trial: u8 state (1 ok, 2 errored) + TrialSummary |
+//   u64 FNV-1a checksum of everything before it
+// Torn, truncated, or spec-mismatched files are skipped on load (the cell
+// simply re-runs), never trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/backend.hpp"
+
+namespace rts::fault {
+
+struct CellCheckpoint {
+  int cell_index = -1;
+  // Parallel per-trial arrays, sized to the cell's trial count.
+  std::vector<unsigned char> ran;
+  std::vector<unsigned char> errored;
+  std::vector<exec::TrialSummary> summaries;
+};
+
+std::string cell_checkpoint_filename(int cell_index);
+
+/// Atomically writes one completed cell.  Returns false (and sets *error
+/// when non-null) on I/O failure.
+bool write_cell_checkpoint(const std::string& dir, std::uint64_t spec_hash,
+                           const CellCheckpoint& cell, std::string* error);
+
+/// Writes the human-readable CHECKPOINT.json manifest beside the cells.
+bool write_checkpoint_manifest(const std::string& dir,
+                               const std::string& campaign,
+                               std::uint64_t spec_hash, int trials, int cells,
+                               std::string* error);
+
+/// Loads every cell-*.ckpt in `dir` (cell indices [0, cells)) whose header
+/// matches `spec_hash` and `trials` and whose checksum verifies; invalid
+/// files are skipped so the cell re-runs.
+std::vector<CellCheckpoint> load_checkpoints(const std::string& dir,
+                                             std::uint64_t spec_hash,
+                                             int trials, int cells);
+
+}  // namespace rts::fault

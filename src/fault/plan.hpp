@@ -1,0 +1,119 @@
+// Deterministic fault injection for the election service path.
+//
+// A FaultPlan is parsed from a compact spec string and derives every
+// per-trial decision from the trial seed, so a chaos run is replayable bit
+// for bit from (plan, seed): a failing chaos campaign reproduces under a
+// debugger with no scheduling luck involved, and reports can state exactly
+// which faults each trial was dealt.
+//
+// Grammar (clauses separated by ';', keys by ','):
+//
+//   stall:p=P,us=U    with probability P per participant, sleep U
+//                     microseconds after one of its early shared ops
+//                     (a mid-election stall: GC pause, preemption)
+//   noshow:p=P        with probability P per participant, skip the
+//                     election entirely for one arrival (participant
+//                     death before arrival); if every participant of an
+//                     election draws no-show, one is deterministically
+//                     spared so the election still has a contender --
+//                     the same last-runnable sparing rule the sim's
+//                     CrashInjectingAdversary uses
+//   delay:p=P,us=U    with probability P per participant, sleep U
+//                     microseconds before its first shared op (late
+//                     arrival through the start barrier)
+//   die:p=P           with probability P per work claim, a campaign
+//                     executor worker stops claiming trials (simulated
+//                     worker death mid-cell); worker 0 is immune so the
+//                     campaign always finishes via work stealing
+//
+// Probabilities are evaluated at 2^-20 resolution, the idiom the sim
+// adversaries use, so p=1.0 means always and p=0 never.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rts::fault {
+
+/// Faults dealt to one participant of one election.
+struct ParticipantFault {
+  bool no_show = false;        ///< skip this election entirely
+  std::uint32_t delay_us = 0;  ///< sleep before the first shared op
+  std::uint32_t stall_us = 0;  ///< one-shot mid-election sleep (0 = none)
+  /// 1-based shared-op index the stall follows; drawn uniformly from the
+  /// participant's early ops so stalls land inside the election, not
+  /// predictably at its edge.
+  std::uint64_t stall_after_op = 0;
+
+  bool any() const { return no_show || delay_us > 0 || stall_us > 0; }
+};
+
+/// Per-election fault assignment for all k participants of one trial.
+struct TrialFaults {
+  std::vector<ParticipantFault> participants;
+  int no_shows = 0;
+  int stalls = 0;
+  int delays = 0;
+
+  bool any() const { return no_shows + stalls + delays > 0; }
+};
+
+/// Injected-fault totals with exact (commutative integer) merge, so the
+/// counts reported for a run are identical however the work was sharded.
+struct FaultCounters {
+  std::uint64_t stalls = 0;
+  std::uint64_t no_shows = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t worker_deaths = 0;
+
+  void add(const FaultCounters& other) {
+    stalls += other.stalls;
+    no_shows += other.no_shows;
+    delays += other.delays;
+    worker_deaths += other.worker_deaths;
+  }
+  void add(const TrialFaults& trial) {
+    stalls += static_cast<std::uint64_t>(trial.stalls);
+    no_shows += static_cast<std::uint64_t>(trial.no_shows);
+    delays += static_cast<std::uint64_t>(trial.delays);
+  }
+  bool any() const {
+    return stalls + no_shows + delays + worker_deaths > 0;
+  }
+};
+
+struct FaultPlan {
+  double stall_p = 0.0;
+  std::uint32_t stall_us = 0;
+  double noshow_p = 0.0;
+  double delay_p = 0.0;
+  std::uint32_t delay_us = 0;
+  double die_p = 0.0;
+  /// The original spec string, carried for reports ("which plan ran").
+  std::string spec;
+
+  /// Parses the grammar above.  Returns nullopt (and sets *error when
+  /// non-null) on unknown clauses/keys, out-of-range probabilities, or a
+  /// stall/delay clause with p > 0 but no positive duration.
+  static std::optional<FaultPlan> parse(std::string_view text,
+                                        std::string* error);
+
+  bool active() const {
+    return stall_p > 0.0 || noshow_p > 0.0 || delay_p > 0.0 || die_p > 0.0;
+  }
+
+  /// Deals the participant faults for one election, a pure function of
+  /// (plan, trial_seed, k).
+  TrialFaults for_trial(std::uint64_t trial_seed, int k) const;
+
+  /// Whether the given executor worker dies before its claim-th work claim;
+  /// a pure function of (plan, master_seed, worker, claim).  Worker 0 never
+  /// dies, so the campaign always completes through work stealing.
+  bool worker_dies(std::uint64_t master_seed, int worker,
+                   std::uint64_t claim) const;
+};
+
+}  // namespace rts::fault

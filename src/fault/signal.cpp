@@ -1,0 +1,40 @@
+#include "fault/signal.hpp"
+
+#include <csignal>
+
+namespace rts::fault {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void on_interrupt_signal(int sig) {
+  // Only async-signal-safe operations here.  exchange() tells us whether
+  // this is the second signal; if so, fall back to the default disposition
+  // so an unresponsive run can still be killed.
+  if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  if (g_installed.exchange(true, std::memory_order_relaxed)) return;
+  std::signal(SIGINT, on_interrupt_signal);
+  std::signal(SIGTERM, on_interrupt_signal);
+}
+
+bool interrupted() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* interrupt_flag() { return &g_interrupted; }
+
+void clear_interrupt_for_testing() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace rts::fault

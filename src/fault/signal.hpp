@@ -1,0 +1,29 @@
+// Graceful SIGINT/SIGTERM handling for long-running drivers.
+//
+// The first signal sets a process-wide flag that the soak driver checks per
+// arrival and the campaign executor checks per work claim: in-flight
+// elections finish, partial results are reported, and (when checkpointing
+// is armed) a resumable checkpoint is written.  A second signal restores
+// the default disposition and re-raises, so a wedged run can still be
+// killed the ordinary way.
+#pragma once
+
+#include <atomic>
+
+namespace rts::fault {
+
+/// Installs the SIGINT/SIGTERM handler once per process (idempotent).
+void install_interrupt_handler();
+
+/// True once a handled signal has arrived.
+bool interrupted();
+
+/// The flag itself, for drivers that poll a caller-supplied
+/// `const std::atomic<bool>*` cancellation hook.
+const std::atomic<bool>* interrupt_flag();
+
+/// Clears the flag (tests only: a raised-then-handled signal must not leak
+/// into the next test case).
+void clear_interrupt_for_testing();
+
+}  // namespace rts::fault

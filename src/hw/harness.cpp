@@ -91,15 +91,31 @@ namespace {
 
 /// One participant's election, shared by the fresh harness and the pooled
 /// runner.  A StepLimitReached abort leaves the outcome kUnknown and is
-/// reported through the return value (true = aborted on the budget).
+/// reported through the return value (true = aborted on the budget); an
+/// ElectionCancelled unwind (the deadline watchdog) likewise leaves the
+/// outcome kUnknown and sets *cancelled.  `fault` deals this participant
+/// its chaos-plan faults (null = none): a no-show returns without electing,
+/// a delay sleeps before the first shared op, a stall arms the context's
+/// one-shot mid-election sleep.
 bool run_participant(algo::ILeaderElect<HwPlatform>* le,
                      std::atomic<std::uint64_t>& native_bit, int pid,
                      std::uint64_t seed, std::uint64_t step_limit,
-                     sim::Outcome* outcome, std::uint64_t* ops) {
+                     const std::atomic<bool>* cancel,
+                     const fault::ParticipantFault* fault,
+                     sim::Outcome* outcome, std::uint64_t* ops,
+                     bool* cancelled) {
+  if (fault != nullptr && fault->no_show) return false;  // ops stay 0
   support::PrngSource rng(
       support::derive_seed(seed, static_cast<std::uint64_t>(pid)));
   HwPlatform::Context ctx(pid, rng);
   ctx.set_step_limit(step_limit);
+  if (cancel != nullptr) ctx.set_cancel_flag(cancel);
+  if (fault != nullptr && fault->stall_us > 0) {
+    ctx.set_stall(fault->stall_after_op, fault->stall_us);
+  }
+  if (fault != nullptr && fault->delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(fault->delay_us));
+  }
   bool aborted = false;
   try {
     if (le != nullptr) {
@@ -113,6 +129,8 @@ bool run_participant(algo::ILeaderElect<HwPlatform>* le,
     }
   } catch (const StepLimitReached&) {
     aborted = true;  // over budget: outcome stays kUnknown
+  } catch (const ElectionCancelled&) {
+    *cancelled = true;  // deadline fired: outcome stays kUnknown
   }
   *ops = ctx.ops();
   return aborted;
@@ -120,14 +138,16 @@ bool run_participant(algo::ILeaderElect<HwPlatform>* le,
 
 /// Post-run accounting shared by the fresh harness and the pooled runner:
 /// winner count, the safety check, and the completeness verdict.  An
-/// incomplete (watchdog-aborted) run legitimately has no winner; only a
-/// complete run without exactly one is a violation, mirroring the sim
-/// harness's liveness rule.
+/// incomplete (watchdog-aborted or deadline-cancelled) run legitimately has
+/// no winner; only a complete run without exactly one is a violation,
+/// mirroring the sim harness's liveness rule.  Safety still holds
+/// unconditionally: two winners violate even on a cancelled run.
 void finalize_hw_result(HwRunResult& result, std::size_t registers,
-                        double wall_seconds, bool aborted) {
+                        double wall_seconds, bool aborted, bool timed_out) {
   result.wall_seconds = wall_seconds;
   result.registers = registers;
-  result.completed = !aborted;
+  result.timed_out = timed_out;
+  result.completed = !aborted && !timed_out;
   for (const sim::Outcome outcome : result.outcomes) {
     if (outcome == sim::Outcome::kWin) ++result.winners;
   }
@@ -136,6 +156,26 @@ void finalize_hw_result(HwRunResult& result, std::size_t registers,
         "hardware run must elect exactly one winner, got " +
         std::to_string(result.winners));
   }
+}
+
+/// The participant-side fault slice for pid, plus planned-count bookkeeping
+/// on the result.
+const fault::ParticipantFault* fault_for(const fault::TrialFaults* faults,
+                                         int pid) {
+  if (faults == nullptr ||
+      static_cast<std::size_t>(pid) >= faults->participants.size()) {
+    return nullptr;
+  }
+  const fault::ParticipantFault& fault =
+      faults->participants[static_cast<std::size_t>(pid)];
+  return fault.any() ? &fault : nullptr;
+}
+
+void count_faults(HwRunResult& result, const fault::TrialFaults* faults) {
+  if (faults == nullptr) return;
+  result.no_shows = faults->no_shows;
+  result.stalls = faults->stalls;
+  result.delays = faults->delays;
 }
 
 }  // namespace
@@ -156,6 +196,25 @@ HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed,
   result.declared_registers = le != nullptr ? le->declared_registers() : 1;
   std::atomic<std::uint64_t> native_bit{0};
   std::atomic<int> aborted{0};
+  std::atomic<int> cancelled{0};
+  std::atomic<bool> cancel{false};
+
+  // Scoped deadline watchdog: arms the cancel flag unless the completion
+  // barrier is crossed first (the pool keeps a persistent one instead).
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool finished = false;
+  std::jthread watchdog;
+  if (options.deadline_ns > 0) {
+    watchdog = std::jthread([&] {
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      if (!watchdog_cv.wait_for(lock,
+                                std::chrono::nanoseconds(options.deadline_ns),
+                                [&] { return finished; })) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
 
   std::barrier gate(k + 1);
   std::vector<std::jthread> threads;
@@ -163,11 +222,16 @@ HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed,
   for (int pid = 0; pid < k; ++pid) {
     threads.emplace_back([&, pid] {
       gate.arrive_and_wait();
+      bool was_cancelled = false;
       if (run_participant(le.get(), native_bit, pid, seed, options.step_limit,
+                          options.deadline_ns > 0 ? &cancel : nullptr,
+                          fault_for(options.faults, pid),
                           &result.outcomes[static_cast<std::size_t>(pid)],
-                          &result.ops[static_cast<std::size_t>(pid)])) {
+                          &result.ops[static_cast<std::size_t>(pid)],
+                          &was_cancelled)) {
         aborted.fetch_add(1, std::memory_order_relaxed);
       }
+      if (was_cancelled) cancelled.fetch_add(1, std::memory_order_relaxed);
       gate.arrive_and_wait();
     });
   }
@@ -176,11 +240,18 @@ HwRunResult run_hw_le(algo::AlgorithmId id, int n, int k, std::uint64_t seed,
   const auto start = std::chrono::steady_clock::now();
   gate.arrive_and_wait();  // wait for completion
   const auto end = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu);
+    finished = true;
+  }
+  watchdog_cv.notify_all();
   threads.clear();  // join
 
+  count_faults(result, options.faults);
   finalize_hw_result(result, pool.allocated(),
                      std::chrono::duration<double>(end - start).count(),
-                     aborted.load(std::memory_order_relaxed) > 0);
+                     aborted.load(std::memory_order_relaxed) > 0,
+                     cancelled.load(std::memory_order_relaxed) > 0);
   return result;
 }
 
@@ -200,6 +271,7 @@ exec::TrialSummary summarize_trial(const HwRunResult& result) {
     if (outcome == sim::Outcome::kUnknown) ++trial.unfinished;
   }
   trial.completed = result.completed;
+  trial.timed_out = result.timed_out;
   trial.wall_seconds = result.wall_seconds;
   trial.latency = static_cast<std::uint64_t>(
       std::llround(result.wall_seconds * 1e9));  // wall-clock nanoseconds
@@ -240,6 +312,7 @@ HwTrialPool::HwTrialPool(int k, HwPoolOptions pool_options)
     for (int pid = 0; pid < k; ++pid) {
       threads_.emplace_back([this, pid] { participant(pid); });
     }
+    watchdog_ = std::jthread([this] { watchdog_main(); });
   } catch (...) {
     // Partial spawn (thread-resource exhaustion): the already-running
     // participants are parked on the condition variable -- never on the
@@ -249,6 +322,7 @@ HwTrialPool::HwTrialPool(int k, HwPoolOptions pool_options)
       stop_ = true;
     }
     job_cv_.notify_all();
+    watchdog_cv_.notify_all();
     threads_.clear();  // join
     throw;
   }
@@ -260,7 +334,28 @@ HwTrialPool::~HwTrialPool() {
     stop_ = true;
   }
   job_cv_.notify_all();
-  threads_.clear();  // join
+  watchdog_cv_.notify_all();
+  threads_.clear();  // join; watchdog_ joins in its own destructor
+}
+
+void HwTrialPool::watchdog_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    watchdog_cv_.wait(lock,
+                      [&] { return stop_ || (watchdog_armed_ &&
+                                             job_seq_ != seen); });
+    if (stop_) return;
+    seen = job_seq_;
+    if (!watchdog_cv_.wait_until(lock, watchdog_deadline_,
+                                 [&] { return stop_ || job_done_; })) {
+      // Deadline passed with the job still running: cancel.  Participants
+      // observe the flag at their next shared op and unwind; run() still
+      // waits on the completion barrier, so no state is torn down early.
+      cancel_.store(true, std::memory_order_relaxed);
+    }
+    if (stop_) return;
+  }
 }
 
 void HwTrialPool::participant(int pid) {
@@ -293,11 +388,16 @@ void HwTrialPool::participant(int pid) {
     }
     gate_.arrive_and_wait();  // start line: the trial timer begins here
     if (perf) perf->start();
+    bool was_cancelled = false;
     if (run_participant(le_, *native_bit_, pid, seed_, step_limit_,
+                        deadline_armed_ ? &cancel_ : nullptr,
+                        fault_for(faults_, pid),
                         &(*outcomes_)[static_cast<std::size_t>(pid)],
-                        &(*ops_)[static_cast<std::size_t>(pid)])) {
+                        &(*ops_)[static_cast<std::size_t>(pid)],
+                        &was_cancelled)) {
       aborted_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (was_cancelled) cancelled_.fetch_add(1, std::memory_order_relaxed);
     if (perf) perf_slots_[static_cast<std::size_t>(pid)].add(perf->stop());
     gate_.arrive_and_wait();  // completion; orders our writes before run()
   }
@@ -336,22 +436,41 @@ HwRunResult HwTrialPool::run(algo::AlgorithmId id, int n, std::uint64_t seed,
   step_limit_ = options.step_limit;
   outcomes_ = &result.outcomes;
   ops_ = &result.ops;
+  faults_ = options.faults;
+  deadline_armed_ = options.deadline_ns > 0;
   aborted_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
+  cancel_.store(false, std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    job_done_ = false;
+    watchdog_armed_ = deadline_armed_;
+    if (deadline_armed_) {
+      watchdog_deadline_ = std::chrono::steady_clock::now() +
+                           std::chrono::nanoseconds(options.deadline_ns);
+    }
     ++job_seq_;  // publishes the job state written above
   }
   job_cv_.notify_all();
+  if (deadline_armed_) watchdog_cv_.notify_all();
   gate_.arrive_and_wait();  // start line with the woken participants
   const auto start = std::chrono::steady_clock::now();
   gate_.arrive_and_wait();  // wait for completion
   const auto end = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_done_ = true;  // disarms the watchdog for this job
+  }
+  watchdog_cv_.notify_all();
   ++trials_run_;
 
+  count_faults(result, options.faults);
   finalize_hw_result(result, pool.allocated(),
                      std::chrono::duration<double>(end - start).count(),
-                     aborted_.load(std::memory_order_relaxed) > 0);
+                     aborted_.load(std::memory_order_relaxed) > 0,
+                     cancelled_.load(std::memory_order_relaxed) > 0);
+  faults_ = nullptr;  // the pointee's lifetime ends with this run
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -21,6 +22,7 @@
 #include "algo/platform.hpp"
 #include "algo/registry.hpp"
 #include "exec/backend.hpp"
+#include "fault/plan.hpp"
 #include "hw/platform.hpp"
 #include "sim/types.hpp"
 #include "telemetry/perf_counters.hpp"
@@ -44,6 +46,14 @@ struct HwRunOptions {
   /// hw::StepLimitReached).  Participants exceeding it abort; the trial
   /// reports them unfinished and is marked incomplete instead of hanging.
   std::uint64_t step_limit = UINT64_MAX;
+  /// Wall-clock deadline for the whole election, nanoseconds; 0 disables.
+  /// A watchdog thread arms a cancel flag at the deadline and participants
+  /// throw ElectionCancelled at their next shared op -- the run returns
+  /// with timed_out set instead of hanging the caller.
+  std::uint64_t deadline_ns = 0;
+  /// Per-participant fault injection for this election (see
+  /// fault/plan.hpp); the pointee must outlive the run.  Null disables.
+  const fault::TrialFaults* faults = nullptr;
 };
 
 struct HwRunResult {
@@ -55,7 +65,15 @@ struct HwRunResult {
   int winners = 0;
   std::size_t registers = 0;        // materialized in the pool
   std::size_t declared_registers = 0;
-  bool completed = true;  ///< false when the step-limit watchdog fired
+  /// False when the step-limit watchdog fired or the deadline cancelled
+  /// the election.
+  bool completed = true;
+  bool timed_out = false;  ///< the deadline watchdog cancelled this run
+  /// Faults actually dealt to this run's participants (from the
+  /// HwRunOptions::faults plan; all zero without one).
+  int no_shows = 0;
+  int stalls = 0;
+  int delays = 0;
   std::vector<std::string> violations;
 };
 
@@ -134,6 +152,7 @@ class HwTrialPool {
 
  private:
   void participant(int pid);
+  void watchdog_main();
 
   int k_;
   // Participants park on the condition variable between trials (and during
@@ -154,14 +173,27 @@ class HwTrialPool {
   std::uint64_t step_limit_ = UINT64_MAX;
   std::vector<sim::Outcome>* outcomes_ = nullptr;
   std::vector<std::uint64_t>* ops_ = nullptr;
+  const fault::TrialFaults* faults_ = nullptr;
+  bool deadline_armed_ = false;  ///< job state like seed_; read after wake
   std::atomic<int> aborted_{0};
+  std::atomic<int> cancelled_{0};  ///< participants unwound on the deadline
   std::uint64_t trials_run_ = 0;
+  // Deadline watchdog: one persistent thread parked on its own condition
+  // variable; run() publishes an armed job's deadline, the watchdog
+  // wait_until()s it, and sets cancel_ if the completion barrier hasn't
+  // been reached by then.  All watchdog state is guarded by mu_.
+  std::condition_variable watchdog_cv_;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
+  bool watchdog_armed_ = false;
+  bool job_done_ = true;
+  std::atomic<bool> cancel_{false};
   HwPoolOptions pool_options_;
   // Slot pid is written only by participant pid, between the election and
   // the completion barrier (which orders it before run() returns).
   std::vector<telemetry::PerfCounts> perf_slots_;
   std::atomic<int> perf_missing_{0};  ///< participants without a counter group
   std::vector<std::jthread> threads_;
+  std::jthread watchdog_;  ///< last member: joins before the state above dies
 };
 
 /// Runs `trials` elections (n = k) through one persistent HwTrialPool and

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string_view>
+#include <thread>
 
 #include "fiber/fiber.hpp"
 #include "sim/types.hpp"
@@ -27,6 +29,14 @@ namespace rts::hw {
 /// thread: the trial finishes with that participant unfinished and the run
 /// marked incomplete, instead of a diverging algorithm hanging the campaign.
 struct StepLimitReached {};
+
+/// Thrown by Context::on_op / charge_child_op when the armed cancel flag is
+/// set (the deadline watchdog fired).  Like StepLimitReached it unwinds on
+/// the participant's own thread; the harness catches it and reports the
+/// election timed out.  Cancellation is cooperative: a participant notices
+/// at its next shared op, so a sleeping (stalled) participant cancels only
+/// once it wakes.
+struct ElectionCancelled {};
 
 /// One register on its own cache line to keep the step counts honest (no
 /// false sharing between unrelated registers).
@@ -127,6 +137,20 @@ struct HwPlatform {
     void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
     std::uint64_t step_limit() const { return step_limit_; }
 
+    /// Arms cooperative cancellation: once *flag is true, the next shared
+    /// op throws ElectionCancelled.  Root contexts only (same fiber-unwind
+    /// constraint as the step limit); null disarms.
+    void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+
+    /// Arms a one-shot fault-injection stall: after this context's
+    /// `after_op`-th own shared op completes, sleep `us` microseconds
+    /// before returning to the algorithm (a mid-election GC pause /
+    /// preemption stand-in).  Root contexts only.
+    void set_stall(std::uint64_t after_op, std::uint32_t us) {
+      stall_after_op_ = after_op;
+      stall_us_ = us;
+    }
+
     /// Total shared ops attributed to this context, including ops its child
     /// fibers performed (charged by the combiner's coordinator loop).
     std::uint64_t ops() const { return ops_ + child_ops_; }
@@ -142,6 +166,9 @@ struct HwPlatform {
     void charge_child_op() {
       ++child_ops_;
       if (ops() > step_limit_) throw StepLimitReached{};
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        throw ElectionCancelled{};
+      }
       if (yield_after_op_ != nullptr) {
         fiber::switch_context(*exec_slot_, *yield_after_op_);
       }
@@ -151,6 +178,14 @@ struct HwPlatform {
     void on_op() {
       ++ops_;
       if (ops() > step_limit_) throw StepLimitReached{};
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        throw ElectionCancelled{};
+      }
+      if (stall_us_ != 0 && ops_ == stall_after_op_) {
+        const std::uint32_t us = stall_us_;
+        stall_us_ = 0;  // one-shot
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
       if (yield_after_op_ != nullptr) {
         fiber::switch_context(*exec_slot_, *yield_after_op_);
       }
@@ -164,9 +199,12 @@ struct HwPlatform {
     std::unique_ptr<fiber::ExecutionContext> root_slot_;
     fiber::ExecutionContext* exec_slot_;
     fiber::ExecutionContext* yield_after_op_ = nullptr;
+    const std::atomic<bool>* cancel_ = nullptr;
     std::uint64_t ops_ = 0;
     std::uint64_t child_ops_ = 0;
     std::uint64_t step_limit_ = UINT64_MAX;
+    std::uint64_t stall_after_op_ = 0;
+    std::uint32_t stall_us_ = 0;
     std::uint64_t stage_ = 0;
   };
 

@@ -1,0 +1,50 @@
+#include "telemetry/heartbeat.hpp"
+
+#include <cstdio>
+
+namespace rts::telemetry {
+
+std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
+                           std::uint64_t done, std::uint64_t total,
+                           const char* unit, std::string_view extra) {
+  const double rate =
+      elapsed_seconds > 0.0 ? static_cast<double>(done) / elapsed_seconds
+                            : 0.0;
+  char head[192];
+  if (total > 0) {
+    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu/%llu %s  %.0f %s/s",
+                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total), unit, rate, unit);
+  } else {
+    std::snprintf(head, sizeof head, "[%.*s] %.1fs  %llu %s  %.0f %s/s",
+                  static_cast<int>(tag.size()), tag.data(), elapsed_seconds,
+                  static_cast<unsigned long long>(done), unit, rate, unit);
+  }
+  std::string line = head;
+  if (!extra.empty()) {
+    line += "  ";
+    line += extra;
+  }
+  return line;
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buffer[32];
+  if (ns < 1'000) {
+    std::snprintf(buffer, sizeof buffer, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.2fms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2fs",
+                  static_cast<double>(ns) / 1e9);
+  }
+  return buffer;
+}
+
+}  // namespace rts::telemetry

@@ -1,0 +1,22 @@
+// Heartbeat-line and duration formatting shared by every long-running
+// driver (the soak harness, the campaign executor's --progress, the chaos
+// layer's degraded-mode reporting).  Lives in telemetry because the format
+// is observability contract, not campaign logic: tests pin the exact bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rts::telemetry {
+
+/// One heartbeat line: "[tag] 12.3s  512/1000 unit  41 unit/s  extra".
+/// `total` 0 omits the "/total"; empty `extra` omits the tail.
+std::string heartbeat_line(std::string_view tag, double elapsed_seconds,
+                           std::uint64_t done, std::uint64_t total,
+                           const char* unit, std::string_view extra);
+
+/// Compact duration rendering for heartbeat/report lines ("812us", "1.3ms").
+std::string format_ns(std::uint64_t ns);
+
+}  // namespace rts::telemetry
