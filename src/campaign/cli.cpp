@@ -1,9 +1,13 @@
 #include "campaign/cli.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +23,55 @@
 #include "support/assert.hpp"
 
 namespace rts::campaign {
+
+std::optional<long long> parse_integer_flag(const char* flag,
+                                            std::string_view text,
+                                            long long min_value,
+                                            long long max_value) {
+  long long value = 0;
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec == std::errc{} && ptr == last && value >= min_value &&
+      value <= max_value) {
+    return value;
+  }
+  std::fprintf(stderr,
+               "rts_bench: %s expects an integer in [%lld, %lld], got '%.*s'\n",
+               flag, min_value, max_value, static_cast<int>(text.size()),
+               text.data());
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_u64_flag(const char* flag,
+                                            std::string_view text,
+                                            std::uint64_t min_value) {
+  std::uint64_t value = 0;
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec == std::errc{} && ptr == last && value >= min_value) return value;
+  std::fprintf(stderr, "rts_bench: %s expects an integer >= %llu, got '%.*s'\n",
+               flag, static_cast<unsigned long long>(min_value),
+               static_cast<int>(text.size()), text.data());
+  return std::nullopt;
+}
+
+std::optional<double> parse_double_flag(const char* flag, std::string_view text,
+                                        double min_exclusive) {
+  // strtod instead of from_chars: a finite-value parse of doubles that works
+  // on every toolchain in the CI matrix.  The whole token must be consumed.
+  const std::string copy(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (errno == 0 && end != copy.c_str() && *end == '\0' &&
+      std::isfinite(value) && value > min_exclusive) {
+    return value;
+  }
+  std::fprintf(stderr, "rts_bench: %s expects a finite number > %g, got "
+               "'%.*s'\n",
+               flag, min_exclusive, static_cast<int>(text.size()), text.data());
+  return std::nullopt;
+}
 
 namespace {
 
@@ -122,6 +175,10 @@ void print_usage(std::FILE* out) {
                "                    --rate through a persistent thread pool,\n"
                "                    heartbeats on stderr, report on stdout\n"
                "  --rate R          target election arrivals per second\n"
+               "  --shards N        service shards: N persistent election\n"
+               "                    pools (k threads each) behind a\n"
+               "                    least-backlog dispatcher; merged report\n"
+               "                    is exact, per-shard blocks in jsonl\n"
                "  --soak-preset P   named soak configuration (see --list);\n"
                "                    --soak/--rate/--algos/--ks/... override\n"
                "  --pin C[,C...]    pin participant i to cpu C[i %% len]; in\n"
@@ -200,6 +257,7 @@ struct CliArgs {
   std::string out_path;
   double soak_seconds = 0.0;
   double rate = 0.0;
+  int shards = 0;  // 0 = keep the soak spec's own (default 1)
   std::string soak_preset;
   std::vector<int> pin_cpus;
   std::string faults_spec;
@@ -277,29 +335,46 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       }
     } else if (arg == "--ks") {
       if ((value = need_value(i, "--ks")) == nullptr) return std::nullopt;
-      for (auto& k : split_csv(value)) args.ks.push_back(std::atoi(k.c_str()));
+      for (auto& k : split_csv(value)) {
+        const auto parsed = parse_integer_flag("--ks", k, 1, 1'000'000);
+        if (!parsed) return std::nullopt;
+        args.ks.push_back(static_cast<int>(*parsed));
+      }
     } else if (arg == "--n") {
       if ((value = need_value(i, "--n")) == nullptr) return std::nullopt;
-      args.fixed_n = std::atoi(value);
+      const auto parsed = parse_integer_flag("--n", value, 1, 1'000'000);
+      if (!parsed) return std::nullopt;
+      args.fixed_n = static_cast<int>(*parsed);
     } else if (arg == "--trials") {
       if ((value = need_value(i, "--trials")) == nullptr) return std::nullopt;
-      args.trials = std::atoi(value);
+      const auto parsed = parse_integer_flag(
+          "--trials", value, 1, std::numeric_limits<int>::max());
+      if (!parsed) return std::nullopt;
+      args.trials = static_cast<int>(*parsed);
     } else if (arg == "--seed") {
       if ((value = need_value(i, "--seed")) == nullptr) return std::nullopt;
-      args.seed = std::strtoull(value, nullptr, 10);
+      const auto parsed = parse_u64_flag("--seed", value, 0);
+      if (!parsed) return std::nullopt;
+      args.seed = *parsed;
     } else if (arg == "--step-limit") {
       if ((value = need_value(i, "--step-limit")) == nullptr) {
         return std::nullopt;
       }
-      args.step_limit = std::strtoull(value, nullptr, 10);
+      const auto parsed = parse_u64_flag("--step-limit", value, 1);
+      if (!parsed) return std::nullopt;
+      args.step_limit = *parsed;
     } else if (arg == "--workers") {
       if ((value = need_value(i, "--workers")) == nullptr) return std::nullopt;
-      args.workers = std::atoi(value);
+      const auto parsed = parse_integer_flag("--workers", value, 0, 4096);
+      if (!parsed) return std::nullopt;
+      args.workers = static_cast<int>(*parsed);
     } else if (arg == "--time-budget") {
       if ((value = need_value(i, "--time-budget")) == nullptr) {
         return std::nullopt;
       }
-      args.time_budget = std::atof(value);
+      const auto parsed = parse_double_flag("--time-budget", value, 0.0);
+      if (!parsed) return std::nullopt;
+      args.time_budget = *parsed;
     } else if (arg == "--format") {
       if ((value = need_value(i, "--format")) == nullptr) return std::nullopt;
       const auto format = parse_format(value);
@@ -342,21 +417,25 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       for (auto& spec : split_csv(value)) args.predicates.push_back(spec);
     } else if (arg == "--trial") {
       if ((value = need_value(i, "--trial")) == nullptr) return std::nullopt;
-      args.trial = std::atoi(value);
+      const auto parsed = parse_integer_flag("--trial", value, 0,
+                                             std::numeric_limits<int>::max());
+      if (!parsed) return std::nullopt;
+      args.trial = static_cast<int>(*parsed);
     } else if (arg == "--soak") {
       if ((value = need_value(i, "--soak")) == nullptr) return std::nullopt;
-      args.soak_seconds = std::atof(value);
-      if (args.soak_seconds <= 0.0) {
-        std::fprintf(stderr, "rts_bench: --soak needs a positive duration\n");
-        return std::nullopt;
-      }
+      const auto parsed = parse_double_flag("--soak", value, 0.0);
+      if (!parsed) return std::nullopt;
+      args.soak_seconds = *parsed;
     } else if (arg == "--rate") {
       if ((value = need_value(i, "--rate")) == nullptr) return std::nullopt;
-      args.rate = std::atof(value);
-      if (args.rate <= 0.0) {
-        std::fprintf(stderr, "rts_bench: --rate needs a positive rate\n");
-        return std::nullopt;
-      }
+      const auto parsed = parse_double_flag("--rate", value, 0.0);
+      if (!parsed) return std::nullopt;
+      args.rate = *parsed;
+    } else if (arg == "--shards") {
+      if ((value = need_value(i, "--shards")) == nullptr) return std::nullopt;
+      const auto parsed = parse_integer_flag("--shards", value, 1, 1024);
+      if (!parsed) return std::nullopt;
+      args.shards = static_cast<int>(*parsed);
     } else if (arg == "--soak-preset") {
       if ((value = need_value(i, "--soak-preset")) == nullptr) {
         return std::nullopt;
@@ -365,7 +444,9 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--pin") {
       if ((value = need_value(i, "--pin")) == nullptr) return std::nullopt;
       for (auto& cpu : split_csv(value)) {
-        args.pin_cpus.push_back(std::atoi(cpu.c_str()));
+        const auto parsed = parse_integer_flag("--pin", cpu, 0, 4095);
+        if (!parsed) return std::nullopt;
+        args.pin_cpus.push_back(static_cast<int>(*parsed));
       }
     } else if (arg == "--faults") {
       if ((value = need_value(i, "--faults")) == nullptr) return std::nullopt;
@@ -380,24 +461,22 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       if ((value = need_value(i, "--deadline-us")) == nullptr) {
         return std::nullopt;
       }
-      args.deadline_us = std::strtoull(value, nullptr, 10);
-      if (args.deadline_us == 0) {
-        std::fprintf(stderr,
-                     "rts_bench: --deadline-us needs a positive value\n");
-        return std::nullopt;
-      }
+      const auto parsed = parse_u64_flag("--deadline-us", value, 1);
+      if (!parsed) return std::nullopt;
+      args.deadline_us = *parsed;
     } else if (arg == "--retries") {
       if ((value = need_value(i, "--retries")) == nullptr) return std::nullopt;
-      args.retries = std::atoi(value);
-      if (*args.retries < 0) {
-        std::fprintf(stderr, "rts_bench: --retries must be >= 0\n");
-        return std::nullopt;
-      }
+      const auto parsed = parse_integer_flag(
+          "--retries", value, 0, std::numeric_limits<int>::max());
+      if (!parsed) return std::nullopt;
+      args.retries = static_cast<int>(*parsed);
     } else if (arg == "--shed-backlog") {
       if ((value = need_value(i, "--shed-backlog")) == nullptr) {
         return std::nullopt;
       }
-      args.shed_backlog = std::strtoull(value, nullptr, 10);
+      const auto parsed = parse_u64_flag("--shed-backlog", value, 1);
+      if (!parsed) return std::nullopt;
+      args.shed_backlog = *parsed;
     } else if (arg == "--checkpoint") {
       if ((value = need_value(i, "--checkpoint")) == nullptr) {
         return std::nullopt;
@@ -407,11 +486,10 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       if ((value = need_value(i, "--checkpoint-every")) == nullptr) {
         return std::nullopt;
       }
-      args.checkpoint_every = std::atoi(value);
-      if (args.checkpoint_every < 1) {
-        std::fprintf(stderr, "rts_bench: --checkpoint-every must be >= 1\n");
-        return std::nullopt;
-      }
+      const auto parsed = parse_integer_flag(
+          "--checkpoint-every", value, 1, std::numeric_limits<int>::max());
+      if (!parsed) return std::nullopt;
+      args.checkpoint_every = static_cast<int>(*parsed);
     } else if (arg == "--resume") {
       if ((value = need_value(i, "--resume")) == nullptr) return std::nullopt;
       args.resume_dir = value;
@@ -783,6 +861,7 @@ int run_soak_mode(const CliArgs& args) {
   if (args.deadline_us > 0) spec.deadline_ns = args.deadline_us * 1000;
   if (args.retries) spec.max_retries = *args.retries;
   if (args.shed_backlog > 0) spec.shed_backlog = args.shed_backlog;
+  if (args.shards > 0) spec.shards = args.shards;
   fault::install_interrupt_handler();
   spec.cancel = fault::interrupt_flag();
 
@@ -889,6 +968,10 @@ int run_cli(int argc, char** argv) {
   }
   if (args.shed_backlog > 0) {
     std::fprintf(stderr, "rts_bench: --shed-backlog only applies to --soak\n");
+    return 2;
+  }
+  if (args.shards > 0) {
+    std::fprintf(stderr, "rts_bench: --shards only applies to --soak\n");
     return 2;
   }
   if (!args.checkpoint_dir.empty() && !args.resume_dir.empty()) {

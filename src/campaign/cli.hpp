@@ -13,12 +13,31 @@
 // bespoke (non-grid) experiments.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "campaign/executor.hpp"
 #include "campaign/presets.hpp"
 
 namespace rts::campaign {
+
+// Checked numeric flag parsing.  Every rts_bench numeric flag goes through
+// these instead of bare atoi/strtoull/atof, which silently turn "banana"
+// into 0 and "-5" into garbage: the whole token must parse (no trailing
+// junk), the value must fit, and it must clear the flag's documented
+// minimum.  On failure they return std::nullopt after printing
+// "rts_bench: --flag ..." to stderr, and the CLI exits nonzero.
+std::optional<long long> parse_integer_flag(const char* flag,
+                                            std::string_view text,
+                                            long long min_value,
+                                            long long max_value);
+std::optional<std::uint64_t> parse_u64_flag(const char* flag,
+                                            std::string_view text,
+                                            std::uint64_t min_value);
+std::optional<double> parse_double_flag(const char* flag,
+                                        std::string_view text,
+                                        double min_exclusive);
 
 /// Runs one preset through the executor with default reporting to stdout:
 /// banner + ASCII table.  Used by the thin per-table bench binaries.

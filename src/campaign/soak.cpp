@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "exec/backend.hpp"
@@ -106,16 +110,259 @@ const SoakPreset* find_soak_preset(std::string_view name) {
   return nullptr;
 }
 
+ShardRouter::ShardRouter(std::size_t shards) : shards_(shards) {
+  RTS_REQUIRE(shards >= 1, "router needs at least one shard");
+}
+
+std::size_t ShardRouter::pick(const std::vector<std::uint64_t>& backlogs) {
+  RTS_REQUIRE(backlogs.size() == shards_, "one backlog per shard");
+  std::uint64_t best = backlogs.front();
+  for (const std::uint64_t backlog : backlogs) best = std::min(best, backlog);
+  // First minimal shard at or after the cursor; the cursor then advances
+  // past it, so equally loaded shards are dealt arrivals round-robin.
+  for (std::size_t offset = 0; offset < shards_; ++offset) {
+    const std::size_t shard = (next_ + offset) % shards_;
+    if (backlogs[shard] == best) {
+      next_ = (shard + 1) % shards_;
+      return shard;
+    }
+  }
+  RTS_ASSERT_MSG(false, "a minimal backlog always exists");
+  return 0;
+}
+
+std::vector<int> shard_pin_slice(const std::vector<int>& pin_cpus, int shards,
+                                 int shard) {
+  RTS_REQUIRE(shards >= 1 && shard >= 0 && shard < shards,
+              "shard index out of range");
+  std::vector<int> slice;
+  for (std::size_t i = static_cast<std::size_t>(shard); i < pin_cpus.size();
+       i += static_cast<std::size_t>(shards)) {
+    slice.push_back(pin_cpus[i]);
+  }
+  return slice;
+}
+
+void merge_shard_stats(const std::vector<ShardStats>& shards,
+                       SoakResult* result) {
+  result->shard_stats = shards;
+  result->shards = static_cast<int>(shards.size());
+  result->completed = 0;
+  result->timed_out = 0;
+  result->retried = 0;
+  result->shed = 0;
+  result->violations = 0;
+  result->incomplete = 0;
+  result->latency = telemetry::LatencyHistogram();
+  result->faults = fault::FaultCounters();
+  result->perf = telemetry::PerfCounts();
+  for (const ShardStats& shard : shards) {
+    result->completed += shard.completed;
+    result->timed_out += shard.timed_out;
+    result->retried += shard.retried;
+    result->shed += shard.shed;
+    result->violations += shard.violations;
+    result->incomplete += shard.incomplete;
+    result->latency.merge(shard.latency);
+    result->faults.add(shard.faults);
+    result->perf.add(shard.perf);
+  }
+}
+
+namespace {
+
+/// One arrival as dispatched to a shard: its schedule position (which
+/// alone fixes its seed stream) and its scheduled arrival instant (which
+/// latency is measured from).
+struct Arrival {
+  std::uint64_t index = 0;
+  Clock::time_point scheduled{};
+};
+
+/// One service shard: a persistent HwTrialPool plus a server thread
+/// draining this shard's arrival queue.  The dispatcher enqueues batches
+/// and reads the backlog; all election work and stat recording happen on
+/// the server thread, with the stats mutex held only around bookkeeping
+/// (never across an election), so heartbeat snapshots stay cheap.
+class SoakShard {
+ public:
+  SoakShard(const SoakSpec& spec, algo::AlgorithmId algorithm, int n,
+            std::vector<int> pin_cpus)
+      : spec_(spec), algorithm_(algorithm), n_(n) {
+    hw::HwPoolOptions pool_options;
+    pool_options.pin_cpus = std::move(pin_cpus);
+    pool_ = std::make_unique<hw::HwTrialPool>(spec.k, pool_options);
+    server_ = std::jthread([this] { serve(); });
+  }
+
+  ~SoakShard() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+      dropping_ = true;
+    }
+    cv_.notify_all();
+    // server_ joins in its destructor, before pool_ (declared earlier)
+    // dies -- the server never outlives the pool it drives.
+  }
+
+  SoakShard(const SoakShard&) = delete;
+  SoakShard& operator=(const SoakShard&) = delete;
+
+  /// Queued plus in-flight elections (the dispatcher's routing metric).
+  std::uint64_t backlog() const {
+    return backlog_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a dispatch batch and wakes the server once per batch.
+  void enqueue(const std::vector<Arrival>& batch) {
+    if (batch.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.insert(queue_.end(), batch.begin(), batch.end());
+      stats_.dispatched += batch.size();
+      stats_.max_queue =
+          std::max<std::uint64_t>(stats_.max_queue,
+                                  backlog_.load(std::memory_order_relaxed) +
+                                      batch.size());
+    }
+    backlog_.fetch_add(batch.size(), std::memory_order_relaxed);
+    cv_.notify_one();
+  }
+
+  /// A shed charged to this shard (it was the least-backlog choice and
+  /// still over the gate).
+  void record_shed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed;
+  }
+
+  /// No further arrivals: serve what is queued, then park the server.
+  /// `drop_queue` abandons queued arrivals instead (interrupt path).
+  void finish(bool drop_queue) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+      dropping_ = dropping_ || drop_queue;
+    }
+    cv_.notify_all();
+    if (server_.joinable()) server_.join();
+  }
+
+  /// Stats snapshot for heartbeats (exact, but mid-flight).
+  ShardStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Final stats; call after finish() so the server is parked and the
+  /// pool's perf totals are quiescent.
+  ShardStats collect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.perf = pool_->perf_totals();
+    return stats_;
+  }
+
+ private:
+  void serve() {
+    for (;;) {
+      Arrival arrival;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+        if (dropping_ || (queue_.empty() && draining_)) {
+          backlog_.fetch_sub(queue_.size(), std::memory_order_relaxed);
+          queue_.clear();
+          return;
+        }
+        arrival = queue_.front();
+        queue_.pop_front();
+      }
+      serve_one(arrival);
+      backlog_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// The deadline/retry/outcome state machine for one arrival (the PR-8
+  /// taxonomy): retries draw fresh fault coins from salted seed streams,
+  /// latency runs from the *scheduled* arrival so queue wait and backoff
+  /// stay charged (coordinated omission honest), and a timed-out arrival
+  /// contributes a count, never a fabricated sample.
+  void serve_one(const Arrival& arrival) {
+    const bool chaos = spec_.faults.active();
+    hw::HwRunOptions run_options;
+    run_options.step_limit = spec_.step_limit;
+    run_options.deadline_ns = spec_.deadline_ns;
+    const std::uint64_t arrival_seed =
+        support::derive_seed(spec_.seed, arrival.index);
+    hw::HwRunResult run;
+    std::uint64_t retried = 0;
+    std::uint64_t violations = 0;
+    fault::FaultCounters dealt;
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t attempt_seed =
+          attempt == 0 ? arrival_seed
+                       : support::derive_seed(
+                             arrival_seed,
+                             kRetrySalt + static_cast<std::uint64_t>(attempt));
+      fault::TrialFaults trial_faults;
+      if (chaos) {
+        trial_faults = spec_.faults.for_trial(attempt_seed, spec_.k);
+        run_options.faults = &trial_faults;
+      }
+      run = pool_->run(algorithm_, n_, attempt_seed, run_options);
+      run_options.faults = nullptr;  // trial_faults dies with this iteration
+      dealt.add(trial_faults);
+      if (!run.violations.empty()) ++violations;
+      if (!run.timed_out || attempt >= spec_.max_retries) break;
+      ++retried;
+      const std::uint64_t pause_us =
+          spec_.backoff.delay_us(attempt + 1, arrival_seed);
+      if (pause_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retried += retried;
+    stats_.violations += violations;
+    stats_.faults.add(dealt);
+    if (run.timed_out) {
+      ++stats_.timed_out;
+    } else {
+      ++stats_.completed;
+      stats_.latency.record(static_cast<std::uint64_t>(
+          std::llround(seconds_between(arrival.scheduled, end) * 1e9)));
+      if (!run.completed) ++stats_.incomplete;  // step-limit watchdog
+    }
+  }
+
+  const SoakSpec& spec_;
+  const algo::AlgorithmId algorithm_;
+  const int n_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Arrival> queue_;  // guarded by mu_
+  bool draining_ = false;      // guarded by mu_: no further arrivals
+  bool dropping_ = false;      // guarded by mu_: abandon the queue too
+  ShardStats stats_;           // guarded by mu_
+  std::atomic<std::uint64_t> backlog_{0};
+  std::unique_ptr<hw::HwTrialPool> pool_;
+  std::jthread server_;  ///< last member: joins before the state above dies
+};
+
+}  // namespace
+
 SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
                         std::FILE* heartbeat) {
   RTS_REQUIRE(spec.rate > 0.0, "soak rate must be positive");
   RTS_REQUIRE(spec.duration_seconds > 0.0, "soak duration must be positive");
   RTS_REQUIRE(spec.max_retries >= 0, "soak retries must be non-negative");
+  RTS_REQUIRE(spec.shards >= 1, "soak needs at least one shard");
   RTS_REQUIRE(algo::supports(algorithm, exec::Backend::kHw),
               "soak algorithm has no hardware backend");
   const int n = spec.n > 0 ? spec.n : spec.k;
   RTS_REQUIRE(spec.k >= 1 && spec.k <= n, "soak needs 1 <= k <= n");
-  const bool chaos = spec.faults.active();
 
   SoakResult result;
   result.algorithm = algorithm;
@@ -123,16 +370,21 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
   result.n = n;
   result.target_rate = spec.rate;
   result.duration_seconds = spec.duration_seconds;
+  result.shards = spec.shards;
   const double period = 1.0 / spec.rate;
   result.planned = static_cast<std::uint64_t>(std::max(
       1.0, std::floor(spec.duration_seconds * spec.rate)));
 
-  hw::HwPoolOptions pool_options;
-  pool_options.pin_cpus = spec.pin_cpus;
-  hw::HwTrialPool pool(spec.k, pool_options);
-  hw::HwRunOptions run_options;
-  run_options.step_limit = spec.step_limit;
-  run_options.deadline_ns = spec.deadline_ns;
+  const std::size_t shard_count = static_cast<std::size_t>(spec.shards);
+  std::vector<std::unique_ptr<SoakShard>> shards;
+  shards.reserve(shard_count);
+  for (int s = 0; s < spec.shards; ++s) {
+    shards.push_back(std::make_unique<SoakShard>(
+        spec, algorithm, n, shard_pin_slice(spec.pin_cpus, spec.shards, s)));
+  }
+  ShardRouter router(shard_count);
+  std::vector<std::uint64_t> backlogs(shard_count, 0);
+  std::vector<std::vector<Arrival>> batches(shard_count);
 
   const std::string tag = std::string("soak ") + algo::info(algorithm).name;
   const Clock::time_point start = Clock::now();
@@ -144,51 +396,76 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
           spec.heartbeat_seconds > 0.0 ? spec.heartbeat_seconds : 0.5));
   Clock::time_point next_heartbeat = start + heartbeat_interval;
 
-  // Arrivals dealt with, served or shed; also the arrival-seed stream index,
-  // so every arrival's coins are fixed by its schedule position alone.
-  std::uint64_t handled = 0;
-  const auto backlog_at = [&](Clock::time_point now) -> std::uint64_t {
+  // Arrivals the dispatcher has dealt with (routed to a shard or shed);
+  // also the arrival-seed stream index, so every arrival's coins are fixed
+  // by its schedule position alone, never by the shard it lands on.
+  std::uint64_t dispatched = 0;
+  const auto scheduled_at = [&](std::uint64_t index) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(index) * period));
+  };
+  const auto due_at = [&](Clock::time_point now) -> std::uint64_t {
     const double elapsed = seconds_between(start, now);
-    const std::uint64_t due = std::min(
+    return std::min(
         result.planned,
         static_cast<std::uint64_t>(std::floor(elapsed / period)) + 1);
-    return due > handled ? due - handled : 0;
   };
-  const auto maybe_heartbeat = [&](Clock::time_point now) {
-    if (heartbeat == nullptr || now < next_heartbeat) return;
+  // Service arrears: everything routed to a shard and not yet served.
+  const auto total_backlog = [&]() -> std::uint64_t {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards) total += shard->backlog();
+    return total;
+  };
+  const auto emit_heartbeat = [&](Clock::time_point now, bool final_line) {
+    if (heartbeat == nullptr) return;
     const double elapsed = seconds_between(start, now);
-    const std::uint64_t backlog = backlog_at(now);
-    std::string extra = "backlog " + std::to_string(backlog);
-    if (!result.latency.empty()) {
-      extra += "  p99 " + format_ns(result.latency.p99());
+    const std::uint64_t backlog = total_backlog();
+    // Exact mid-flight snapshot: merge each shard's stats under its lock.
+    SoakResult live;
+    std::vector<ShardStats> stats;
+    stats.reserve(shard_count);
+    for (const auto& shard : shards) stats.push_back(shard->snapshot());
+    merge_shard_stats(stats, &live);
+    const std::uint64_t done = live.completed + live.timed_out + live.shed;
+    std::string extra =
+        final_line ? (result.interrupted ? "interrupted" : "done")
+                   : "backlog " + std::to_string(backlog);
+    if (!live.latency.empty()) {
+      extra += "  p99 " + format_ns(live.latency.p99());
     }
-    if (result.timed_out > 0) {
-      extra += "  t/o " + std::to_string(result.timed_out);
-    }
-    if (result.shed > 0) extra += "  shed " + std::to_string(result.shed);
-    // Honest degraded-mode flag: the service is currently shedding, so the
-    // throughput in this line is the degraded number, not the offered load.
-    if (spec.shed_backlog > 0 && backlog > spec.shed_backlog) {
-      extra += "  DEGRADED";
+    if (live.timed_out > 0) extra += "  t/o " + std::to_string(live.timed_out);
+    if (live.shed > 0) extra += "  shed " + std::to_string(live.shed);
+    // Honest degraded-mode flag (global heartbeat over per-shard gates):
+    // some shard is currently over the shed threshold, so this line's
+    // throughput is the degraded number, not the offered load.
+    if (!final_line && spec.shed_backlog > 0) {
+      for (const auto& shard : shards) {
+        if (shard->backlog() > spec.shed_backlog) {
+          extra += "  DEGRADED";
+          break;
+        }
+      }
     }
     std::fprintf(heartbeat, "%s\n",
-                 heartbeat_line(tag, elapsed, handled, result.planned,
+                 heartbeat_line(tag, elapsed, done, result.planned,
                                 "elections", extra)
                      .c_str());
     std::fflush(heartbeat);
+  };
+  const auto maybe_heartbeat = [&](Clock::time_point now) {
+    if (heartbeat == nullptr || now < next_heartbeat) return;
+    emit_heartbeat(now, /*final_line=*/false);
     while (next_heartbeat <= now) next_heartbeat += heartbeat_interval;
   };
 
-  while (handled < result.planned) {
+  while (dispatched < result.planned) {
     if (spec.cancel != nullptr &&
         spec.cancel->load(std::memory_order_relaxed)) {
       result.interrupted = true;
       break;
     }
-    const Clock::time_point scheduled =
-        start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(
-                        static_cast<double>(handled) * period));
+    const Clock::time_point scheduled = scheduled_at(dispatched);
     Clock::time_point now = Clock::now();
     // Open-loop arrival: wait for the next scheduled request, waking for
     // heartbeats, but never past the soak deadline.
@@ -202,75 +479,43 @@ SoakResult run_soak_one(const SoakSpec& spec, algo::AlgorithmId algorithm,
     if (now >= deadline) break;
     maybe_heartbeat(now);
 
-    // Graceful degradation: over the backlog threshold the arrival is shed
-    // (counted, never served) instead of queueing unboundedly.
-    if (spec.shed_backlog > 0 && backlog_at(now) > spec.shed_backlog) {
-      ++result.shed;
-      result.degraded = true;
-      ++handled;
-      continue;
-    }
-
-    const std::uint64_t arrival_seed = support::derive_seed(spec.seed, handled);
-    hw::HwRunResult run;
-    for (int attempt = 0;; ++attempt) {
-      const std::uint64_t attempt_seed =
-          attempt == 0 ? arrival_seed
-                       : support::derive_seed(
-                             arrival_seed,
-                             kRetrySalt + static_cast<std::uint64_t>(attempt));
-      fault::TrialFaults trial_faults;
-      if (chaos) {
-        trial_faults = spec.faults.for_trial(attempt_seed, spec.k);
-        run_options.faults = &trial_faults;
+    // Dispatch pass: batch every arrival due by now (at least the one we
+    // slept for), routing each to the least-backlog shard, then publish
+    // each shard's batch with a single wakeup.
+    const std::uint64_t due = due_at(now);
+    for (auto& batch : batches) batch.clear();
+    while (dispatched < due) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        backlogs[s] = shards[s]->backlog() + batches[s].size();
       }
-      run = pool.run(algorithm, n, attempt_seed, run_options);
-      run_options.faults = nullptr;  // trial_faults dies with this iteration
-      result.faults.add(trial_faults);
-      if (!run.violations.empty()) ++result.violations;
-      if (!run.timed_out || attempt >= spec.max_retries) break;
-      ++result.retried;
-      const std::uint64_t pause_us =
-          spec.backoff.delay_us(attempt + 1, arrival_seed);
-      if (pause_us > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+      const std::size_t shard = router.pick(backlogs);
+      if (spec.shed_backlog > 0 && backlogs[shard] > spec.shed_backlog) {
+        // Graceful degradation, per shard: even the least loaded shard is
+        // over the gate, so the arrival is shed (counted, never served)
+        // instead of queueing unboundedly.
+        shards[shard]->record_shed();
+        result.degraded = true;
+      } else {
+        batches[shard].push_back(Arrival{dispatched, scheduled_at(dispatched)});
       }
+      ++dispatched;
     }
-    const Clock::time_point end = Clock::now();
-    ++handled;
-    if (run.timed_out) {
-      // Out of retries: the arrival times out.  No latency sample -- a
-      // fabricated one would poison the completed-election distribution.
-      ++result.timed_out;
-    } else {
-      ++result.completed;
-      // Latency from the *scheduled* arrival, so queue wait under backlog
-      // (and retry backoff) is charged to the election (coordinated
-      // omission stays visible).
-      result.latency.record(static_cast<std::uint64_t>(
-          std::llround(seconds_between(scheduled, end) * 1e9)));
-      if (!run.completed) ++result.incomplete;  // step-limit watchdog
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards[s]->enqueue(batches[s]);
     }
-    result.max_backlog = std::max(result.max_backlog, backlog_at(end));
+    result.max_backlog = std::max(result.max_backlog, total_backlog());
   }
 
+  // Drain: already-routed arrivals are served (their queue wait keeps
+  // accruing into their latency); an interrupt abandons the queues
+  // instead.  Arrivals never dispatched are the served vs planned gap.
+  for (const auto& shard : shards) shard->finish(result.interrupted);
   result.wall_seconds = seconds_between(start, Clock::now());
-  result.perf = pool.perf_totals();
-  if (heartbeat != nullptr) {
-    std::string extra = result.interrupted ? "interrupted" : "done";
-    if (!result.latency.empty()) {
-      extra += "  p99 " + format_ns(result.latency.p99());
-    }
-    if (result.timed_out > 0) {
-      extra += "  t/o " + std::to_string(result.timed_out);
-    }
-    if (result.shed > 0) extra += "  shed " + std::to_string(result.shed);
-    std::fprintf(heartbeat, "%s\n",
-                 heartbeat_line(tag, result.wall_seconds, handled,
-                                result.planned, "elections", extra)
-                     .c_str());
-    std::fflush(heartbeat);
-  }
+  std::vector<ShardStats> stats;
+  stats.reserve(shard_count);
+  for (const auto& shard : shards) stats.push_back(shard->collect());
+  merge_shard_stats(stats, &result);
+  emit_heartbeat(Clock::now(), /*final_line=*/true);
   return result;
 }
 
@@ -285,12 +530,26 @@ std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat) {
   return results;
 }
 
+namespace {
+
+/// The empty-latency contract, table form: a run where nothing completed
+/// has no latency distribution, so percentile cells render "-" (absence),
+/// never format_ns(0) (a fabricated zero sample).
+std::string latency_cell(const telemetry::LatencyHistogram& latency,
+                         std::uint64_t value) {
+  return latency.empty() ? "-" : format_ns(value);
+}
+
+}  // namespace
+
 void report_soak_table(const SoakSpec& spec,
                        const std::vector<SoakResult>& results,
                        std::FILE* out) {
   std::string title = spec.name + ": open-loop soak, hw backend, target " +
                       fmt_double(spec.rate) + "/s for " +
-                      fmt_double(spec.duration_seconds) + "s";
+                      fmt_double(spec.duration_seconds) + "s, " +
+                      std::to_string(spec.shards) +
+                      (spec.shards == 1 ? " shard" : " shards");
   support::Table table(title,
                        {"algorithm", "k", "served", "planned", "t/o", "shed",
                         "retried", "throughput/s", "max backlog", "p50", "p90",
@@ -310,14 +569,32 @@ void report_soak_table(const SoakSpec& spec,
          support::Table::num(static_cast<std::size_t>(result.retried)),
          support::Table::num(throughput, 0),
          support::Table::num(static_cast<std::size_t>(result.max_backlog)),
-         format_ns(result.latency.p50()), format_ns(result.latency.p90()),
-         format_ns(result.latency.p99()), format_ns(result.latency.p999()),
-         format_ns(result.latency.max()),
+         latency_cell(result.latency, result.latency.p50()),
+         latency_cell(result.latency, result.latency.p90()),
+         latency_cell(result.latency, result.latency.p99()),
+         latency_cell(result.latency, result.latency.p999()),
+         latency_cell(result.latency, result.latency.max()),
          support::Table::num(static_cast<std::size_t>(result.violations)),
          support::Table::num(static_cast<std::size_t>(result.incomplete))});
   }
   table.print(out);
   for (const SoakResult& result : results) {
+    if (result.shards > 1) {
+      for (std::size_t s = 0; s < result.shard_stats.size(); ++s) {
+        const ShardStats& shard = result.shard_stats[s];
+        std::fprintf(out,
+                     "shard[%s/%zu]: dispatched %llu  served %llu  t/o %llu  "
+                     "shed %llu  retried %llu  max queue %llu  p99 %s\n",
+                     algo::info(result.algorithm).name, s,
+                     static_cast<unsigned long long>(shard.dispatched),
+                     static_cast<unsigned long long>(shard.completed),
+                     static_cast<unsigned long long>(shard.timed_out),
+                     static_cast<unsigned long long>(shard.shed),
+                     static_cast<unsigned long long>(shard.retried),
+                     static_cast<unsigned long long>(shard.max_queue),
+                     latency_cell(shard.latency, shard.latency.p99()).c_str());
+      }
+    }
     if (result.degraded || result.interrupted || result.faults.any()) {
       std::fprintf(out, "chaos[%s]:%s%s", algo::info(result.algorithm).name,
                    result.degraded ? " DEGRADED (backlog shed engaged)" : "",
@@ -348,16 +625,53 @@ void report_soak_table(const SoakSpec& spec,
   }
 }
 
+namespace {
+
+/// The latency block, shared by the merged cell and the per-shard blocks.
+/// Absent (nothing printed) for the empty histogram: a run where every
+/// election was shed or timed out has no latency distribution, and zero
+/// percentiles would fabricate one -- the same unavailable-not-zero
+/// contract the perf block follows.
+void print_latency_block(std::FILE* out,
+                         const telemetry::LatencyHistogram& latency) {
+  if (latency.empty()) return;
+  std::fprintf(
+      out,
+      ",\"latency\":{\"unit\":\"ns\",\"count\":%llu,\"p50\":%llu,"
+      "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
+      static_cast<unsigned long long>(latency.count()),
+      static_cast<unsigned long long>(latency.p50()),
+      static_cast<unsigned long long>(latency.p90()),
+      static_cast<unsigned long long>(latency.p99()),
+      static_cast<unsigned long long>(latency.p999()),
+      static_cast<unsigned long long>(latency.max()));
+}
+
+void print_perf_block(std::FILE* out, const telemetry::PerfCounts& perf) {
+  if (!perf.any()) return;
+  std::fprintf(out, ",\"perf\":{\"samples\":%llu",
+               static_cast<unsigned long long>(perf.samples));
+  for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
+    if (!perf.valid[i]) continue;
+    std::fprintf(out, ",\"%s\":%llu", telemetry::PerfCounts::name(i),
+                 static_cast<unsigned long long>(perf.value[i]));
+  }
+  std::fputc('}', out);
+}
+
+}  // namespace
+
 void report_soak_jsonl(const SoakSpec& spec,
                        const std::vector<SoakResult>& results,
                        std::FILE* out) {
   std::fprintf(out,
-               "{\"type\":\"soak\",\"schema\":\"rts-soak-2\",\"name\":\"%s\","
+               "{\"type\":\"soak\",\"schema\":\"rts-soak-3\",\"name\":\"%s\","
                "\"k\":%d,\"rate\":%s,\"duration_seconds\":%s,\"seed\":%llu,"
-               "\"algorithms\":%zu",
+               "\"shards\":%d,\"algorithms\":%zu",
                spec.name.c_str(), spec.k, fmt_double(spec.rate).c_str(),
                fmt_double(spec.duration_seconds).c_str(),
-               static_cast<unsigned long long>(spec.seed), results.size());
+               static_cast<unsigned long long>(spec.seed), spec.shards,
+               results.size());
   if (spec.deadline_ns > 0) {
     std::fprintf(out, ",\"deadline_ns\":%llu,\"max_retries\":%d",
                  static_cast<unsigned long long>(spec.deadline_ns),
@@ -379,12 +693,12 @@ void report_soak_jsonl(const SoakSpec& spec,
     std::fprintf(
         out,
         "{\"type\":\"soak-cell\",\"algorithm\":\"%s\",\"k\":%d,\"n\":%d,"
-        "\"target_rate\":%s,\"wall_seconds\":%s,\"planned\":%llu,"
-        "\"completed\":%llu,\"throughput\":%s,\"violations\":%llu,"
-        "\"incomplete\":%llu,\"max_backlog\":%llu,"
+        "\"shards\":%d,\"target_rate\":%s,\"wall_seconds\":%s,"
+        "\"planned\":%llu,\"completed\":%llu,\"throughput\":%s,"
+        "\"violations\":%llu,\"incomplete\":%llu,\"max_backlog\":%llu,"
         "\"outcomes\":{\"completed\":%llu,\"timed_out\":%llu,"
         "\"retried\":%llu,\"shed\":%llu},\"degraded\":%s",
-        algo::info(result.algorithm).name, result.k, result.n,
+        algo::info(result.algorithm).name, result.k, result.n, result.shards,
         fmt_double(result.target_rate).c_str(),
         fmt_double(result.wall_seconds).c_str(),
         static_cast<unsigned long long>(result.planned),
@@ -407,27 +721,30 @@ void report_soak_jsonl(const SoakSpec& spec,
                    static_cast<unsigned long long>(result.faults.no_shows),
                    static_cast<unsigned long long>(result.faults.delays));
     }
-    std::fprintf(
-        out,
-        ",\"latency\":{\"unit\":\"ns\",\"count\":%llu,\"p50\":%llu,"
-        "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu}",
-        static_cast<unsigned long long>(result.latency.count()),
-        static_cast<unsigned long long>(result.latency.p50()),
-        static_cast<unsigned long long>(result.latency.p90()),
-        static_cast<unsigned long long>(result.latency.p99()),
-        static_cast<unsigned long long>(result.latency.p999()),
-        static_cast<unsigned long long>(result.latency.max()));
-    if (result.perf.any()) {
-      std::fprintf(out, ",\"perf\":{\"samples\":%llu",
-                   static_cast<unsigned long long>(result.perf.samples));
-      for (std::size_t i = 0; i < telemetry::PerfCounts::kCounters; ++i) {
-        if (!result.perf.valid[i]) continue;
-        std::fprintf(out, ",\"%s\":%llu", telemetry::PerfCounts::name(i),
-                     static_cast<unsigned long long>(result.perf.value[i]));
-      }
+    print_latency_block(out, result.latency);
+    print_perf_block(out, result.perf);
+    std::fputs(",\"shard_stats\":[", out);
+    for (std::size_t s = 0; s < result.shard_stats.size(); ++s) {
+      const ShardStats& shard = result.shard_stats[s];
+      std::fprintf(out,
+                   "%s{\"shard\":%zu,\"dispatched\":%llu,"
+                   "\"outcomes\":{\"completed\":%llu,\"timed_out\":%llu,"
+                   "\"retried\":%llu,\"shed\":%llu},\"violations\":%llu,"
+                   "\"incomplete\":%llu,\"max_queue\":%llu",
+                   s == 0 ? "" : ",", s,
+                   static_cast<unsigned long long>(shard.dispatched),
+                   static_cast<unsigned long long>(shard.completed),
+                   static_cast<unsigned long long>(shard.timed_out),
+                   static_cast<unsigned long long>(shard.retried),
+                   static_cast<unsigned long long>(shard.shed),
+                   static_cast<unsigned long long>(shard.violations),
+                   static_cast<unsigned long long>(shard.incomplete),
+                   static_cast<unsigned long long>(shard.max_queue));
+      print_latency_block(out, shard.latency);
+      print_perf_block(out, shard.perf);
       std::fputc('}', out);
     }
-    std::fputs("}\n", out);
+    std::fputs("]}\n", out);
   }
 }
 

@@ -21,6 +21,21 @@
 // planned gap the table has always shown).  Latency is recorded only for
 // completed elections (honest absence, never fabricated success).
 //
+// The service is *sharded* (`shards`): N persistent HwTrialPool arenas,
+// each with its own k participant threads, CPU-pinning partition, perf
+// counter groups, and deadline watchdog, serve elections concurrently.  A
+// dispatcher walks the open-loop arrival schedule, batches every arrival
+// due at a wakeup into one pass, and routes each to the least-backlog
+// shard (round-robin tie-break, see ShardRouter).  An arrival's seed
+// stream is fixed by its schedule position alone -- never by the shard it
+// lands on -- and the per-shard histograms, outcome counters, and perf
+// totals merge *exactly* into the global report (LatencyHistogram::merge
+// is elementwise and therefore associative/commutative), so for a fixed
+// set of samples the merged percentiles are bitwise independent of the
+// shard count.  The shed gate is per shard: an arrival whose least-backlog
+// shard is still over `shed_backlog` is dropped, so total queueing is
+// bounded by shards * shed_backlog.
+//
 // Latency unit is wall-clock nanoseconds (hw latency; see
 // exec::TrialSummary::latency).  While running, the driver emits heartbeat
 // lines (throughput, backlog, p99 so far, degraded-mode flag) through the
@@ -74,10 +89,55 @@ struct SoakSpec {
   std::uint64_t shed_backlog = 0;
   /// Seeded fault injection applied to every attempt (see fault/plan.hpp).
   fault::FaultPlan faults;
+  /// Service shards: each is a persistent HwTrialPool (k participant
+  /// threads) serving elections concurrently behind the least-backlog
+  /// dispatcher.  1 keeps the serial single-pool service.
+  int shards = 1;
   /// Cooperative cancellation hook, checked once per arrival; null
   /// disables.  Typically fault::interrupt_flag().
   const std::atomic<bool>* cancel = nullptr;
 };
+
+/// One shard's slice of a soak run.  The merged SoakResult view is the
+/// exact fold of these (see merge_shard_stats); the per-shard blocks also
+/// land in the rts-soak-3 report so hot shards are visible.
+struct ShardStats {
+  std::uint64_t dispatched = 0;  ///< arrivals routed to this shard
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retried = 0;
+  /// Arrivals shed because this shard -- the least-backlog choice at
+  /// dispatch time -- was still over the gate.
+  std::uint64_t shed = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t incomplete = 0;
+  std::uint64_t max_queue = 0;  ///< worst queued + in-flight depth observed
+  fault::FaultCounters faults;
+  telemetry::LatencyHistogram latency;
+  telemetry::PerfCounts perf;
+};
+
+/// Least-backlog shard selection with deterministic round-robin
+/// tie-breaking: among the shards with the minimal backlog, the first one
+/// at or after the rotating cursor wins and the cursor advances past it.
+/// Pure routing logic (no clocks, no threads) so shard-invariance tests
+/// can drive it directly.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards);
+  /// Picks a shard given one backlog per shard (size must match).
+  std::size_t pick(const std::vector<std::uint64_t>& backlogs);
+
+ private:
+  std::size_t shards_;
+  std::size_t next_ = 0;
+};
+
+/// The CPU-pinning partition for one shard: pin_cpus dealt round-robin
+/// (cpu i belongs to shard i % shards, order preserved), so shards split a
+/// socket's core list evenly.  Empty input stays empty (unpinned).
+std::vector<int> shard_pin_slice(const std::vector<int>& pin_cpus, int shards,
+                                 int shard);
 
 struct SoakResult {
   algo::AlgorithmId algorithm{};
@@ -101,12 +161,28 @@ struct SoakResult {
   /// Nanoseconds from scheduled arrival to completion (queue wait
   /// included -- the open-loop, coordinated-omission-honest measure).
   /// Completed elections only: a timed-out election contributes a
-  /// timed_out count, never a fabricated latency sample.
+  /// timed_out count, never a fabricated latency sample.  When *no*
+  /// election completed the histogram is empty and reports render the
+  /// latency block as absent -- the same unavailable-not-zero contract
+  /// the perf counters follow -- never as fabricated zero percentiles.
   telemetry::LatencyHistogram latency;
   /// Summed participant hardware counters; all-invalid when
   /// perf_event_open is unavailable (report as such, never as zeros).
   telemetry::PerfCounts perf;
+  int shards = 1;  ///< service shards this run was served by
+  /// One entry per shard; the global fields above are their exact fold
+  /// (see merge_shard_stats).
+  std::vector<ShardStats> shard_stats;
 };
+
+/// Folds per-shard stats into the result's global view.  Counter sums are
+/// exact integer adds, the histograms merge elementwise, and the perf
+/// totals add with the usual poison-on-mismatch contract (one shard
+/// without counters makes the merged total honestly unavailable).  The
+/// merged bytes depend only on the multiset of per-shard samples, never on
+/// how many shards recorded them.
+void merge_shard_stats(const std::vector<ShardStats>& shards,
+                       SoakResult* result);
 
 /// Named soak configurations (a registry separate from the CampaignSpec
 /// presets: soaks are not campaign grids, and the frozen-preset schema
@@ -131,9 +207,11 @@ std::vector<SoakResult> run_soak(const SoakSpec& spec, std::FILE* heartbeat);
 void report_soak_table(const SoakSpec& spec,
                        const std::vector<SoakResult>& results, std::FILE* out);
 
-/// Machine-facing report: a header line then one JSON object per
-/// algorithm.  Invalid perf counters are *absent*, never fabricated zeros;
-/// the faults block appears only when a fault plan was active.
+/// Machine-facing report (rts-soak-3): a header line then one JSON object
+/// per algorithm, each carrying the merged view plus a per-shard block
+/// array.  Invalid perf counters and the empty latency histogram (nothing
+/// completed) are *absent*, never fabricated zeros; the faults block
+/// appears only when a fault plan was active.
 void report_soak_jsonl(const SoakSpec& spec,
                        const std::vector<SoakResult>& results, std::FILE* out);
 

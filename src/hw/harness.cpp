@@ -347,9 +347,18 @@ void HwTrialPool::watchdog_main() {
                                              job_seq_ != seen); });
     if (stop_) return;
     seen = job_seq_;
-    if (!watchdog_cv_.wait_until(lock, watchdog_deadline_,
-                                 [&] { return stop_ || job_done_; })) {
-      // Deadline passed with the job still running: cancel.  Participants
+    // The predicate watches job_seq_ as well as job_done_: the captured
+    // wait_until deadline belongs to job `seen`, and in the multi-pool /
+    // back-to-back-run world the job can finish and run() can publish the
+    // *next* one before this thread ever wakes (job_done_ flips true and
+    // back to false while we sleep).  Without the seq guard that stale
+    // deadline would fire and cancel the new job at the old job's --
+    // possibly much earlier -- deadline; with it, a timeout return can
+    // only mean job `seen` itself is still running past its own deadline.
+    if (!watchdog_cv_.wait_until(lock, watchdog_deadline_, [&] {
+          return stop_ || job_done_ || job_seq_ != seen;
+        })) {
+      // Deadline passed with this job still running: cancel.  Participants
       // observe the flag at their next shared op and unwind; run() still
       // waits on the completion barrier, so no state is torn down early.
       cancel_.store(true, std::memory_order_relaxed);

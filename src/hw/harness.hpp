@@ -181,7 +181,10 @@ class HwTrialPool {
   // Deadline watchdog: one persistent thread parked on its own condition
   // variable; run() publishes an armed job's deadline, the watchdog
   // wait_until()s it, and sets cancel_ if the completion barrier hasn't
-  // been reached by then.  All watchdog state is guarded by mu_.
+  // been reached by then.  All watchdog state is guarded by mu_.  The
+  // timed wait re-checks job_seq_ against the sequence it armed for: a
+  // spurious or late wake after the job completed and the *next* job was
+  // published must not fire the stale deadline into the new election.
   std::condition_variable watchdog_cv_;
   std::chrono::steady_clock::time_point watchdog_deadline_{};
   bool watchdog_armed_ = false;
