@@ -4,15 +4,19 @@
 // number the campaign engine's wall time is made of: a campaign is nothing
 // but this loop sharded over workers.
 //
-//   bench_trialpath                       # gbench tables, seed/fresh/pooled
-//   bench_trialpath --bench DIR           # also write DIR/BENCH_trialpath.json
-//   bench_trialpath --check-trials N      # trials per cell for --bench (dflt 120)
+//   bench_trialpath                # gbench tables: seed/fresh/pooled/batched
+//   bench_trialpath --bench DIR    # also write DIR/BENCH_trialpath.json
+//   bench_trialpath --check-trials N  # trials per cell for --bench (dflt 120)
 //
-// The --bench document records trials/sec for both paths plus the speedup,
-// so BENCH_*.json trajectory tracking covers the trial hot path itself
-// alongside the campaign-level numbers rts_bench --bench emits.  The writer
-// also cross-checks pooled-vs-fresh trial summaries and fails loudly on any
-// divergence -- a perf number from a wrong result is worse than no number.
+// The --bench document records trials/sec for every path -- the
+// reconstructed seed baseline, today's fresh-kernel path, the pooled
+// workspace, and the batched SoA lockstep kernel (algo/batch.hpp; every
+// paper-le cell is batch-eligible) -- plus the speedups, so BENCH_*.json
+// trajectory tracking covers the trial hot path itself alongside the
+// campaign-level numbers rts_bench --bench emits.  The writer also
+// cross-checks pooled- and batched-vs-fresh trial summaries and fails
+// loudly on any divergence -- a perf number from a wrong result is worse
+// than no number.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,9 +25,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "algo/batch.hpp"
 #include "algo/registry.hpp"
 #include "campaign/presets.hpp"
 #include "campaign/spec.hpp"
@@ -59,6 +65,23 @@ sim::Kernel::Options kernel_options_of(const campaign::CellSpec& cell) {
   sim::Kernel::Options options;
   options.step_limit = cell.step_limit;
   return options;
+}
+
+/// Lane width for the batched SoA path: wide enough to amortize the bank
+/// reset, well under kMaxBatchLanes so the partial-final-block case still
+/// appears at paper-le's 150 trials/cell.
+constexpr int kBatchLanes = 32;
+
+bool batch_eligible(const campaign::CellSpec& cell) {
+  return algo::batch_supported(cell.algorithm) &&
+         algo::batch_sched(cell.adversary).has_value();
+}
+
+std::unique_ptr<sim::BatchStream> make_cell_batch_stream(
+    const campaign::CellSpec& cell) {
+  return algo::make_batch_stream(cell.algorithm, cell.adversary, cell.n,
+                                 cell.k, kBatchLanes, cell.seed0,
+                                 cell.step_limit);
 }
 
 /// The x87/SSE control-word round-trip the seed's context switch executed
@@ -206,11 +229,31 @@ void bm_pooled_trial(benchmark::State& state, const campaign::CellSpec& cell) {
   state.SetItemsProcessed(state.iterations());
 }
 
+void bm_batched_trial(benchmark::State& state,
+                      const campaign::CellSpec& cell) {
+  // The executor's actual batched path: block-cached summaries through the
+  // workspace, sequential trial access recomputing one block per
+  // kBatchLanes trials.
+  exec::TrialWorkspace workspace;
+  const exec::BatchStreamFactory factory = [&cell] {
+    return make_cell_batch_stream(cell);
+  };
+  int trial = 0;
+  for (auto _ : state) {
+    const exec::TrialSummary summary = workspace.run_le_batch_trial(
+        static_cast<std::uint64_t>(cell.index), factory, kBatchLanes,
+        trial++ % cell.trials, cell.trials);
+    benchmark::DoNotOptimize(summary.total_steps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 struct CellThroughput {
   const campaign::CellSpec* cell = nullptr;
-  double seed_tps = 0.0;   // reconstructed seed fresh-kernel path
-  double fresh_tps = 0.0;  // today's fresh-kernel path
+  double seed_tps = 0.0;    // reconstructed seed fresh-kernel path
+  double fresh_tps = 0.0;   // today's fresh-kernel path
   double pooled_tps = 0.0;
+  double batched_tps = 0.0;  // SoA lockstep path; 0 = cell ineligible
 };
 
 /// Summaries must match field-for-field; the bench refuses to report a
@@ -294,6 +337,27 @@ CellThroughput measure_cell(const campaign::CellSpec& cell, int trials) {
           std::chrono::duration<double>(Clock::now() - start).count();
       if (secs > 0.0) out.pooled_tps = std::max(out.pooled_tps, chunk / secs);
     }
+    if (batch_eligible(cell)) {
+      // Same workspace object the scalar pooled pass used: the batch slot
+      // pool is disjoint from the stream pool, exactly as in an executor
+      // worker that mixes eligible and ineligible cells.
+      const exec::BatchStreamFactory factory = [&cell] {
+        return make_cell_batch_stream(cell);
+      };
+      const Clock::time_point start = Clock::now();
+      for (int i = 0; i < chunk; ++i) {
+        const exec::TrialSummary batched = workspace.run_le_batch_trial(
+            static_cast<std::uint64_t>(cell.index), factory, kBatchLanes,
+            base + i, trials);
+        require_identical(fresh[static_cast<std::size_t>(i)], batched, cell,
+                          base + i);
+      }
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (secs > 0.0) {
+        out.batched_tps = std::max(out.batched_tps, chunk / secs);
+      }
+    }
   }
   return out;
 }
@@ -311,22 +375,33 @@ bool write_trialpath_bench(const std::string& dir, int trials) {
   double seed_sum = 0.0;
   double fresh_sum = 0.0;
   double pooled_sum = 0.0;
+  double batched_sum = 0.0;  // over eligible cells only
+  std::size_t batched_cells = 0;
   for (const campaign::CellSpec& cell : paper_le_cells()) {
     rows.push_back(measure_cell(cell, trials));
     // Harmonic aggregation: total time for one trial of every cell.
     seed_sum += 1.0 / rows.back().seed_tps;
     fresh_sum += 1.0 / rows.back().fresh_tps;
     pooled_sum += 1.0 / rows.back().pooled_tps;
+    if (rows.back().batched_tps > 0.0) {
+      batched_sum += 1.0 / rows.back().batched_tps;
+      ++batched_cells;
+    }
   }
   const double seed_tps = rows.size() / seed_sum;
   const double fresh_tps = rows.size() / fresh_sum;
   const double pooled_tps = rows.size() / pooled_sum;
-  // The headline speedup is pooled-vs-seed: what this PR's whole hot-path
-  // rework bought over the baseline it replaced.  pooled-vs-fresh isolates
-  // the workspace pooling alone (today's fresh path already carries the
-  // shared kernel-loop optimizations).
+  const double batched_tps =
+      batched_cells > 0 ? batched_cells / batched_sum : 0.0;
+  // The headline speedup is pooled-vs-seed: what the hot-path rework bought
+  // over the baseline it replaced.  pooled-vs-fresh isolates the workspace
+  // pooling alone; batched-vs-pooled isolates the SoA lockstep kernel on
+  // the eligible cells (all of paper-le qualifies: uniform-random schedules
+  // over batch-supported algorithms).
   const double speedup = pooled_tps / seed_tps;
   const double pooling_speedup = pooled_tps / fresh_tps;
+  const double batch_speedup =
+      batched_tps > 0.0 ? batched_tps / pooled_tps : 0.0;
 
   const std::string path = dir + "/BENCH_trialpath.json";
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -335,27 +410,33 @@ bool write_trialpath_bench(const std::string& dir, int trials) {
     return false;
   }
   std::fprintf(file,
-               "{\"schema\":\"rts-trialpath-1\",\"name\":\"trialpath\","
+               "{\"schema\":\"rts-trialpath-2\",\"name\":\"trialpath\","
                "\"preset\":\"paper-le\",\"spec_hash\":\"%016llx\","
-               "\"trials_per_cell\":%d,"
+               "\"trials_per_cell\":%d,\"batch_lanes\":%d,"
                "\"seed_trials_per_second\":%.6g,"
                "\"fresh_trials_per_second\":%.6g,"
                "\"pooled_trials_per_second\":%.6g,"
-               "\"speedup\":%.4g,\"pooling_speedup\":%.4g,\"cells\":[",
+               "\"batched_trials_per_second\":%.6g,"
+               "\"speedup\":%.4g,\"pooling_speedup\":%.4g,"
+               "\"batch_speedup\":%.4g,\"cells\":[",
                static_cast<unsigned long long>(
                    campaign::spec_hash(paper_le_spec())),
-               trials, seed_tps, fresh_tps, pooled_tps, speedup,
-               pooling_speedup);
+               trials, kBatchLanes, seed_tps, fresh_tps, pooled_tps,
+               batched_tps, speedup, pooling_speedup, batch_speedup);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const CellThroughput& row = rows[i];
     std::fprintf(file,
                  "%s{\"algorithm\":\"%s\",\"k\":%d,"
                  "\"seed_trials_per_second\":%.6g,"
                  "\"fresh_trials_per_second\":%.6g,"
-                 "\"pooled_trials_per_second\":%.6g,\"speedup\":%.4g}",
+                 "\"pooled_trials_per_second\":%.6g,"
+                 "\"batched_trials_per_second\":%.6g,"
+                 "\"speedup\":%.4g,\"batch_speedup\":%.4g}",
                  i > 0 ? "," : "", algo::info(row.cell->algorithm).name,
                  row.cell->k, row.seed_tps, row.fresh_tps, row.pooled_tps,
-                 row.pooled_tps / row.seed_tps);
+                 row.batched_tps, row.pooled_tps / row.seed_tps,
+                 row.batched_tps > 0.0 ? row.batched_tps / row.pooled_tps
+                                       : 0.0);
   }
   std::fprintf(file, "]}\n");
   std::fclose(file);
@@ -364,15 +445,18 @@ bool write_trialpath_bench(const std::string& dir, int trials) {
   for (const CellThroughput& row : rows) {
     std::printf(
         "  %-16s k=%-5d seed %9.0f/s   fresh %9.0f/s   pooled %9.0f/s"
-        "   %5.2fx\n",
+        "   batched %9.0f/s   %5.2fx seed  %5.2fx batch\n",
         algo::info(row.cell->algorithm).name, row.cell->k, row.seed_tps,
-        row.fresh_tps, row.pooled_tps, row.pooled_tps / row.seed_tps);
+        row.fresh_tps, row.pooled_tps, row.batched_tps,
+        row.pooled_tps / row.seed_tps,
+        row.batched_tps > 0.0 ? row.batched_tps / row.pooled_tps : 0.0);
   }
   std::printf(
-      "  overall: seed %.0f/s, fresh %.0f/s, pooled %.0f/s; "
-      "pooled is %.2fx the seed path (%.2fx from pooling alone) -> %s\n",
-      seed_tps, fresh_tps, pooled_tps, speedup, pooling_speedup,
-      path.c_str());
+      "  overall: seed %.0f/s, fresh %.0f/s, pooled %.0f/s, "
+      "batched %.0f/s; pooled is %.2fx the seed path (%.2fx from pooling "
+      "alone), batching adds %.2fx over pooled -> %s\n",
+      seed_tps, fresh_tps, pooled_tps, batched_tps, speedup, pooling_speedup,
+      batch_speedup, path.c_str());
   return true;
 }
 
@@ -413,6 +497,11 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         ("pooled/" + tag).c_str(),
         [&cell](benchmark::State& state) { bm_pooled_trial(state, cell); });
+    if (batch_eligible(cell)) {
+      benchmark::RegisterBenchmark(
+          ("batched/" + tag).c_str(),
+          [&cell](benchmark::State& state) { bm_batched_trial(state, cell); });
+    }
   }
 
   benchmark::Initialize(&bench_argc, passthrough.data());

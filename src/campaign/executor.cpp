@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "algo/batch.hpp"
 #include "campaign/reporter.hpp"
 #include "campaign/soak.hpp"
 #include "exec/workspace.hpp"
@@ -388,15 +389,42 @@ CampaignResult run_campaign(const CampaignSpec& spec,
           });
       continue;
     }
+    // Batched SoA fast path: eligible cells run lockstep lane-blocks through
+    // the worker's pooled batch stream instead of the scalar kernel.
+    // Eligibility is two-sided (batch machine + pure-function-of-seed
+    // adversary; see algo/batch.hpp) and requires the RMR-free memory path;
+    // record/replay runs were dispatched above.  Batched summaries are
+    // bitwise-identical to the scalar path's, so this branch can never
+    // change campaign bytes.
+    if (options.sim_batch_lanes > 0 && cell.rmr == rmr::RmrModel::kNone &&
+        algo::batch_supported(cell.algorithm) &&
+        algo::batch_sched(cell.adversary).has_value()) {
+      const int lanes = std::clamp(options.sim_batch_lanes, 1,
+                                   sim::kMaxBatchLanes);
+      runners.push_back([cell, lanes](exec::TrialWorkspace& workspace,
+                                      int trial) {
+        return workspace.run_le_batch_trial(
+            static_cast<std::uint64_t>(cell.index),
+            [&cell, lanes] {
+              return algo::make_batch_stream(cell.algorithm, cell.adversary,
+                                             cell.n, cell.k, lanes,
+                                             cell.seed0, cell.step_limit);
+            },
+            lanes, trial, cell.trials);
+      });
+      continue;
+    }
     runners.push_back(
         [builder = std::move(builder), adversary = std::move(adversary),
          cell](exec::TrialWorkspace& workspace, int trial) {
           sim::Kernel::Options kernel_options;
           kernel_options.step_limit = cell.step_limit;
           kernel_options.rmr_model = cell.rmr;
-          return sim::summarize_trial(workspace.run_le_trial(
+          // Direct-to-summary: folds kernel state straight into the
+          // TrialSummary, skipping LeRunResult's per-trial vectors.
+          return workspace.run_le_trial_summary(
               static_cast<std::uint64_t>(cell.index), builder, cell.n, cell.k,
-              adversary, trial, cell.seed0, kernel_options));
+              adversary, trial, cell.seed0, kernel_options);
         });
   }
 

@@ -90,9 +90,8 @@ void TrialWorkspace::build(Stream& stream, const sim::LeBuilder& builder) {
   stream.fresh = true;
 }
 
-sim::LeRunResult TrialWorkspace::run_on_stream(Stream& stream,
-                                               sim::Adversary& adversary,
-                                               std::uint64_t seed) {
+bool TrialWorkspace::drive_stream(Stream& stream, sim::Adversary& adversary,
+                                  std::uint64_t seed) {
   if (!stream.fresh) {
     stream.kernel->rewind();
     if (stream.built.reset) stream.built.reset();
@@ -106,10 +105,30 @@ sim::LeRunResult TrialWorkspace::run_on_stream(Stream& stream,
 
   const bool completed = stream.kernel->run(adversary);
   ++trials_run_;
+  return completed;
+}
+
+sim::LeRunResult TrialWorkspace::run_on_stream(Stream& stream,
+                                               sim::Adversary& adversary,
+                                               std::uint64_t seed) {
+  const bool completed = drive_stream(stream, adversary, seed);
   return sim::collect_le_result(*stream.kernel, stream.n, stream.k,
                                 stream.outcomes,
                                 stream.built.declared_registers, completed,
                                 stream.built.abortable);
+}
+
+sim::Adversary& TrialWorkspace::trial_adversary(
+    Stream& stream, const sim::AdversaryFactory& factory,
+    std::uint64_t adversary_seed) {
+  // Pooled adversary: reseed the stream's scheduler back to
+  // freshly-constructed state; allocate only on the first trial (or for
+  // bespoke adversaries that cannot reseed).
+  if (stream.adversary == nullptr || !stream.adversary->reseed(adversary_seed)) {
+    stream.adversary = factory(adversary_seed);
+    ++adversary_builds_;
+  }
+  return *stream.adversary;
 }
 
 sim::LeRunResult TrialWorkspace::run_le_once(
@@ -127,17 +146,76 @@ sim::LeRunResult TrialWorkspace::run_le_trial(
     std::uint64_t seed0, sim::Kernel::Options kernel_options) {
   RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
   const std::uint64_t seed = sim::trial_seed(seed0, trial);
-  const std::uint64_t adversary_seed = sim::adversary_seed(seed);
   Stream& stream = prepare(key, builder, n, k, kernel_options);
-  // Pooled adversary: reseed the stream's scheduler back to
-  // freshly-constructed state; allocate only on the first trial (or for
-  // bespoke adversaries that cannot reseed).
-  if (stream.adversary == nullptr ||
-      !stream.adversary->reseed(adversary_seed)) {
-    stream.adversary = adversary_factory(adversary_seed);
-    ++adversary_builds_;
+  sim::Adversary& adversary = trial_adversary(stream, adversary_factory,
+                                              sim::adversary_seed(seed));
+  return run_on_stream(stream, adversary, seed);
+}
+
+TrialSummary TrialWorkspace::run_le_trial_summary(
+    std::uint64_t key, const sim::LeBuilder& builder, int n, int k,
+    const sim::AdversaryFactory& factory, int trial, std::uint64_t seed0,
+    sim::Kernel::Options kernel_options) {
+  RTS_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n participants");
+  const std::uint64_t seed = sim::trial_seed(seed0, trial);
+  Stream& stream = prepare(key, builder, n, k, kernel_options);
+  sim::Adversary& adversary =
+      trial_adversary(stream, factory, sim::adversary_seed(seed));
+  const bool completed = drive_stream(stream, adversary, seed);
+  return sim::summarize_le_trial(*stream.kernel, stream.k, stream.outcomes,
+                                 stream.built.declared_registers, completed,
+                                 stream.built.abortable);
+}
+
+TrialSummary TrialWorkspace::run_le_batch_trial(
+    std::uint64_t key, const BatchStreamFactory& factory, int lanes,
+    int trial, int cell_trials) {
+  RTS_REQUIRE(lanes >= 1 && lanes <= sim::kMaxBatchLanes,
+              "lanes out of range");
+  RTS_REQUIRE(trial >= 0 && trial < cell_trials, "trial out of range");
+  BatchSlot* slot = nullptr;
+  for (auto& candidate : batch_slots_) {
+    if (candidate->key == key) {
+      slot = candidate.get();
+      break;
+    }
   }
-  return run_on_stream(stream, *stream.adversary, seed);
+  if (slot == nullptr) {
+    if (batch_slots_.size() >= options_.max_prepared &&
+        !batch_slots_.empty()) {
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < batch_slots_.size(); ++i) {
+        if (batch_slots_[i]->last_used < batch_slots_[victim]->last_used) {
+          victim = i;
+        }
+      }
+      batch_slots_.erase(batch_slots_.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+    }
+    auto fresh = std::make_unique<BatchSlot>();
+    fresh->key = key;
+    fresh->lanes = lanes;
+    fresh->stream = factory();
+    RTS_REQUIRE(fresh->stream != nullptr,
+                "batch stream factory returned nullptr (cell is ineligible; "
+                "callers must gate on algo::make_batch_stream)");
+    batch_slots_.push_back(std::move(fresh));
+    slot = batch_slots_.back().get();
+  }
+  RTS_REQUIRE(slot->lanes == lanes, "batch key reused with different lanes");
+  slot->last_used = ++clock_;
+  // Blocks are aligned to the trial index, never to the request order, so
+  // every access pattern computes the same blocks (bitwise determinism).
+  const int base = (trial / lanes) * lanes;
+  if (slot->block_base != base) {
+    const int count = std::min(lanes, cell_trials - base);
+    slot->block.resize(static_cast<std::size_t>(count));
+    slot->stream->run_block(base, count, slot->block.data());
+    slot->block_base = base;
+    ++batch_blocks_run_;
+  }
+  ++batch_trials_run_;
+  return slot->block[static_cast<std::size_t>(trial - base)];
 }
 
 }  // namespace rts::exec

@@ -36,13 +36,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/batch.hpp"
 #include "sim/runner.hpp"
 #include "support/rng.hpp"
 
 namespace rts::exec {
+
+/// Builds one cell's pooled batch stream (sim::BatchStream); invoked once
+/// per (key, workspace) the first time the cell runs a batched trial.
+using BatchStreamFactory = std::function<std::unique_ptr<sim::BatchStream>()>;
 
 class TrialWorkspace {
  public:
@@ -76,9 +82,40 @@ class TrialWorkspace {
                                 int trial, std::uint64_t seed0,
                                 sim::Kernel::Options kernel_options = {});
 
+  /// Direct-to-summary form of run_le_trial: same stream, same trial, but
+  /// the kernel state folds straight into the TrialSummary
+  /// (sim::summarize_le_trial) without materializing LeRunResult's per-pid
+  /// vectors -- byte-identical to summarize_trial(run_le_trial(...)) with
+  /// zero per-trial allocation.  The campaign executor's sim path runs on
+  /// this.
+  TrialSummary run_le_trial_summary(std::uint64_t key,
+                                    const sim::LeBuilder& builder, int n,
+                                    int k,
+                                    const sim::AdversaryFactory& factory,
+                                    int trial, std::uint64_t seed0,
+                                    sim::Kernel::Options kernel_options = {});
+
+  /// Batched trial access: serves trial `trial` of the cell's stream from a
+  /// pooled sim::BatchStream, computing whole lane-blocks at a time and
+  /// caching the most recent block's summaries.  Blocks are aligned to
+  /// floor(trial / lanes) * lanes -- a pure function of the trial index --
+  /// so any executor order (work stealing, resume-from-checkpoint) computes
+  /// identical blocks and therefore identical bytes.  `cell_trials` bounds
+  /// the final partial block.  The factory only runs when `key` has no
+  /// batch stream yet; keys must denote one fixed cell configuration (same
+  /// contract as the scalar streams).
+  TrialSummary run_le_batch_trial(std::uint64_t key,
+                                  const BatchStreamFactory& factory,
+                                  int lanes, int trial, int cell_trials);
+
   /// Observability for tests and benches.
   std::size_t prepared_streams() const { return streams_.size(); }
   std::uint64_t trials_run() const { return trials_run_; }
+  /// Batched trials served and lane-blocks actually computed;
+  /// `batch_trials_run() / batch_blocks_run()` ~ lanes when the access
+  /// pattern is sequential.
+  std::uint64_t batch_trials_run() const { return batch_trials_run_; }
+  std::uint64_t batch_blocks_run() const { return batch_blocks_run_; }
   /// Stream (re)builds so far; `trials_run() - stream_builds()` trials ran
   /// allocation-free through a rewound kernel.
   std::uint64_t stream_builds() const { return stream_builds_; }
@@ -101,18 +138,42 @@ class TrialWorkspace {
     bool fresh = true;  // no trial run since (re)build: skip the rewind
   };
 
+  /// One cell's pooled batch stream plus its most recent block of
+  /// summaries; sequential trial access recomputes a block once per
+  /// `lanes` trials.
+  struct BatchSlot {
+    std::uint64_t key = 0;
+    int lanes = 0;
+    std::unique_ptr<sim::BatchStream> stream;
+    int block_base = -1;  // first trial of the cached block; -1 = none
+    std::vector<TrialSummary> block;
+    std::uint64_t last_used = 0;
+  };
+
   Stream& prepare(std::uint64_t key, const sim::LeBuilder& builder, int n,
                   int k, sim::Kernel::Options kernel_options);
   void build(Stream& stream, const sim::LeBuilder& builder);
   sim::LeRunResult run_on_stream(Stream& stream, sim::Adversary& adversary,
                                  std::uint64_t seed);
+  /// Rewinds + reseeds `stream` for `seed` and runs it; shared prologue of
+  /// the LeRunResult and direct-to-summary paths.
+  bool drive_stream(Stream& stream, sim::Adversary& adversary,
+                    std::uint64_t seed);
+  /// The pooled-adversary reseed-or-rebuild step shared by run_le_trial and
+  /// run_le_trial_summary.
+  sim::Adversary& trial_adversary(Stream& stream,
+                                  const sim::AdversaryFactory& factory,
+                                  std::uint64_t adversary_seed);
 
   Options options_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<BatchSlot>> batch_slots_;
   std::uint64_t clock_ = 0;
   std::uint64_t trials_run_ = 0;
   std::uint64_t stream_builds_ = 0;
   std::uint64_t adversary_builds_ = 0;
+  std::uint64_t batch_trials_run_ = 0;
+  std::uint64_t batch_blocks_run_ = 0;
 };
 
 }  // namespace rts::exec

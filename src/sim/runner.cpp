@@ -123,6 +123,70 @@ LeTrialSummary summarize_trial(const LeRunResult& result) {
   return trial;
 }
 
+LeTrialSummary summarize_le_trial(const Kernel& kernel, int k,
+                                  const std::vector<Outcome>& outcomes,
+                                  std::size_t declared_registers,
+                                  bool completed, bool abortable) {
+  LeTrialSummary trial;
+  trial.backend = exec::Backend::kSim;
+  trial.k = k;
+  int winners = 0;
+  for (int pid = 0; pid < k; ++pid) {
+    trial.max_steps = std::max(trial.max_steps, kernel.steps(pid));
+    if (kernel.state(pid) == SimProcess::State::kCrashed) {
+      trial.crash_free = false;
+    }
+    switch (outcomes[static_cast<std::size_t>(pid)]) {
+      case Outcome::kWin:
+        ++winners;
+        break;
+      case Outcome::kAbort:
+        ++trial.aborted;
+        break;
+      case Outcome::kUnknown:
+        ++trial.unfinished;
+        break;
+      case Outcome::kLose:
+        break;
+    }
+  }
+  trial.total_steps = kernel.total_steps();
+  trial.regs_touched = kernel.memory().touched();
+  trial.declared_registers = declared_registers;
+  trial.completed = completed;
+  trial.rmr_total = kernel.rmr().total();
+  trial.rmr_max = kernel.rmr().max_by_pid();
+  trial.latency = trial.max_steps;
+  // First violation, in collect_le_result's order: safety, then liveness,
+  // then the per-pid abort checks in pid order.
+  const int abort_requests = kernel.abort_requests();
+  if (winners > 1) {
+    trial.first_violation =
+        "safety: more than one winner (" + std::to_string(winners) + ")";
+    return trial;
+  }
+  if (completed && trial.crash_free && abort_requests == 0 && winners != 1) {
+    trial.first_violation =
+        "liveness: crash-free complete run without exactly one winner";
+    return trial;
+  }
+  for (int pid = 0; pid < k; ++pid) {
+    const Outcome outcome = outcomes[static_cast<std::size_t>(pid)];
+    if (outcome == Outcome::kAbort && !kernel.abort_requested(pid)) {
+      trial.first_violation =
+          "abort: pid " + std::to_string(pid) + " aborted without a request";
+      return trial;
+    }
+    if (abortable && outcome == Outcome::kWin && kernel.abort_requested(pid)) {
+      trial.first_violation =
+          "abort: pid " + std::to_string(pid) +
+          " won despite an abort request (must abort or lose)";
+      return trial;
+    }
+  }
+  return trial;
+}
+
 std::uint64_t trial_seed(std::uint64_t seed0, int trial) {
   return support::derive_seed(seed0, static_cast<std::uint64_t>(trial));
 }

@@ -94,6 +94,18 @@ using LeAggregate = exec::Aggregate;
 
 LeTrialSummary summarize_trial(const LeRunResult& result);
 
+/// Direct-to-summary fold: produces exactly
+/// `summarize_trial(collect_le_result(...))` for the same kernel state --
+/// same fields, same first-violation selection order -- without
+/// materializing LeRunResult's per-pid vectors or the full violation list.
+/// The pooled trial paths (exec::TrialWorkspace::run_le_trial_summary and
+/// the batch engine) fold through this on every trial, so the per-trial
+/// heap traffic of the scalar hot path drops to zero.
+LeTrialSummary summarize_le_trial(const Kernel& kernel, int k,
+                                  const std::vector<Outcome>& outcomes,
+                                  std::size_t declared_registers,
+                                  bool completed, bool abortable);
+
 /// Folds one trial into the aggregate.  run_le_many is exactly a loop of
 /// run_le_trial + accumulate_trial, so any executor that calls these in
 /// trial order reproduces run_le_many's aggregates bit for bit.
